@@ -1,0 +1,65 @@
+#pragma once
+// Shared scaffolding for the experiment harness binaries.  Each binary
+// regenerates one of the paper's quantitative claims (see DESIGN.md's
+// experiment index and EXPERIMENTS.md for paper-vs-measured records).
+
+#include <iostream>
+#include <string>
+
+#include "analysis/experiment.h"
+#include "core/params.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace wlsync::bench {
+
+/// Default "hardware" constants used across experiments: 10 ms median
+/// delay, 1 ms uncertainty, drift 1e-5; designer picks P = 10 s.
+inline core::Params default_params(std::int32_t n, std::int32_t f,
+                                   double P = 10.0) {
+  return core::make_params(n, f, /*rho=*/1e-5, /*delta=*/0.01, /*eps=*/1e-3, P);
+}
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
+}
+
+inline const char* fault_name(analysis::FaultKind kind) {
+  switch (kind) {
+    case analysis::FaultKind::kNone: return "none";
+    case analysis::FaultKind::kSilent: return "silent";
+    case analysis::FaultKind::kSpam: return "spam";
+    case analysis::FaultKind::kTwoFaced: return "two-faced";
+    case analysis::FaultKind::kLiar: return "liar";
+  }
+  return "?";
+}
+
+inline const char* delay_name(analysis::DelayKind kind) {
+  switch (kind) {
+    case analysis::DelayKind::kUniform: return "uniform";
+    case analysis::DelayKind::kFast: return "all-fast";
+    case analysis::DelayKind::kSlow: return "all-slow";
+    case analysis::DelayKind::kPerLink: return "per-link";
+    case analysis::DelayKind::kSplit: return "split";
+  }
+  return "?";
+}
+
+inline const char* algo_name(analysis::Algo algo) {
+  switch (algo) {
+    case analysis::Algo::kWelchLynch: return "Welch-Lynch";
+    case analysis::Algo::kLM: return "LM-CNV";
+    case analysis::Algo::kST: return "Srikanth-Toueg";
+    case analysis::Algo::kMS: return "Mahaney-Schneider";
+    case analysis::Algo::kPlainMean: return "plain-mean";
+    case analysis::Algo::kHSSD: return "HSSD (signed)";
+  }
+  return "?";
+}
+
+/// Prints PASS/note column entries uniformly.
+inline std::string verdict(bool ok) { return ok ? "yes" : "NO"; }
+
+}  // namespace wlsync::bench

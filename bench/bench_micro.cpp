@@ -1,0 +1,119 @@
+// EXP-MICRO — engineering microbenchmarks (google-benchmark): the
+// fault-tolerant averaging primitives, clock queries, event queue, and
+// whole simulated rounds per second.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/experiment.h"
+#include "clock/physical_clock.h"
+#include "multiset/multiset_ops.h"
+#include "sim/event.h"
+#include "util/rng.h"
+
+namespace wlsync {
+namespace {
+
+void BM_FaultTolerantMidpoint(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t f = (n - 1) / 3;
+  util::Rng rng(1);
+  ms::Multiset values(n);
+  for (auto& value : values) value = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ms::fault_tolerant_midpoint(values, f));
+  }
+}
+BENCHMARK(BM_FaultTolerantMidpoint)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FaultTolerantMean(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t f = (n - 1) / 3;
+  util::Rng rng(2);
+  ms::Multiset values(n);
+  for (auto& value : values) value = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ms::fault_tolerant_mean(values, f));
+  }
+}
+BENCHMARK(BM_FaultTolerantMean)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_XDistance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  ms::Multiset u(n), v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    u[i] = rng.uniform();
+    v[i] = rng.uniform();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ms::x_distance(u, v, 0.1));
+  }
+}
+BENCHMARK(BM_XDistance)->Arg(16)->Arg(256);
+
+void BM_ClockQuery(benchmark::State& state) {
+  clk::PhysicalClock clock(clk::make_piecewise_uniform(1e-5, 0.5, util::Rng(4)),
+                           0.0, 1e-5);
+  (void)clock.now(1000.0);  // pre-extend
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clock.now(rng.uniform(0.0, 1000.0)));
+  }
+}
+BENCHMARK(BM_ClockQuery);
+
+void BM_ClockInverse(benchmark::State& state) {
+  clk::PhysicalClock clock(clk::make_piecewise_uniform(1e-5, 0.5, util::Rng(6)),
+                           0.0, 1e-5);
+  (void)clock.now(1000.0);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clock.to_real(rng.uniform(0.0, 1000.0)));
+  }
+}
+BENCHMARK(BM_ClockInverse);
+
+void BM_EventQueue(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(8);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (std::size_t i = 0; i < batch; ++i) {
+      sim::Event event;
+      event.time = rng.uniform();
+      event.tier = static_cast<std::int32_t>(i % 2);
+      queue.push(event);
+    }
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueue)->Arg(1024)->Arg(16384);
+
+void BM_SimulatedRounds(benchmark::State& state) {
+  // Whole-system throughput: one complete Welch-Lynch round (n^2 messages,
+  // 2n timers) per iteration, n = state.range(0).
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto f = (n - 1) / 3;
+  std::int64_t rounds_done = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    analysis::RunSpec spec;
+    spec.params = core::make_params(n, f, 1e-5, 0.01, 1e-3, 10.0);
+    spec.rounds = 10;
+    spec.seed = 9;
+    analysis::Experiment experiment(spec);
+    state.ResumeTiming();
+    experiment.simulator().run_until(12 * spec.params.P);
+    rounds_done += 10;
+  }
+  state.SetItemsProcessed(rounds_done);
+  state.SetLabel("rounds");
+}
+BENCHMARK(BM_SimulatedRounds)->Arg(4)->Arg(10)->Arg(31)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wlsync
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// EXP-STAGGER — Section 9.3: on a datagram network, synchronized broadcasts
+// overflow bounded receive buffers ("when the system behaves well, it is
+// punished"); staggering process p's broadcast to T^i + p*sigma spaces the
+// traffic and restores reliability while behaving "very similarly" to the
+// original algorithm.  Sweeps NIC capacity x stagger interval.
+
+#include "bench_common.h"
+
+using namespace wlsync;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto rounds = static_cast<std::int32_t>(flags.get_int("rounds", 12));
+
+  const core::Params params = bench::default_params(10, 3);
+  bench::print_header(
+      "EXP-STAGGER (Section 9.3)",
+      "10 processes; bounded per-recipient NIC (1 ms service).  Without "
+      "stagger, each round lands ~10 datagrams at once and the buffer "
+      "overwrites old entries; sigma = 5 ms spacing removes the loss.");
+
+  util::Table table({"NIC slots", "sigma", "dropped", "completed rounds",
+                     "gamma measured", "healthy"});
+  const double gamma = core::derive(params).gamma;
+  bool shape_ok = true;
+  for (std::size_t capacity : {2, 4, 8}) {
+    for (double sigma : {0.0, 0.002, 0.005}) {
+      analysis::RunSpec spec;
+      spec.params = params;
+      spec.stagger = sigma;
+      spec.nic = sim::NicConfig{capacity, /*service_time=*/1e-3};
+      spec.rounds = rounds;
+      spec.seed = 4;
+      const analysis::RunResult result = analysis::run_experiment(spec);
+      // "Punished": datagrams lost outright, or the service backlog pushed
+      // arrivals past the collection window and the round structure
+      // collapsed (both happen on real datagram NICs).
+      const bool punished =
+          result.nic_dropped > 0 || result.completed_rounds < rounds;
+      const bool healthy = !punished &&
+                           result.gamma_measured <= gamma * (1 + 1e-9);
+      if (sigma == 0.0) {
+        shape_ok = shape_ok && punished;  // simultaneity hurts
+      } else if (sigma >= 0.005) {
+        shape_ok = shape_ok && healthy;  // stagger heals
+      }
+      table.add_row({std::to_string(capacity), util::fmt(sigma),
+                     std::to_string(result.nic_dropped),
+                     std::to_string(result.completed_rounds),
+                     healthy ? util::fmt(result.gamma_measured) : "broken",
+                     bench::verdict(healthy)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nsimultaneous broadcasts are punished; sigma = 5 ms heals "
+               "the system and preserves gamma: "
+            << bench::verdict(shape_ok) << "\n";
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Live threads (Section 9.3): the exact same WelchLynchProcess object that
+// runs in the deterministic simulator here drives four real OS threads with
+// drift-scaled steady_clock physical clocks and a latency-injecting router
+// — the conditions of the 1986 Bell Labs implementation, in-process.
+//
+// Runs for ~3 wall-clock seconds.
+
+#include <iostream>
+
+#include "runtime/runtime.h"
+#include "util/table.h"
+
+using namespace wlsync;
+
+int main() {
+  rt::Cluster::Config config;
+  config.params.n = 4;
+  config.params.f = 1;
+  config.params.rho = 5e-3;     // amplified drift: ~5 ms/s — visible live
+  config.params.delta = 8e-3;   // 8 ms router latency
+  config.params.eps = 4e-3;     // +-4 ms uncertainty (incl. OS jitter)
+  config.params.P = 0.25;       // resynchronize every 250 ms
+  config.params.beta = core::beta_for_round_length(
+                           config.params.P, config.params.rho,
+                           config.params.delta, config.params.eps) *
+                       1.05;
+  config.seed = 31337;
+
+  const auto problems = core::validate(config.params);
+  if (!problems.empty()) {
+    for (const auto& problem : problems) std::cerr << problem << "\n";
+    return 1;
+  }
+  const core::Derived derived = core::derive(config.params);
+
+  std::cout << "Live thread cluster: 4 nodes, drift +-0.5%, delay 8ms +- 4ms, "
+               "round every 250 ms\n"
+            << "gamma bound = " << util::fmt(derived.gamma * 1e3) << " ms\n"
+            << "running ~3 s of wall-clock time...\n\n";
+
+  double synced = 0.0;
+  {
+    rt::Cluster cluster(config);
+    synced = cluster.run_and_measure(/*duration=*/3.0, /*warmup=*/0.8,
+                                     /*sample_every=*/0.02);
+  }
+
+  // Control: same drift, but the first resynchronization is scheduled far
+  // beyond the run, so the clocks just drift apart.
+  rt::Cluster::Config control = config;
+  control.params.P = 3600.0;
+  control.params.beta = core::beta_for_round_length(
+                            control.params.P, control.params.rho,
+                            control.params.delta, control.params.eps) *
+                        1.05;
+  double unsynced = 0.0;
+  {
+    rt::Cluster cluster(control);
+    unsynced = cluster.run_and_measure(1.5, 1.2, 0.05);
+  }
+
+  util::Table table({"configuration", "worst observed skew"});
+  table.add_row({"synchronized (P = 250 ms)", util::fmt(synced * 1e3, 3) + " ms"});
+  table.add_row({"unsynchronized (control)", util::fmt(unsynced * 1e3, 3) + " ms"});
+  table.print(std::cout);
+
+  const bool ok = synced < 4.0 * derived.gamma && unsynced > synced;
+  std::cout << "\n"
+            << (ok ? "Real threads, real time, same algorithm object: "
+                     "synchronized."
+                   : "Live run out of spec (heavy machine load can cause "
+                     "this; re-run).")
+            << "\n";
+  return ok ? 0 : 1;
+}

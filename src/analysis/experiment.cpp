@@ -1,0 +1,504 @@
+#include "analysis/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "baselines/averaging_rounds.h"
+#include "baselines/hssd.h"
+#include "baselines/srikanth_toueg.h"
+#include "core/reintegration.h"
+#include "core/startup.h"
+#include "proc/adversaries.h"
+#include "util/rng.h"
+
+namespace wlsync::analysis {
+
+namespace {
+
+std::unique_ptr<sim::DelayModel> build_delay(DelayKind kind,
+                                             const core::Params& p,
+                                             util::Rng& rng) {
+  switch (kind) {
+    case DelayKind::kUniform:
+      return sim::make_uniform_delay(p.delta, p.eps);
+    case DelayKind::kFast:
+      return sim::make_extreme_delay(p.delta, p.eps, /*fast=*/true);
+    case DelayKind::kSlow:
+      return sim::make_extreme_delay(p.delta, p.eps, /*fast=*/false);
+    case DelayKind::kPerLink:
+      return sim::make_per_link_delay(p.delta, p.eps, rng.fork(11));
+    case DelayKind::kSplit:
+      return sim::make_split_delay(p.delta, p.eps, p.n / 2);
+  }
+  throw std::logic_error("unknown DelayKind");
+}
+
+std::unique_ptr<clk::DriftModel> build_drift(DriftKind kind,
+                                             const core::Params& p,
+                                             double period, std::int32_t id,
+                                             util::Rng& rng) {
+  switch (kind) {
+    case DriftKind::kNone:
+      return clk::make_constant(1.0);
+    case DriftKind::kExtremal:
+      return clk::make_extremal(p.rho, period, /*start_fast=*/(id % 2) == 0);
+    case DriftKind::kPiecewise:
+      return clk::make_piecewise_uniform(p.rho, period,
+                                         rng.fork(100 + static_cast<std::uint64_t>(id)));
+    case DriftKind::kRandomWalk:
+      return clk::make_random_walk(p.rho, period, p.rho / 4.0,
+                                   rng.fork(200 + static_cast<std::uint64_t>(id)));
+  }
+  throw std::logic_error("unknown DriftKind");
+}
+
+proc::ProcessPtr build_algorithm(const RunSpec& spec) {
+  switch (spec.algo) {
+    case Algo::kWelchLynch: {
+      core::WelchLynchConfig config;
+      config.params = spec.params;
+      config.averaging = spec.averaging;
+      config.k_exchanges = spec.k_exchanges;
+      config.stagger = spec.stagger;
+      config.amortize = spec.amortize;
+      return std::make_unique<core::WelchLynchProcess>(config);
+    }
+    case Algo::kLM: {
+      const double delta_max =
+          spec.lm_delta_max > 0.0
+              ? spec.lm_delta_max
+              : 4.0 * (spec.params.beta +
+                       static_cast<double>(spec.params.n) * spec.params.eps);
+      return std::make_unique<baselines::InteractiveConvergenceProcess>(
+          spec.params, delta_max);
+    }
+    case Algo::kST:
+      return std::make_unique<baselines::SrikanthTouegProcess>(spec.params);
+    case Algo::kMS: {
+      const double tau = spec.ms_tau > 0.0
+                             ? spec.ms_tau
+                             : 4.0 * (spec.params.beta + 2.0 * spec.params.eps);
+      return std::make_unique<baselines::MahaneySchneiderProcess>(spec.params,
+                                                                  tau);
+    }
+    case Algo::kPlainMean:
+      return std::make_unique<baselines::PlainMeanProcess>(spec.params);
+    case Algo::kHSSD:
+      return std::make_unique<baselines::HssdProcess>(spec.params);
+  }
+  throw std::logic_error("unknown Algo");
+}
+
+}  // namespace
+
+Experiment::Experiment(RunSpec spec) : spec_(std::move(spec)) { build(); }
+Experiment::~Experiment() = default;
+
+void Experiment::build() {
+  const core::Params& p = spec_.params;
+  util::Rng rng(spec_.seed);
+
+  sim::SimConfig sim_config;
+  sim_config.delta = p.delta;
+  sim_config.eps = p.eps;
+  sim_config.seed = rng.fork(1)();
+  sim_config.nic = spec_.nic;
+  util::Rng delay_rng = rng.fork(2);
+  sim_ = std::make_unique<sim::Simulator>(sim_config,
+                                          build_delay(spec_.delay, p, delay_rng));
+  sim_->add_trace_sink(&trace_);
+
+  // Faulty roster: either the homogeneous (fault, fault_count) pair or the
+  // heterogeneous fault_mix.  Faulty processes occupy the highest ids.
+  std::vector<FaultKind> roster;
+  if (!spec_.fault_mix.empty()) {
+    for (const auto& entry : spec_.fault_mix) {
+      for (std::int32_t i = 0; i < entry.count; ++i) roster.push_back(entry.kind);
+    }
+  } else if (spec_.fault != FaultKind::kNone) {
+    roster.assign(static_cast<std::size_t>(spec_.fault_count), spec_.fault);
+  }
+  const auto fault_count = static_cast<std::int32_t>(roster.size());
+  const std::int32_t honest_count = p.n - fault_count;
+  if (honest_count < 1) throw std::invalid_argument("no honest processes");
+
+  // Nonfaulty STARTs spread over [0, S] along the real-time axis (A4);
+  // the extremes are pinned so the configured spread is exact.
+  const double spread =
+      spec_.initial_spread < 0.0 ? 0.9 * p.beta : spec_.initial_spread;
+  util::Rng start_rng = rng.fork(3);
+  std::vector<double> starts(static_cast<std::size_t>(honest_count));
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    starts[i] = start_rng.uniform(0.0, spread);
+  }
+  if (!starts.empty()) starts.front() = 0.0;
+  if (starts.size() > 1) starts[1] = spread;
+
+  util::Rng clock_rng = rng.fork(4);
+  tmin0_ = 1e300;
+  tmax0_ = -1e300;
+  honest_.clear();
+  for (std::int32_t id = 0; id < p.n; ++id) {
+    const bool faulty = id >= honest_count;
+    auto clock = std::make_unique<clk::PhysicalClock>(
+        build_drift(spec_.drift, p, spec_.drift_period, id, clock_rng),
+        /*offset=*/clock_rng.uniform(0.0, 100.0), p.rho);
+
+    if (!faulty) {
+      const double s = starts[static_cast<std::size_t>(id)];
+      // Choose CORR so the initial logical clock reads T0 exactly at the
+      // START time: c0_p(T0) = s, i.e. the A4 wake-up condition.
+      const double corr0 = p.T0 - clock->now(s);
+      honest_.push_back(id);
+      tmin0_ = std::min(tmin0_, s);
+      tmax0_ = std::max(tmax0_, s);
+      sim_->add_process(build_algorithm(spec_), std::move(clock), corr0,
+                        /*faulty=*/false, /*start=*/s);
+      continue;
+    }
+
+    // Byzantine processes.
+    switch (roster[static_cast<std::size_t>(id - honest_count)]) {
+      case FaultKind::kSilent:
+        sim_->add_process(std::make_unique<proc::SilentAdversary>(),
+                          std::move(clock), 0.0, true, /*start=*/-1.0);
+        break;
+      case FaultKind::kSpam: {
+        proc::SpamAdversary::Config config;
+        config.period = p.P / 10.0;
+        config.burst = 3;
+        config.tag = core::kTimeTag;
+        config.seed = rng.fork(500 + static_cast<std::uint64_t>(id))();
+        sim_->add_process(std::make_unique<proc::SpamAdversary>(config),
+                          std::move(clock), 0.0, true, /*start=*/0.0);
+        break;
+      }
+      case FaultKind::kTwoFaced: {
+        proc::TwoFacedAdversary::Config config;
+        config.pivot = honest_count / 2;
+        config.honest_end = honest_count;
+        config.tag = core::kTimeTag;
+        config.P = p.P;
+        config.delta = p.delta;
+        config.beta = p.beta;
+        // Strike round 0 too: the A4 schedule (tmin0 = 0, label T0) is known
+        // to an omniscient adversary.
+        config.first_tmin = 0.0;
+        config.first_label = p.T0;
+        // Co-conspirators bracket different in-span positions so reduce()
+        // cannot clip them all from one end.
+        const std::int32_t k = id - honest_count;
+        config.early_frac = 0.08 + 0.10 * static_cast<double>(k);
+        config.late_frac = 0.92 - 0.10 * static_cast<double>(k);
+        sim_->add_process(std::make_unique<proc::TwoFacedAdversary>(config),
+                          std::move(clock), 0.0, true, /*start=*/0.0);
+        break;
+      }
+      case FaultKind::kLiar: {
+        // An honest algorithm instance whose START (and hence every round)
+        // runs liar_offset real seconds late: its messages arrive at
+        // plausible-looking but wrong times every round, the classic
+        // "consistently wrong clock" failure.
+        const double s = spec_.liar_offset;
+        const double corr0 = p.T0 - clock->now(s);
+        sim_->add_process(build_algorithm(spec_), std::move(clock), corr0,
+                          /*faulty=*/true, /*start=*/s);
+        break;
+      }
+      case FaultKind::kNone:
+        break;
+    }
+  }
+}
+
+RunResult Experiment::run() {
+  const core::Params& p = spec_.params;
+  const core::Derived d = core::derive(p);
+
+  RunResult result;
+  result.honest = honest_;
+  result.gamma_bound = d.gamma;
+  result.adj_bound = d.adj_bound;
+  result.tmin0 = tmin0_;
+  result.tmax0 = tmax0_;
+
+  const double horizon = tmax0_ +
+                         static_cast<double>(spec_.rounds + 1) * p.P *
+                             (1.0 + 2.0 * p.rho) +
+                         2.0 * d.window + 10.0 * p.delta;
+  sim_->run_until(horizon);
+  result.t_end = sim_->current_time();
+  result.messages = sim_->messages_sent();
+  result.nic_dropped = sim_->nic_dropped();
+
+  // Per-round begin spreads and skews at round begins.
+  const std::int32_t last_round = trace_.last_complete_round(honest_);
+  result.completed_rounds = last_round + 1;
+  for (std::int32_t r = 0; r <= last_round; ++r) {
+    const auto times = trace_.begin_times(r, honest_);
+    if (times.empty()) break;
+    result.begin_spread.push_back(trace_.begin_spread(r, honest_));
+    const double at = *std::max_element(times.begin(), times.end());
+    result.skew_at_round.push_back(skew_at(*sim_, honest_, at));
+  }
+  result.max_abs_adj = trace_.max_abs_adjustment(honest_, 0);
+
+  // Steady-state agreement: sample from the midpoint round onward.
+  double t_steady = tmax0_ + d.window;
+  if (last_round >= 0) {
+    const auto mid_times = trace_.begin_times(last_round / 2, honest_);
+    if (!mid_times.empty()) {
+      t_steady = *std::max_element(mid_times.begin(), mid_times.end());
+    }
+  }
+  const SkewSeries series =
+      skew_series(*sim_, honest_, t_steady, result.t_end, p.P / 25.0);
+  result.gamma_measured = series.max_skew;
+  result.final_skew = skew_at(*sim_, honest_, result.t_end);
+  result.diverged = !(result.gamma_measured <
+                      std::max(100.0 * d.gamma, 1.0)) ||
+                    result.completed_rounds < spec_.rounds / 2;
+
+  // Validity envelope (Theorem 19) over the settled portion of the run.
+  result.validity = check_validity(*sim_, honest_, p, tmin0_, tmax0_,
+                                   tmax0_ + d.window, result.t_end, p.P / 10.0);
+  return result;
+}
+
+RunResult run_experiment(const RunSpec& spec) {
+  Experiment experiment(spec);
+  return experiment.run();
+}
+
+// ------------------------------------------------------------- start-up ---
+
+StartupResult run_startup(const StartupSpec& spec) {
+  const core::Params& p = spec.params;
+  util::Rng rng(spec.seed);
+
+  sim::SimConfig sim_config;
+  sim_config.delta = p.delta;
+  sim_config.eps = p.eps;
+  sim_config.seed = rng.fork(1)();
+  util::Rng delay_rng = rng.fork(2);
+  sim::Simulator sim(sim_config, build_delay(spec.delay, p, delay_rng));
+  RoundTrace trace;
+  sim.add_trace_sink(&trace);
+
+  const std::int32_t fault_count =
+      spec.fault == FaultKind::kNone ? 0 : spec.fault_count;
+  const std::int32_t honest_count = p.n - fault_count;
+  std::vector<std::int32_t> honest;
+
+  util::Rng clock_rng = rng.fork(4);
+  for (std::int32_t id = 0; id < p.n; ++id) {
+    const bool faulty = id >= honest_count;
+    auto clock = std::make_unique<clk::PhysicalClock>(
+        build_drift(spec.drift, p, 2.0, id, clock_rng),
+        clock_rng.uniform(0.0, 100.0), p.rho);
+    if (!faulty) {
+      core::StartupConfig config;
+      config.params = p;
+      config.handoff_rounds = spec.handoff ? spec.rounds : 0;
+      // Clocks are NOT initially synchronized: CORR is arbitrary.
+      const double corr0 =
+          clock_rng.uniform(0.0, spec.initial_clock_spread) - clock->now(0.0);
+      honest.push_back(id);
+      sim.add_process(std::make_unique<core::StartupProcess>(config),
+                      std::move(clock), corr0, false,
+                      /*start=*/clock_rng.uniform(0.0, p.delta));
+    } else if (spec.fault == FaultKind::kSilent) {
+      sim.add_process(std::make_unique<proc::SilentAdversary>(),
+                      std::move(clock), 0.0, true, -1.0);
+    } else {
+      proc::SpamAdversary::Config config;
+      config.period = p.delta;
+      config.burst = 2;
+      config.tag = core::kTimeTag;
+      config.seed = rng.fork(600 + static_cast<std::uint64_t>(id))();
+      sim.add_process(std::make_unique<proc::SpamAdversary>(config),
+                      std::move(clock), 0.0, true, 0.0);
+    }
+  }
+
+  // Each start-up round takes at most ~2 delta + a few eps plus the READY
+  // exchange; budget generously.
+  const double round_budget = 4.0 * (2.0 * p.delta + 8.0 * p.eps) + 6.0 * p.delta;
+  const double horizon =
+      static_cast<double>(spec.rounds + 2) * round_budget +
+      (spec.handoff ? 3.0 * p.P : 0.0) + 1.0;
+  sim.run_until(horizon);
+
+  StartupResult result;
+  result.round_slack = core::startup_round_slack(p.rho, p.delta, p.eps);
+  result.limit = core::startup_limit(p.rho, p.delta, p.eps);
+
+  const std::int32_t last = trace.last_complete_round(honest);
+  for (std::int32_t r = 0; r <= last && r < spec.rounds; ++r) {
+    const auto times = trace.begin_times(r, honest);
+    if (times.empty()) break;
+    const double at = *std::max_element(times.begin(), times.end());
+    result.b_series.push_back(skew_at(sim, honest, at));
+  }
+  result.final_b = result.b_series.empty() ? 1e300 : result.b_series.back();
+
+  if (spec.handoff) {
+    bool all = true;
+    for (std::int32_t id : honest) {
+      auto& process = dynamic_cast<core::StartupProcess&>(sim.process(id));
+      all = all && process.handed_off();
+    }
+    result.handoff_done = all;
+    if (all) {
+      result.post_handoff_skew =
+          skew_series(sim, honest, sim.current_time() - p.P, sim.current_time(),
+                      p.P / 25.0)
+              .max_skew;
+    }
+  }
+  return result;
+}
+
+// -------------------------------------------------------- reintegration ---
+
+namespace {
+
+/// Composite for the crash/repair lifecycle: honest Welch-Lynch until
+/// crash_at, dead until woken by a second START, then the Section 9.1
+/// reintegration procedure.
+class CrashRejoinProcess final : public proc::Process {
+ public:
+  CrashRejoinProcess(core::WelchLynchConfig config, double crash_at)
+      : crash_at_(crash_at), wl_(config), rejoin_(config) {}
+
+  void on_start(proc::Context& ctx) override {
+    const double now = proc::AdversaryContext::from(ctx).real_time();
+    if (now < crash_at_) {
+      wl_.on_start(ctx);
+    } else if (!woken_) {
+      woken_ = true;
+      rejoin_.on_start(ctx);
+    }
+  }
+  void on_timer(proc::Context& ctx, std::int32_t tag) override {
+    if (route(ctx) == Route::kWl) {
+      wl_.on_timer(ctx, tag);
+    } else if (route(ctx) == Route::kRejoin) {
+      rejoin_.on_timer(ctx, tag);
+    }
+  }
+  void on_message(proc::Context& ctx, const sim::Message& m) override {
+    if (route(ctx) == Route::kWl) {
+      wl_.on_message(ctx, m);
+    } else if (route(ctx) == Route::kRejoin) {
+      rejoin_.on_message(ctx, m);
+    }
+  }
+
+  [[nodiscard]] const core::ReintegrationProcess& rejoin() const noexcept {
+    return rejoin_;
+  }
+
+ private:
+  enum class Route : std::uint8_t { kWl, kDead, kRejoin };
+  [[nodiscard]] Route route(proc::Context& ctx) const {
+    const double now = proc::AdversaryContext::from(ctx).real_time();
+    if (now < crash_at_) return Route::kWl;
+    return woken_ ? Route::kRejoin : Route::kDead;
+  }
+
+  double crash_at_;
+  bool woken_ = false;
+  core::WelchLynchProcess wl_;
+  core::ReintegrationProcess rejoin_;
+};
+
+}  // namespace
+
+ReintegrationResult run_reintegration(const ReintegrationSpec& spec) {
+  const core::Params& p = spec.params;
+  const core::Derived d = core::derive(p);
+  if (spec.wake_at < spec.crash_at + 2.0 * p.P) {
+    throw std::invalid_argument(
+        "run_reintegration: need wake_at >= crash_at + 2P so stale timers die");
+  }
+  util::Rng rng(spec.seed);
+
+  sim::SimConfig sim_config;
+  sim_config.delta = p.delta;
+  sim_config.eps = p.eps;
+  sim_config.seed = rng.fork(1)();
+  util::Rng delay_rng = rng.fork(2);
+  sim::Simulator sim(sim_config, build_delay(spec.delay, p, delay_rng));
+  RoundTrace trace;
+  sim.add_trace_sink(&trace);
+
+  core::WelchLynchConfig wl_config;
+  wl_config.params = p;
+
+  // Process 0 is the crash/rejoin victim (registered faulty: from the
+  // model's viewpoint it is one of the f faults until it rejoins).
+  std::vector<std::int32_t> survivors;
+  util::Rng clock_rng = rng.fork(4);
+  util::Rng start_rng = rng.fork(3);
+  double tmax0 = 0.0;
+  for (std::int32_t id = 0; id < p.n; ++id) {
+    auto clock = std::make_unique<clk::PhysicalClock>(
+        build_drift(spec.drift, p, 2.0, id, clock_rng),
+        clock_rng.uniform(0.0, 100.0), p.rho);
+    const double s = id == 0 ? 0.0 : start_rng.uniform(0.0, 0.9 * p.beta);
+    tmax0 = std::max(tmax0, s);
+    const double corr0 = p.T0 - clock->now(s);
+    if (id == 0) {
+      sim.add_process(
+          std::make_unique<CrashRejoinProcess>(wl_config, spec.crash_at),
+          std::move(clock), corr0, /*faulty=*/true, /*start=*/s);
+    } else {
+      survivors.push_back(id);
+      sim.add_process(std::make_unique<core::WelchLynchProcess>(wl_config),
+                      std::move(clock), corr0, false, s);
+    }
+  }
+  sim.schedule_start(0, spec.wake_at);
+
+  const double horizon = tmax0 +
+                         static_cast<double>(spec.rounds + 1) * p.P *
+                             (1.0 + 2.0 * p.rho) +
+                         2.0 * d.window + 1.0;
+  sim.run_until(horizon);
+
+  ReintegrationResult result;
+  result.beta = p.beta;
+  result.gamma_bound = d.gamma;
+
+  for (const RoundEvent& join : trace.joins()) {
+    if (join.pid == 0) {
+      result.rejoined = true;
+      result.join_time = join.real_time;
+      result.join_round = join.round;
+      break;
+    }
+  }
+  if (!result.rejoined) return result;
+
+  // The joiner's first full round: every process (victim included) should
+  // begin within beta of each other (the Section 9.1 claim).
+  std::vector<std::int32_t> everyone = survivors;
+  everyone.push_back(0);
+  std::sort(everyone.begin(), everyone.end());
+  result.spread_with_joiner =
+      trace.begin_spread(result.join_round, everyone);
+
+  const double t_check = result.join_time + 2.0 * p.P;
+  if (t_check < sim.current_time()) {
+    result.skew_after = skew_series(sim, everyone, t_check, sim.current_time(),
+                                    p.P / 25.0)
+                            .max_skew;
+  } else {
+    result.skew_after = skew_at(sim, everyone, sim.current_time());
+  }
+  return result;
+}
+
+}  // namespace wlsync::analysis

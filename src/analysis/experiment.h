@@ -1,0 +1,206 @@
+#pragma once
+// Turn-key experiment harness.
+//
+// Builds a simulated system per assumptions A1-A4 — drifting clocks, delays
+// in [delta-eps, delta+eps], STARTs within beta along the real-time axis —
+// populates it with a synchronization algorithm and a fault mix, runs a
+// number of rounds, and measures everything the paper's claims quantify:
+// round-begin spreads (Theorem 4(c)), adjustment magnitudes (Theorem 4(a)),
+// the agreement gamma (Theorem 16), the validity envelope (Theorem 19) and
+// convergence series.  Tests, examples, and every bench binary drive their
+// scenarios through this single entry point.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/round_trace.h"
+#include "analysis/skew.h"
+#include "core/params.h"
+#include "core/welch_lynch.h"
+#include "sim/simulator.h"
+
+namespace wlsync::analysis {
+
+enum class Algo : std::uint8_t {
+  kWelchLynch = 0,   ///< Section 4.2 (variants via RunSpec knobs)
+  kLM = 1,           ///< interactive convergence [LM]
+  kST = 2,           ///< Srikanth-Toueg [ST]
+  kMS = 3,           ///< Mahaney-Schneider [MS]
+  kPlainMean = 4,    ///< unguarded mean (ablation)
+  kHSSD = 5,         ///< Halpern-Simons-Strong-Dolev (signatures; only
+                     ///< omission faults are meaningful — see hssd.h)
+};
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kSilent = 1,    ///< never sends (crashed from the start)
+  kSpam = 2,      ///< floods junk messages
+  kTwoFaced = 3,  ///< the splitter (worst case)
+  kLiar = 4,      ///< honest algorithm on a wildly offset clock
+};
+
+enum class DelayKind : std::uint8_t {
+  kUniform = 0,
+  kFast = 1,     ///< all messages at delta - eps
+  kSlow = 2,     ///< all messages at delta + eps
+  kPerLink = 3,  ///< fixed asymmetric per-link delays
+  kSplit = 4,    ///< adversarial: fast to low ids, slow to high ids
+};
+
+enum class DriftKind : std::uint8_t {
+  kNone = 0,        ///< perfect clocks (rate 1)
+  kExtremal = 1,    ///< alternating extreme legal rates, odd/even opposed
+  kPiecewise = 2,   ///< uniform random rate per period
+  kRandomWalk = 3,  ///< slowly wandering rate
+};
+
+struct RunSpec {
+  core::Params params;
+  Algo algo = Algo::kWelchLynch;
+  core::Averaging averaging = core::Averaging::kMidpoint;
+  std::int32_t k_exchanges = 1;
+  double stagger = 0.0;
+  double amortize = 0.0;
+
+  FaultKind fault = FaultKind::kNone;
+  std::int32_t fault_count = 0;  ///< how many processes misbehave
+  /// Heterogeneous failure mix: when non-empty this overrides fault /
+  /// fault_count; entry k contributes `count` processes of kind `kind`.
+  /// Real deployments rarely fail uniformly — the analysis must hold for
+  /// any mixture totalling at most f.
+  struct FaultSpec {
+    FaultKind kind = FaultKind::kSilent;
+    std::int32_t count = 0;
+  };
+  std::vector<FaultSpec> fault_mix;
+  /// kLiar: how late (real seconds) the liar's schedule runs.  Kept off the
+  /// round period so its broadcasts alias into mid-round times.
+  double liar_offset = 7.5;
+
+  DelayKind delay = DelayKind::kUniform;
+  DriftKind drift = DriftKind::kExtremal;
+  double drift_period = 2.0;
+
+  /// Real-time spread of the nonfaulty STARTs; < 0 means 0.9 * beta.
+  double initial_spread = -1.0;
+  std::int32_t rounds = 20;
+  std::uint64_t seed = 1;
+  std::optional<sim::NicConfig> nic;
+
+  double lm_delta_max = 0.0;  ///< 0 = auto
+  double ms_tau = 0.0;        ///< 0 = auto
+};
+
+struct RunResult {
+  std::vector<std::int32_t> honest;
+  double gamma_bound = 0.0;
+  double gamma_measured = 0.0;  ///< steady-state max skew among honest
+  double adj_bound = 0.0;
+  double max_abs_adj = 0.0;
+  std::vector<double> begin_spread;   ///< per-round real-time begin spread
+  std::vector<double> skew_at_round;  ///< skew at each round's last begin
+  ValidityReport validity;
+  double final_skew = 0.0;
+  bool diverged = false;
+  std::uint64_t messages = 0;
+  std::uint64_t nic_dropped = 0;
+  double tmin0 = 0.0;
+  double tmax0 = 0.0;
+  double t_end = 0.0;
+  std::int32_t completed_rounds = 0;
+};
+
+/// A constructed system ready to run; exposes the simulator for tests that
+/// need finer control than run() provides.
+class Experiment {
+ public:
+  explicit Experiment(RunSpec spec);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Runs the configured number of rounds and measures.
+  [[nodiscard]] RunResult run();
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return *sim_; }
+  [[nodiscard]] RoundTrace& trace() noexcept { return trace_; }
+  [[nodiscard]] const std::vector<std::int32_t>& honest() const noexcept {
+    return honest_;
+  }
+  [[nodiscard]] double tmin0() const noexcept { return tmin0_; }
+  [[nodiscard]] double tmax0() const noexcept { return tmax0_; }
+
+ private:
+  void build();
+
+  RunSpec spec_;
+  std::unique_ptr<sim::Simulator> sim_;
+  RoundTrace trace_;
+  std::vector<std::int32_t> honest_;
+  double tmin0_ = 0.0;
+  double tmax0_ = 0.0;
+};
+
+/// One-shot convenience wrapper.
+[[nodiscard]] RunResult run_experiment(const RunSpec& spec);
+
+// ------------------------------------------------------------------------
+// Start-up synchronization (Section 9.2)
+
+struct StartupSpec {
+  core::Params params;
+  std::int32_t rounds = 12;
+  bool handoff = false;  ///< switch to maintenance after `rounds`
+  /// Initial local-time disagreement (clock values are "arbitrary").
+  double initial_clock_spread = 1.0;
+  FaultKind fault = FaultKind::kNone;
+  std::int32_t fault_count = 0;
+  DelayKind delay = DelayKind::kUniform;
+  DriftKind drift = DriftKind::kExtremal;
+  std::uint64_t seed = 1;
+};
+
+struct StartupResult {
+  /// B^i: max difference between nonfaulty clock values at the latest real
+  /// time a nonfaulty process begins round i (Lemma 20's quantity).
+  std::vector<double> b_series;
+  double round_slack = 0.0;  ///< 2 eps + 2 rho (11 delta + 39 eps)
+  double limit = 0.0;        ///< 2 * round_slack
+  double final_b = 0.0;
+  bool handoff_done = false;
+  double post_handoff_skew = 0.0;  ///< steady skew under maintenance
+};
+
+[[nodiscard]] StartupResult run_startup(const StartupSpec& spec);
+
+// ------------------------------------------------------------------------
+// Reintegration (Section 9.1)
+
+struct ReintegrationSpec {
+  core::Params params;
+  double crash_at = 0.0;  ///< real time the victim stops
+  double wake_at = 0.0;   ///< real time it is repaired (>= crash_at + 2P)
+  std::int32_t rounds = 30;
+  DelayKind delay = DelayKind::kUniform;
+  DriftKind drift = DriftKind::kExtremal;
+  std::uint64_t seed = 1;
+};
+
+struct ReintegrationResult {
+  bool rejoined = false;
+  double join_time = 0.0;
+  std::int32_t join_round = 0;
+  /// Begin spread of the first round that includes the rejoined process;
+  /// Section 9.1 claims it is within beta.
+  double spread_with_joiner = 0.0;
+  double beta = 0.0;
+  double skew_after = 0.0;  ///< steady skew including the joiner
+  double gamma_bound = 0.0;
+};
+
+[[nodiscard]] ReintegrationResult run_reintegration(const ReintegrationSpec& spec);
+
+}  // namespace wlsync::analysis

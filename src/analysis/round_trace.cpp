@@ -1,0 +1,67 @@
+#include "analysis/round_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wlsync::analysis {
+
+void RoundTrace::on_annotation(std::int32_t pid, double time,
+                               const proc::Annotation& annotation) {
+  const RoundEvent event{pid, annotation.round, time, annotation.value,
+                         annotation.value2};
+  switch (annotation.type) {
+    case proc::Annotation::Type::kRoundBegin:
+      begins_.push_back(event);
+      begin_index_[{annotation.round, pid}] = time;
+      break;
+    case proc::Annotation::Type::kUpdate:
+      updates_.push_back(event);
+      break;
+    case proc::Annotation::Type::kJoined:
+      joins_.push_back(event);
+      break;
+    case proc::Annotation::Type::kCustom:
+      break;
+  }
+}
+
+std::vector<double> RoundTrace::begin_times(
+    std::int32_t round, const std::vector<std::int32_t>& ids) const {
+  std::vector<double> times;
+  times.reserve(ids.size());
+  for (std::int32_t id : ids) {
+    const auto it = begin_index_.find({round, id});
+    if (it == begin_index_.end()) return {};
+    times.push_back(it->second);
+  }
+  return times;
+}
+
+double RoundTrace::begin_spread(std::int32_t round,
+                                const std::vector<std::int32_t>& ids) const {
+  const auto times = begin_times(round, ids);
+  if (times.empty()) return std::numeric_limits<double>::quiet_NaN();
+  const auto [lo, hi] = std::minmax_element(times.begin(), times.end());
+  return *hi - *lo;
+}
+
+std::int32_t RoundTrace::last_complete_round(
+    const std::vector<std::int32_t>& ids) const {
+  std::int32_t round = -1;
+  while (!begin_times(round + 1, ids).empty()) ++round;
+  return round;
+}
+
+double RoundTrace::max_abs_adjustment(const std::vector<std::int32_t>& ids,
+                                      std::int32_t from_round) const {
+  double worst = 0.0;
+  for (const RoundEvent& update : updates_) {
+    if (update.round < from_round) continue;
+    if (std::find(ids.begin(), ids.end(), update.pid) == ids.end()) continue;
+    worst = std::max(worst, std::abs(update.value));
+  }
+  return worst;
+}
+
+}  // namespace wlsync::analysis

@@ -1,0 +1,67 @@
+#pragma once
+// Passive collector of round structure from annotations.
+//
+// Algorithms annotate round begins (logical clock reached T^i), updates
+// (ADJ applied) and joins; this sink indexes them so the analysis can
+// compute the quantities the paper's theorems are stated over: the
+// real-time spread of round begins (Theorem 4(c)'s beta), the adjustment
+// magnitudes (Theorem 4(a)), and the per-round convergence series B^i.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace wlsync::analysis {
+
+struct RoundEvent {
+  std::int32_t pid = 0;
+  std::int32_t round = 0;
+  double real_time = 0.0;
+  double value = 0.0;   ///< label for begins; ADJ for updates
+  double value2 = 0.0;  ///< AV for updates
+};
+
+class RoundTrace final : public sim::TraceSink {
+ public:
+  void on_annotation(std::int32_t pid, double time,
+                     const proc::Annotation& annotation) override;
+
+  [[nodiscard]] const std::vector<RoundEvent>& begins() const noexcept {
+    return begins_;
+  }
+  [[nodiscard]] const std::vector<RoundEvent>& updates() const noexcept {
+    return updates_;
+  }
+  [[nodiscard]] const std::vector<RoundEvent>& joins() const noexcept {
+    return joins_;
+  }
+
+  /// Real times at which each of `ids` began round `round`; empty entry
+  /// list means some id has no begin record for that round.
+  [[nodiscard]] std::vector<double> begin_times(
+      std::int32_t round, const std::vector<std::int32_t>& ids) const;
+
+  /// max - min of begin_times, or NaN if any id is missing.  This is the
+  /// measured |t_p^i - t_q^i| <= beta quantity of Theorem 4(c).
+  [[nodiscard]] double begin_spread(std::int32_t round,
+                                    const std::vector<std::int32_t>& ids) const;
+
+  /// Largest round for which *all* of `ids` have a begin record.
+  [[nodiscard]] std::int32_t last_complete_round(
+      const std::vector<std::int32_t>& ids) const;
+
+  /// Max |ADJ| over updates by `ids` with round >= from_round.
+  [[nodiscard]] double max_abs_adjustment(const std::vector<std::int32_t>& ids,
+                                          std::int32_t from_round) const;
+
+ private:
+  std::vector<RoundEvent> begins_;
+  std::vector<RoundEvent> updates_;
+  std::vector<RoundEvent> joins_;
+  // (round, pid) -> begin real time
+  std::map<std::pair<std::int32_t, std::int32_t>, double> begin_index_;
+};
+
+}  // namespace wlsync::analysis

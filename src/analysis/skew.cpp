@@ -1,0 +1,114 @@
+#include "analysis/skew.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/params.h"
+
+namespace wlsync::analysis {
+
+double skew_at(const sim::Simulator& sim, const std::vector<std::int32_t>& ids,
+               double t) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::int32_t id : ids) {
+    const double local = sim.local_time(id, t);
+    lo = std::min(lo, local);
+    hi = std::max(hi, local);
+  }
+  return hi - lo;
+}
+
+SkewSeries skew_series(const sim::Simulator& sim,
+                       const std::vector<std::int32_t>& ids, double t0,
+                       double t1, double dt) {
+  SkewSeries series;
+  for (double t = t0; t < t1; t += dt) {
+    series.times.push_back(t);
+    const double skew = skew_at(sim, ids, t);
+    series.skews.push_back(skew);
+    series.max_skew = std::max(series.max_skew, skew);
+  }
+  series.times.push_back(t1);
+  const double skew = skew_at(sim, ids, t1);
+  series.skews.push_back(skew);
+  series.max_skew = std::max(series.max_skew, skew);
+  return series;
+}
+
+double crossing_time(const sim::Simulator& sim, std::int32_t id, double label,
+                     double t_lo, double t_hi) {
+  // Coarse forward scan for the first bracket, then bisection.  Local time
+  // is piecewise monotone with bounded negative steps, so the first
+  // crossing is bracketed by the first coarse sample at or above the label.
+  const double step = std::max((t_hi - t_lo) / 4096.0, 1e-9);
+  double prev = t_lo;
+  if (sim.local_time(id, t_lo) >= label) return t_lo;
+  for (double t = t_lo + step; t <= t_hi + step; t += step) {
+    const double clamped = std::min(t, t_hi);
+    if (sim.local_time(id, clamped) >= label) {
+      double lo = prev;
+      double hi = clamped;
+      for (int iter = 0; iter < 64; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (sim.local_time(id, mid) >= label) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      return hi;
+    }
+    if (clamped >= t_hi) break;
+    prev = clamped;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+double label_spread(const sim::Simulator& sim,
+                    const std::vector<std::int32_t>& ids, double label,
+                    double t_lo, double t_hi) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::int32_t id : ids) {
+    const double cross = crossing_time(sim, id, label, t_lo, t_hi);
+    if (std::isnan(cross)) return std::numeric_limits<double>::quiet_NaN();
+    lo = std::min(lo, cross);
+    hi = std::max(hi, cross);
+  }
+  return hi - lo;
+}
+
+ValidityReport check_validity(const sim::Simulator& sim,
+                              const std::vector<std::int32_t>& ids,
+                              const core::Params& params, double tmin0,
+                              double tmax0, double t_start, double t_end,
+                              double dt) {
+  const core::Derived derived = core::derive(params);
+  ValidityReport report;
+  report.max_upper_violation = -std::numeric_limits<double>::infinity();
+  report.max_lower_violation = -std::numeric_limits<double>::infinity();
+  double hi_slope = -std::numeric_limits<double>::infinity();
+  double lo_slope = std::numeric_limits<double>::infinity();
+  for (double t = t_start; t <= t_end; t += dt) {
+    for (std::int32_t id : ids) {
+      const double elapsed = sim.local_time(id, t) - params.T0;
+      const double upper = derived.alpha2 * (t - tmin0) + derived.alpha3;
+      const double lower = derived.alpha1 * (t - tmax0) - derived.alpha3;
+      report.max_upper_violation =
+          std::max(report.max_upper_violation, elapsed - upper);
+      report.max_lower_violation =
+          std::max(report.max_lower_violation, lower - elapsed);
+      if (t - tmin0 > 0.0) hi_slope = std::max(hi_slope, elapsed / (t - tmin0));
+      if (t - tmax0 > 0.0) lo_slope = std::min(lo_slope, elapsed / (t - tmax0));
+    }
+  }
+  report.holds =
+      report.max_upper_violation <= 0.0 && report.max_lower_violation <= 0.0;
+  report.measured_hi_slope = hi_slope;
+  report.measured_lo_slope = lo_slope;
+  return report;
+}
+
+}  // namespace wlsync::analysis

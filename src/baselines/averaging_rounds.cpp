@@ -1,0 +1,113 @@
+#include "baselines/averaging_rounds.h"
+
+#include <cmath>
+
+namespace wlsync::baselines {
+
+namespace {
+constexpr std::int32_t kBcastTimer = 1;
+constexpr std::int32_t kUpdateTimer = 2;
+}  // namespace
+
+RoundExchangeProcess::RoundExchangeProcess(core::Params params)
+    : params_(params), derived_(core::derive(params)) {
+  diff_.assign(static_cast<std::size_t>(params_.n), core::kNeverArrived);
+  label_ = params_.T0;
+}
+
+void RoundExchangeProcess::begin_round(proc::Context& ctx) {
+  ctx.annotate({proc::Annotation::Type::kRoundBegin, round_, label_, 0.0});
+  ctx.broadcast(core::kTimeTag, label_, round_);
+  ctx.set_timer(label_ + derived_.window, kUpdateTimer);
+}
+
+void RoundExchangeProcess::on_start(proc::Context& ctx) {
+  if (started_) return;
+  started_ = true;
+  begin_round(ctx);
+}
+
+void RoundExchangeProcess::on_message(proc::Context& ctx, const sim::Message& m) {
+  if (m.tag != core::kTimeTag) return;
+  // Estimate of how far ahead q's clock is, assuming the delay was delta.
+  diff_[static_cast<std::size_t>(m.from)] =
+      m.value + params_.delta - ctx.local_time();
+}
+
+void RoundExchangeProcess::on_timer(proc::Context& ctx, std::int32_t tag) {
+  switch (tag) {
+    case kBcastTimer:
+      begin_round(ctx);
+      break;
+    case kUpdateTimer: {
+      const double adj = compute_adjustment(diff_, ctx.id());
+      last_adj_ = adj;
+      ctx.add_corr(adj);
+      ctx.annotate({proc::Annotation::Type::kUpdate, round_, adj, 0.0});
+      diff_.assign(static_cast<std::size_t>(params_.n), core::kNeverArrived);
+      ++round_;
+      label_ += params_.P;
+      ctx.set_timer(label_, kBcastTimer);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+double InteractiveConvergenceProcess::compute_adjustment(
+    const std::vector<double>& diffs, std::int32_t self) const {
+  // CNV: replace values differing from our own (0) by more than delta_max
+  // with 0, then average all n.
+  double sum = 0.0;
+  for (std::size_t q = 0; q < diffs.size(); ++q) {
+    double v = static_cast<std::int32_t>(q) == self ? 0.0 : diffs[q];
+    if (v == core::kNeverArrived || std::abs(v) > delta_max_) v = 0.0;
+    sum += v;
+  }
+  return sum / static_cast<double>(diffs.size());
+}
+
+double MahaneySchneiderProcess::compute_adjustment(
+    const std::vector<double>& diffs, std::int32_t self) const {
+  const auto n = diffs.size();
+  std::vector<double> values(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    const double v = static_cast<std::int32_t>(q) == self ? 0.0 : diffs[q];
+    values[q] = v;
+  }
+  // A value is acceptable if >= n - f values (itself included) lie within
+  // tau of it; unacceptable or missing values are replaced by our own (0).
+  const auto needed =
+      static_cast<std::size_t>(params().n - params().f);
+  double sum = 0.0;
+  for (std::size_t q = 0; q < n; ++q) {
+    double v = values[q];
+    if (v == core::kNeverArrived) {
+      sum += 0.0;
+      continue;
+    }
+    std::size_t close = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (values[r] != core::kNeverArrived && std::abs(values[r] - v) <= tau_) {
+        ++close;
+      }
+    }
+    if (close < needed) v = 0.0;
+    sum += v;
+  }
+  return sum / static_cast<double>(n);
+}
+
+double PlainMeanProcess::compute_adjustment(const std::vector<double>& diffs,
+                                            std::int32_t self) const {
+  double sum = 0.0;
+  for (std::size_t q = 0; q < diffs.size(); ++q) {
+    double v = static_cast<std::int32_t>(q) == self ? 0.0 : diffs[q];
+    if (v == core::kNeverArrived) v = 0.0;
+    sum += v;  // no clipping: one liar can drag the mean anywhere
+  }
+  return sum / static_cast<double>(diffs.size());
+}
+
+}  // namespace wlsync::baselines

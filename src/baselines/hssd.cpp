@@ -1,0 +1,58 @@
+#include "baselines/hssd.h"
+
+#include <cmath>
+
+namespace wlsync::baselines {
+
+namespace {
+constexpr std::int32_t kRoundTimer = 1;
+}
+
+void HssdProcess::on_start(proc::Context& ctx) {
+  if (started_) return;
+  started_ = true;
+  ctx.set_timer(params_.round_label(1), kRoundTimer);
+}
+
+void HssdProcess::on_timer(proc::Context& ctx, std::int32_t) {
+  // Our clock reached the next scheduled label: begin the round ourselves
+  // (no adjustment needed — we are on time) and start a fresh chain.
+  const std::int32_t k = last_accepted_ + 1;
+  if (ctx.local_time() + 1e-12 < params_.round_label(k)) return;  // stale
+  accept(ctx, k, /*signatures=*/0);
+}
+
+void HssdProcess::on_message(proc::Context& ctx, const sim::Message& m) {
+  if (m.tag != kSignedTag) return;
+  const auto i = static_cast<std::int32_t>(
+      std::llround((m.value - params_.T0) / params_.P));
+  if (i <= last_accepted_) return;  // old round
+  const std::int32_t signatures = m.aux;
+  if (signatures < 1) return;  // malformed chain
+  // Timeliness test: a k-signature chain took at least k hops of at least
+  // (delta - eps) each... the paper's test is against the maximum: reject
+  // chains that arrive longer than k(delta+eps) before the label.
+  const double earliest = params_.round_label(i) -
+                          static_cast<double>(signatures) * (1.0 + params_.rho) *
+                              (params_.delta + params_.eps);
+  if (ctx.local_time() + 1e-12 < earliest) return;  // too early: not timely
+  accept(ctx, i, signatures);
+}
+
+void HssdProcess::accept(proc::Context& ctx, std::int32_t round,
+                         std::int32_t signatures) {
+  // Advance (never retard) the clock to the label and relay with our
+  // signature appended.
+  const double adj = params_.round_label(round) - ctx.local_time();
+  last_adj_ = adj;
+  if (adj > 0.0) ctx.add_corr(adj);
+  last_accepted_ = round;
+  ctx.annotate({proc::Annotation::Type::kRoundBegin, round - 1,
+                ctx.local_time(), 0.0});
+  ctx.annotate(
+      {proc::Annotation::Type::kUpdate, round - 1, adj > 0 ? adj : 0.0, 0.0});
+  ctx.broadcast(kSignedTag, params_.round_label(round), signatures + 1);
+  ctx.set_timer(params_.round_label(round + 1), kRoundTimer);
+}
+
+}  // namespace wlsync::baselines

@@ -1,0 +1,55 @@
+#pragma once
+// Halpern, Simons, Strong & Dolev's clock synchronization [HSSD]
+// (Section 10).
+//
+// The schedule ET_i = T0 + iP is agreed in advance.  When a process' logical
+// clock reaches ET_i it signs and broadcasts <round i>; a process receiving
+// a chain with k distinct signatures accepts it if the chain is *timely* —
+// its clock reads at least ET_i - k(1+rho)(delta+eps), i.e. the chain could
+// genuinely have taken k hops — whereupon it advances its clock to ET_i
+// (never backwards), appends its signature, and relays.  Signatures replace
+// the n > 3f requirement: any number of process faults is tolerated as long
+// as nonfaulty processes stay connected.
+//
+// Signature simulation: a chain is (round label, signature count) in
+// (value, aux).  Unforgeability is an *assumption* of [HSSD]; adversaries
+// in HSSD experiments are therefore restricted to omission-style faults
+// (silent/crash) plus rushing — signing and broadcasting one's own chain
+// early — which is precisely the attack Section 10 says makes "the
+// nonfaulty [processes] speed up their clocks."
+//
+// Section 10 comparison points reproduced in tests/benches: agreement about
+// delta + eps; adjustment about (f+1)(delta+eps); tolerates f >= n/3 (e.g.
+// 2 silent of 4, impossible for the signature-free algorithms); validity
+// slope inflated by rushing faults.
+
+#include <cstdint>
+
+#include "core/params.h"
+#include "proc/process.h"
+
+namespace wlsync::baselines {
+
+inline constexpr std::int32_t kSignedTag = 4;
+
+class HssdProcess final : public proc::Process {
+ public:
+  explicit HssdProcess(core::Params params) : params_(params) {}
+
+  void on_start(proc::Context& ctx) override;
+  void on_timer(proc::Context& ctx, std::int32_t tag) override;
+  void on_message(proc::Context& ctx, const sim::Message& m) override;
+
+  [[nodiscard]] std::int32_t round() const noexcept { return last_accepted_; }
+  [[nodiscard]] double last_adjustment() const noexcept { return last_adj_; }
+
+ private:
+  void accept(proc::Context& ctx, std::int32_t round, std::int32_t signatures);
+
+  core::Params params_;
+  std::int32_t last_accepted_ = 0;  ///< highest round accepted/begun
+  double last_adj_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace wlsync::baselines

@@ -1,0 +1,61 @@
+#include "baselines/srikanth_toueg.h"
+
+namespace wlsync::baselines {
+
+namespace {
+constexpr std::int32_t kRoundTimer = 1;
+}
+
+void SrikanthTouegProcess::on_start(proc::Context& ctx) {
+  if (started_) return;
+  started_ = true;
+  // First broadcast when the logical clock reaches T0 + P (round 1).
+  ctx.set_timer(params_.round_label(1), kRoundTimer);
+}
+
+void SrikanthTouegProcess::maybe_broadcast(proc::Context& ctx, std::int32_t k) {
+  if (sent_.contains(k)) return;
+  sent_.insert(k);
+  ctx.broadcast(kTickTag, 0.0, k);
+  // Annotate 0-based so analysis round indices line up with other algorithms
+  // (ST's first broadcast is its round "k = 1").
+  ctx.annotate(
+      {proc::Annotation::Type::kRoundBegin, k - 1, ctx.local_time(), 0.0});
+}
+
+void SrikanthTouegProcess::on_timer(proc::Context& ctx, std::int32_t) {
+  // The clock reached the next round label.
+  const std::int32_t k = accepted_ + 1;
+  maybe_broadcast(ctx, k);
+}
+
+void SrikanthTouegProcess::on_message(proc::Context& ctx, const sim::Message& m) {
+  if (m.tag != kTickTag) return;
+  const std::int32_t k = m.aux;
+  if (k <= accepted_) return;  // stale round
+  auto& senders = heard_[k];
+  senders.insert(m.from);
+  const auto count = static_cast<std::int32_t>(senders.size());
+  if (count >= params_.f + 1) {
+    // f+1 distinct senders include an honest one: join the broadcast even if
+    // our own clock has not reached kP yet (the relay rule).
+    maybe_broadcast(ctx, k);
+  }
+  if (count >= 2 * params_.f + 1) accept(ctx, k);
+}
+
+void SrikanthTouegProcess::accept(proc::Context& ctx, std::int32_t k) {
+  // Resynchronize: the earliest honest (round k) broadcast left when its
+  // sender's clock read kP, about delta ago.
+  const double target = params_.round_label(k) + params_.delta;
+  const double adj = target - ctx.local_time();
+  last_adj_ = adj;
+  ctx.add_corr(adj);
+  accepted_ = k;
+  heard_.erase(heard_.begin(), heard_.upper_bound(k));
+  ctx.annotate({proc::Annotation::Type::kUpdate, k - 1, adj, 0.0});
+  // Schedule the next round on the new clock.
+  ctx.set_timer(params_.round_label(k + 1), kRoundTimer);
+}
+
+}  // namespace wlsync::baselines

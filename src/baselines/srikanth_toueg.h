@@ -1,0 +1,51 @@
+#pragma once
+// Srikanth & Toueg's clock synchronization algorithm [ST] (Section 10).
+//
+// Structure (the n > 3f, no-signatures variant): when a process' logical
+// clock reaches kP it broadcasts (round k).  A process that has received
+// round-k messages from f+1 distinct senders joins the broadcast (at least
+// one sender was honest, so the time must be near); on 2f+1 distinct
+// senders it *accepts* round k and resets its logical clock to kP + delta
+// (the expected age of the earliest honest broadcast).  Acceptance is
+// monotone in k; stale rounds are ignored.
+//
+// The paper's comparison says agreement is about delta + eps (better or
+// worse than Welch-Lynch's ~4 eps depending on the relative sizes), the
+// adjustment is about 3(delta + eps), and validity is optimal.  EXP-COMPARE
+// checks those shapes on the shared substrate.
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "core/params.h"
+#include "proc/process.h"
+
+namespace wlsync::baselines {
+
+inline constexpr std::int32_t kTickTag = 3;
+
+class SrikanthTouegProcess final : public proc::Process {
+ public:
+  explicit SrikanthTouegProcess(core::Params params) : params_(params) {}
+
+  void on_start(proc::Context& ctx) override;
+  void on_timer(proc::Context& ctx, std::int32_t tag) override;
+  void on_message(proc::Context& ctx, const sim::Message& m) override;
+
+  [[nodiscard]] std::int32_t round() const noexcept { return accepted_; }
+  [[nodiscard]] double last_adjustment() const noexcept { return last_adj_; }
+
+ private:
+  void maybe_broadcast(proc::Context& ctx, std::int32_t k);
+  void accept(proc::Context& ctx, std::int32_t k);
+
+  core::Params params_;
+  std::map<std::int32_t, std::set<std::int32_t>> heard_;  ///< senders per round
+  std::set<std::int32_t> sent_;                           ///< rounds broadcast
+  std::int32_t accepted_ = 0;  ///< highest accepted round
+  double last_adj_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace wlsync::baselines

@@ -1,0 +1,57 @@
+#include "clock/drift.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wlsync::clk {
+
+DriftSegment PiecewiseUniformDrift::segment(std::uint64_t index) {
+  // Segments are generated in order; the simulator only ever asks for the
+  // next one, but we defend against repeats of the latest index.
+  assert(index <= next_index_);
+  if (index < next_index_) return {period_, last_rate_};
+  ++next_index_;
+  const double lo = 1.0 / (1.0 + rho_);
+  const double hi = 1.0 + rho_;
+  last_rate_ = rng_.uniform(lo, hi);
+  return {period_, last_rate_};
+}
+
+DriftSegment RandomWalkDrift::segment(std::uint64_t index) {
+  assert(index <= next_index_);
+  if (index < next_index_) return {period_, rate_};
+  ++next_index_;
+  const double lo = 1.0 / (1.0 + rho_);
+  const double hi = 1.0 + rho_;
+  if (!initialized_) {
+    rate_ = rng_.uniform(lo, hi);
+    initialized_ = true;
+  } else {
+    rate_ += rng_.uniform(-step_, step_);
+    // Reflect back into the legal band.
+    if (rate_ > hi) rate_ = hi - (rate_ - hi);
+    if (rate_ < lo) rate_ = lo + (lo - rate_);
+    rate_ = std::clamp(rate_, lo, hi);
+  }
+  return {period_, rate_};
+}
+
+std::unique_ptr<DriftModel> make_constant(double rate) {
+  return std::make_unique<ConstantDrift>(rate);
+}
+
+std::unique_ptr<DriftModel> make_piecewise_uniform(double rho, double period,
+                                                   util::Rng rng) {
+  return std::make_unique<PiecewiseUniformDrift>(rho, period, rng);
+}
+
+std::unique_ptr<DriftModel> make_random_walk(double rho, double period, double step,
+                                             util::Rng rng) {
+  return std::make_unique<RandomWalkDrift>(rho, period, step, rng);
+}
+
+std::unique_ptr<DriftModel> make_extremal(double rho, double period, bool start_fast) {
+  return std::make_unique<ExtremalDrift>(rho, period, start_fast);
+}
+
+}  // namespace wlsync::clk

@@ -1,0 +1,106 @@
+#pragma once
+// Drift-rate models for rho-bounded physical clocks (Section 3.1).
+//
+// A clock C is rho-bounded when 1/(1+rho) <= dC/dt <= 1+rho everywhere
+// (assumption A1).  We realize clocks as piecewise-linear functions; a
+// DriftModel produces the successive (segment length, rate) pairs.  All
+// models keep every rate strictly inside the legal band, so assumption A1
+// holds by construction and is re-checked by PhysicalClock.
+
+#include <cstdint>
+#include <memory>
+
+#include "util/rng.h"
+
+namespace wlsync::clk {
+
+/// One linear segment of a physical clock: the clock runs at `rate` clock
+/// seconds per real second for `duration` real seconds.
+struct DriftSegment {
+  double duration = 0.0;  ///< real-time length; must be > 0
+  double rate = 1.0;      ///< in [1/(1+rho), 1+rho]
+};
+
+/// Produces the clock's successive segments, deterministically.
+class DriftModel {
+ public:
+  virtual ~DriftModel() = default;
+  /// Returns segment `index` (0-based).  Must be deterministic in `index`.
+  [[nodiscard]] virtual DriftSegment segment(std::uint64_t index) = 0;
+};
+
+/// A perfect or constant-rate clock: one infinite segment at `rate`.
+class ConstantDrift final : public DriftModel {
+ public:
+  explicit ConstantDrift(double rate) : rate_(rate) {}
+  [[nodiscard]] DriftSegment segment(std::uint64_t) override {
+    return {1e9, rate_};  // effectively infinite pieces of the same rate
+  }
+
+ private:
+  double rate_;
+};
+
+/// Rate drawn uniformly from [1/(1+rho), 1+rho] every `period` real seconds.
+/// Models an oscillator wandering within its specification band.
+class PiecewiseUniformDrift final : public DriftModel {
+ public:
+  PiecewiseUniformDrift(double rho, double period, util::Rng rng)
+      : rho_(rho), period_(period), rng_(rng) {}
+  [[nodiscard]] DriftSegment segment(std::uint64_t index) override;
+
+ private:
+  double rho_;
+  double period_;
+  util::Rng rng_;
+  std::uint64_t next_index_ = 0;
+  double last_rate_ = 1.0;
+};
+
+/// Bounded random walk: each period the rate moves by a small step and is
+/// reflected back into [1/(1+rho), 1+rho].  Models slowly varying drift
+/// (temperature effects), the hardest legal case for the analysis.
+class RandomWalkDrift final : public DriftModel {
+ public:
+  RandomWalkDrift(double rho, double period, double step, util::Rng rng)
+      : rho_(rho), period_(period), step_(step), rng_(rng) {}
+  [[nodiscard]] DriftSegment segment(std::uint64_t index) override;
+
+ private:
+  double rho_;
+  double period_;
+  double step_;
+  util::Rng rng_;
+  std::uint64_t next_index_ = 0;
+  double rate_ = 1.0;
+  bool initialized_ = false;
+};
+
+/// Worst-case two-rate clock: alternates between the extreme legal rates,
+/// starting fast or slow.  Adversarially maximizes relative drift.
+class ExtremalDrift final : public DriftModel {
+ public:
+  ExtremalDrift(double rho, double period, bool start_fast)
+      : rho_(rho), period_(period), start_fast_(start_fast) {}
+  [[nodiscard]] DriftSegment segment(std::uint64_t index) override {
+    const bool fast = ((index % 2 == 0) == start_fast_);
+    return {period_, fast ? 1.0 + rho_ : 1.0 / (1.0 + rho_)};
+  }
+
+ private:
+  double rho_;
+  double period_;
+  bool start_fast_;
+};
+
+/// Factory helpers returning owning pointers.
+[[nodiscard]] std::unique_ptr<DriftModel> make_constant(double rate);
+[[nodiscard]] std::unique_ptr<DriftModel> make_piecewise_uniform(double rho,
+                                                                 double period,
+                                                                 util::Rng rng);
+[[nodiscard]] std::unique_ptr<DriftModel> make_random_walk(double rho, double period,
+                                                           double step, util::Rng rng);
+[[nodiscard]] std::unique_ptr<DriftModel> make_extremal(double rho, double period,
+                                                        bool start_fast);
+
+}  // namespace wlsync::clk

@@ -1,0 +1,70 @@
+#include "clock/physical_clock.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace wlsync::clk {
+
+namespace {
+constexpr double kRateTolerance = 1e-12;
+}
+
+PhysicalClock::PhysicalClock(std::unique_ptr<DriftModel> drift, double offset,
+                             double rho)
+    : drift_(std::move(drift)), rho_(rho) {
+  if (!drift_) throw std::invalid_argument("PhysicalClock: null drift model");
+  const DriftSegment seg = drift_->segment(next_segment_++);
+  if (seg.rate < 1.0 / (1.0 + rho_) - kRateTolerance ||
+      seg.rate > 1.0 + rho_ + kRateTolerance) {
+    throw std::invalid_argument("PhysicalClock: drift rate violates rho bound");
+  }
+  breaks_.push_back({0.0, offset, seg.rate});
+  breaks_.push_back({seg.duration, offset + seg.duration * seg.rate, seg.rate});
+}
+
+void PhysicalClock::extend_real(double real_time) const {
+  while (breaks_.back().real < real_time) {
+    const DriftSegment seg = drift_->segment(next_segment_++);
+    if (seg.duration <= 0.0) throw std::logic_error("drift segment duration <= 0");
+    if (seg.rate < 1.0 / (1.0 + rho_) - kRateTolerance ||
+        seg.rate > 1.0 + rho_ + kRateTolerance) {
+      throw std::logic_error("drift rate violates rho bound");
+    }
+    Breakpoint& last = breaks_.back();
+    last.rate = seg.rate;
+    breaks_.push_back(
+        {last.real + seg.duration, last.clock + seg.duration * seg.rate, seg.rate});
+  }
+}
+
+void PhysicalClock::extend_clock(double clock_time) const {
+  // Clock values are strictly increasing along breakpoints (rates > 0), so
+  // extending real time far enough also covers any clock time.
+  while (breaks_.back().clock < clock_time) {
+    const double deficit = clock_time - breaks_.back().clock;
+    // Advance real time generously; rate >= 1/(1+rho) so this terminates.
+    extend_real(breaks_.back().real + deficit * (1.0 + rho_) + 1.0);
+  }
+}
+
+double PhysicalClock::now(double real_time) const {
+  extend_real(real_time);
+  // Find the last breakpoint with break.real <= real_time.
+  const auto it = std::upper_bound(
+      breaks_.begin(), breaks_.end(), real_time,
+      [](double t, const Breakpoint& b) { return t < b.real; });
+  const Breakpoint& seg = it == breaks_.begin() ? breaks_.front() : *(it - 1);
+  return seg.clock + (real_time - seg.real) * seg.rate;
+}
+
+double PhysicalClock::to_real(double clock_time) const {
+  extend_clock(clock_time);
+  const auto it = std::upper_bound(
+      breaks_.begin(), breaks_.end(), clock_time,
+      [](double c, const Breakpoint& b) { return c < b.clock; });
+  const Breakpoint& seg = it == breaks_.begin() ? breaks_.front() : *(it - 1);
+  return seg.real + (clock_time - seg.clock) / seg.rate;
+}
+
+}  // namespace wlsync::clk

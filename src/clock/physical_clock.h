@@ -1,0 +1,60 @@
+#pragma once
+// The read-only physical clock Ph_p of Section 2.1.
+//
+// A clock is a monotonically increasing function from real times to clock
+// times (Section 2.1); we realize it as a piecewise-linear function whose
+// segment rates come from a DriftModel and therefore stay rho-bounded.
+// Because segments are linear, the inverse c(T) = C^{-1}(T) is exact, which
+// the message system needs: setting a timer for clock time T schedules a
+// TIMER message at real time Ph^{-1}(T) (Section 2.2).
+//
+// Segments are generated lazily as queries move forward in time, so a clock
+// supports unbounded executions with O(log n) queries.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "clock/drift.h"
+
+namespace wlsync::clk {
+
+class PhysicalClock {
+ public:
+  /// A clock reading `offset` at real time 0, advancing per `drift`.
+  /// `rho` is the asserted bound; every segment rate is validated against it.
+  PhysicalClock(std::unique_ptr<DriftModel> drift, double offset, double rho);
+
+  /// C(t): clock time at real time t.  t may be any value >= the earliest
+  /// generated time (segments extend backward linearly from t = 0 at the
+  /// first segment's rate).
+  [[nodiscard]] double now(double real_time) const;
+
+  /// c(T) = C^{-1}(T): the real time at which the clock reads T.
+  [[nodiscard]] double to_real(double clock_time) const;
+
+  /// The asserted drift bound rho.
+  [[nodiscard]] double rho() const noexcept { return rho_; }
+
+  /// Clock value at real time 0.
+  [[nodiscard]] double offset() const noexcept { return breaks_.front().clock; }
+
+ private:
+  struct Breakpoint {
+    double real;   ///< real time at segment start
+    double clock;  ///< clock reading at segment start
+    double rate;   ///< slope over this segment
+  };
+
+  void extend_real(double real_time) const;
+  void extend_clock(double clock_time) const;
+
+  std::unique_ptr<DriftModel> drift_;
+  double rho_;
+  // Lazily extended; mutable because extension does not change the abstract
+  // (infinite) function the clock denotes.
+  mutable std::vector<Breakpoint> breaks_;
+  mutable std::uint64_t next_segment_ = 0;
+};
+
+}  // namespace wlsync::clk

@@ -1,0 +1,97 @@
+#include "core/reintegration.h"
+
+#include <cmath>
+
+#include "multiset/multiset_ops.h"
+
+namespace wlsync::core {
+
+namespace {
+constexpr std::int32_t kCloseTimer = 21;
+}
+
+ReintegrationProcess::ReintegrationProcess(WelchLynchConfig config)
+    : config_(config), wl_(config) {
+  arr_.assign(static_cast<std::size_t>(config_.params.n), kNeverArrived);
+}
+
+bool ReintegrationProcess::matches(double value, double label) const {
+  // Round labels are exchanged as exact doubles, but tolerate rounding from
+  // independently accumulated T := T + P chains.
+  return std::abs(value - label) <=
+         1e-9 * std::max(1.0, std::abs(label)) + 1e-12;
+}
+
+void ReintegrationProcess::on_start(proc::Context& ctx) {
+  if (joined_) return wl_.on_start(ctx);
+  if (phase_ == Phase::kDormant) {
+    phase_ = Phase::kOrienting;
+    seen_.clear();
+  }
+}
+
+void ReintegrationProcess::begin_collection(proc::Context& ctx, double target) {
+  phase_ = Phase::kCollecting;
+  target_ = target;
+  arr_.assign(static_cast<std::size_t>(config_.params.n), kNeverArrived);
+  target_senders_.clear();
+  window_armed_ = false;
+  (void)ctx;
+}
+
+void ReintegrationProcess::on_message(proc::Context& ctx, const sim::Message& m) {
+  if (joined_) return wl_.on_message(ctx, m);
+  if (m.tag != kTimeTag) return;
+
+  if (phase_ == Phase::kOrienting) {
+    auto& senders = seen_[m.value];
+    senders.insert(m.from);
+    if (static_cast<std::int32_t>(senders.size()) >= config_.params.f + 1) {
+      // Round m.value is genuine (>= 1 nonfaulty sender) and may be only
+      // partially observed; target the next one.
+      begin_collection(ctx, m.value + config_.params.P);
+    }
+    return;
+  }
+
+  if (phase_ == Phase::kCollecting && matches(m.value, target_)) {
+    arr_[static_cast<std::size_t>(m.from)] = ctx.local_time();
+    target_senders_.insert(m.from);
+    if (!window_armed_ &&
+        static_cast<std::int32_t>(target_senders_.size()) >=
+            config_.params.f + 1) {
+      // At least one nonfaulty broadcast has arrived; the rest arrive within
+      // beta + 2 eps real time.  Close on our own physical clock.
+      const Params& p = config_.params;
+      const double span = (1.0 + p.rho) * (p.beta + 2.0 * p.eps) + 1e-9;
+      ctx.set_timer_physical(ctx.physical_time() + span, kCloseTimer);
+      window_armed_ = true;
+    }
+  }
+}
+
+void ReintegrationProcess::on_timer(proc::Context& ctx, std::int32_t tag) {
+  if (joined_) return wl_.on_timer(ctx, tag);
+  if (tag == kCloseTimer && phase_ == Phase::kCollecting) close_window(ctx);
+}
+
+void ReintegrationProcess::close_window(proc::Context& ctx) {
+  const Params& p = config_.params;
+  if (static_cast<std::int32_t>(target_senders_.size()) < p.n - p.f) {
+    // Too few senders heard (heavy loss): re-target the next round.
+    begin_collection(ctx, target_ + p.P);
+    return;
+  }
+  const double av =
+      ms::fault_tolerant_midpoint(arr_, static_cast<std::size_t>(p.f));
+  const double adj = target_ + p.delta - av;
+  ctx.add_corr(adj);
+  joined_ = true;
+  const double next_label = target_ + p.P;
+  const auto next_round =
+      static_cast<std::int32_t>(std::llround((next_label - p.T0) / p.P));
+  ctx.annotate({proc::Annotation::Type::kJoined, next_round, next_label, adj});
+  wl_.resume(ctx, next_label, next_round);
+}
+
+}  // namespace wlsync::core

@@ -1,0 +1,78 @@
+#pragma once
+// Reintegrating a repaired process (Section 9.1).
+//
+// A repaired process p wakes at an arbitrary time, possibly mid-round.  It
+// first orients itself by watching the T^i traffic; once it has identified a
+// round it can observe *completely*, it collects that round's messages,
+// applies the ordinary mid(reduce(.)) update to its (arbitrary) clock, and
+// rejoins the main algorithm at the following label.  The paper's three
+// observations carry over exactly:
+//   * the arbitrary initial clock cancels in "ADJ = T + delta - AV";
+//   * until it rejoins, p counts as one of the f faulty processes (it sends
+//     nothing — a failure mode the averaging already tolerates);
+//   * the adjustment is an additive constant, so applying it the moment the
+//     collection window closes (rather than at U^i) changes nothing.
+//
+// Concretization of the [Lu1] details (the paper defers them):
+//   orientation  — the first round label V0 confirmed by f+1 distinct
+//                  senders is treated as "the round in progress"; since f+1
+//                  senders include at least one nonfaulty process, V0 is a
+//                  real round.  p targets V1 = V0 + P, the first round it is
+//                  guaranteed to observe from its very first message.
+//   collection   — arrivals of V1-labelled messages are recorded per sender
+//                  (most recent wins, as in ARR).  When f+1 distinct senders
+//                  have been seen — i.e. at least one nonfaulty broadcast has
+//                  arrived — every other nonfaulty broadcast lands within
+//                  beta + 2 eps real time, so the window closes
+//                  (1+rho)(beta + 2 eps) later on p's physical clock.
+//   join         — if at close n-f senders were heard, p applies
+//                  ADJ = V1 + delta - mid(reduce(ARR)) and resumes the
+//                  maintenance algorithm at V1 + P; otherwise it re-targets
+//                  V1 + P and repeats (a Byzantine quorum cannot fake f+1
+//                  distinct senders, so this only happens under heavy loss).
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/params.h"
+#include "core/welch_lynch.h"
+#include "proc/process.h"
+
+namespace wlsync::core {
+
+class ReintegrationProcess final : public proc::Process {
+ public:
+  explicit ReintegrationProcess(WelchLynchConfig config);
+
+  void on_start(proc::Context& ctx) override;
+  void on_timer(proc::Context& ctx, std::int32_t tag) override;
+  void on_message(proc::Context& ctx, const sim::Message& m) override;
+
+  [[nodiscard]] bool joined() const noexcept { return joined_; }
+  [[nodiscard]] const WelchLynchProcess& maintenance() const noexcept {
+    return wl_;
+  }
+
+ private:
+  enum class Phase : std::uint8_t { kDormant, kOrienting, kCollecting };
+
+  [[nodiscard]] bool matches(double value, double label) const;
+  void begin_collection(proc::Context& ctx, double target);
+  void close_window(proc::Context& ctx);
+
+  WelchLynchConfig config_;
+  WelchLynchProcess wl_;  ///< delegate after joining
+  Phase phase_ = Phase::kDormant;
+  bool joined_ = false;
+
+  /// Orientation: distinct senders seen per round label since wake-up.
+  std::map<double, std::set<std::int32_t>> seen_;
+  double target_ = 0.0;
+  std::vector<double> arr_;
+  std::set<std::int32_t> target_senders_;
+  bool window_armed_ = false;
+};
+
+}  // namespace wlsync::core

@@ -1,0 +1,164 @@
+#include "core/welch_lynch.h"
+
+#include <stdexcept>
+
+#include "multiset/multiset_ops.h"
+
+namespace wlsync::core {
+
+namespace {
+constexpr std::int32_t kBcastTimer = 1;
+constexpr std::int32_t kUpdateTimer = 2;
+}  // namespace
+
+WelchLynchProcess::WelchLynchProcess(WelchLynchConfig config)
+    : config_(std::move(config)), derived_(derive(config_.params)) {
+  if (config_.k_exchanges < 1) {
+    throw std::invalid_argument("WelchLynch: k_exchanges must be >= 1");
+  }
+  if (config_.params.n < 2 * config_.params.f + 1) {
+    // reduce() must leave at least one value.  (A2 asks for n >= 3f+1; the
+    // weaker check here lets boundary experiments run out-of-spec configs
+    // like n = 3f on purpose.)
+    throw std::invalid_argument("WelchLynch: need n >= 2f+1 for reduce()");
+  }
+  arr_.assign(static_cast<std::size_t>(config_.params.n), kNeverArrived);
+  label_ = config_.params.T0;
+}
+
+// In staggered mode (Section 9.3) process p broadcasts at base + p*sigma and
+// everyone's collection window stretches by the full stagger span; the
+// plain algorithm is the sigma = 0 special case throughout.
+
+double WelchLynchProcess::broadcast_label(const proc::Context& ctx) const {
+  const double base = label_ + static_cast<double>(exchange_) * sub_period(ctx);
+  return base + static_cast<double>(ctx.id()) * config_.stagger;
+}
+
+double WelchLynchProcess::window_end(const proc::Context& ctx) const {
+  const double base = label_ + static_cast<double>(exchange_) * sub_period(ctx);
+  const double stagger_span =
+      static_cast<double>(ctx.process_count() - 1) * config_.stagger;
+  // Section 4.1: (1+rho)(beta+delta+eps) past the round start is just long
+  // enough to hear every nonfaulty process; staggered senders are up to
+  // (n-1)*sigma later.
+  return base + derived_.window + (1.0 + config_.params.rho) * stagger_span;
+}
+
+double WelchLynchProcess::sub_period(const proc::Context& ctx) const {
+  if (config_.k_exchanges == 1) return config_.params.P;
+  // Section 7 variant: k sub-exchanges per round.  Each needs its window
+  // plus Lemma 8/12-style margins for the adjustment either way.
+  const double stagger_span =
+      static_cast<double>(ctx.process_count() - 1) * config_.stagger;
+  return derived_.window + (1.0 + config_.params.rho) * stagger_span +
+         2.0 * derived_.adj_bound + config_.params.beta + config_.params.eps;
+}
+
+void WelchLynchProcess::on_start(proc::Context& ctx) {
+  if (started_) return;  // duplicate START: ignore
+  started_ = true;
+  begin_exchange(ctx);
+}
+
+void WelchLynchProcess::begin_exchange(proc::Context& ctx) {
+  if (config_.stagger > 0.0 && ctx.id() > 0) {
+    ctx.set_timer(broadcast_label(ctx), kBcastTimer);
+    ctx.set_timer(window_end(ctx), kUpdateTimer);
+  } else {
+    do_broadcast(ctx);  // broadcast due now; also arms the update timer
+  }
+}
+
+void WelchLynchProcess::do_broadcast(proc::Context& ctx) {
+  const double base = label_ + static_cast<double>(exchange_) * sub_period(ctx);
+  if (exchange_ == 0) {
+    ctx.annotate({proc::Annotation::Type::kRoundBegin, round_, base, 0.0});
+  }
+  // broadcast(T): the value is the round's base label (all senders share
+  // it); recipients normalize staggered arrivals by sender id, not value.
+  ctx.broadcast(kTimeTag, base, exchange_);
+  if (!(config_.stagger > 0.0 && ctx.id() > 0)) {
+    ctx.set_timer(window_end(ctx), kUpdateTimer);
+  }
+}
+
+void WelchLynchProcess::on_timer(proc::Context& ctx, std::int32_t tag) {
+  switch (tag) {
+    case kBcastTimer:
+      // FLAG = BCAST case of Section 4.2.
+      if (config_.stagger > 0.0 && ctx.id() > 0) {
+        do_broadcast(ctx);  // update timer was armed by begin_exchange
+      } else {
+        begin_exchange(ctx);
+      }
+      break;
+    case kUpdateTimer:
+      // FLAG = UPDATE case of Section 4.2.
+      do_update(ctx);
+      break;
+    default:
+      break;  // no applicable cluster (Section 4.2 convention)
+  }
+}
+
+void WelchLynchProcess::on_message(proc::Context& ctx, const sim::Message& m) {
+  // "receive(m) from q: ARR[q] := local-time()" — any ordinary message
+  // updates the slot; contents are never inspected by the basic algorithm.
+  // In staggered mode a time message from q was sent q*sigma later than the
+  // shared base, so subtract the known offset to make arrivals comparable.
+  double arrival = ctx.local_time();
+  if (config_.stagger > 0.0 && m.tag == kTimeTag) {
+    arrival -= static_cast<double>(m.from) * config_.stagger;
+  }
+  arr_[static_cast<std::size_t>(m.from)] = arrival;
+}
+
+void WelchLynchProcess::do_update(proc::Context& ctx) {
+  const double base = label_ + static_cast<double>(exchange_) * sub_period(ctx);
+  // AV := mid(reduce(ARR)); ADJ := T + delta - AV; CORR := CORR + ADJ.
+  const double av =
+      config_.averaging == Averaging::kMidpoint
+          ? ms::fault_tolerant_midpoint(
+                arr_, static_cast<std::size_t>(config_.params.f))
+          : ms::fault_tolerant_mean(arr_,
+                                    static_cast<std::size_t>(config_.params.f));
+  const double adj = base + config_.params.delta - av;
+  last_av_ = av;
+  last_adj_ = adj;
+  if (config_.amortize > 0.0) {
+    ctx.add_corr_amortized(adj, config_.amortize);
+  } else {
+    ctx.add_corr(adj);
+  }
+  ctx.annotate({proc::Annotation::Type::kUpdate, round_, adj, av});
+
+  ++exchange_;
+  if (exchange_ >= config_.k_exchanges) {
+    // T := T + P; set-timer(T): next round begins on the new clock.
+    exchange_ = 0;
+    ++round_;
+    label_ += config_.params.P;
+  }
+  if (config_.stagger > 0.0 && ctx.id() > 0) {
+    begin_exchange(ctx);  // arms both timers for the staggered next round
+  } else {
+    const double next = label_ + static_cast<double>(exchange_) * sub_period(ctx);
+    ctx.set_timer(next, kBcastTimer);
+  }
+}
+
+void WelchLynchProcess::resume(proc::Context& ctx, double next_label,
+                               std::int32_t next_round) {
+  started_ = true;
+  exchange_ = 0;
+  round_ = next_round;
+  label_ = next_label;
+  if (config_.stagger > 0.0 && ctx.id() > 0) {
+    begin_exchange(ctx);
+  } else {
+    ctx.set_timer(label_, kBcastTimer);
+  }
+}
+
+}  // namespace wlsync::core

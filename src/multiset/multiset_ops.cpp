@@ -1,0 +1,93 @@
+#include "multiset/multiset_ops.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wlsync::ms {
+
+namespace {
+void require(bool condition, const char* what) {
+  if (!condition) throw std::invalid_argument(what);
+}
+}  // namespace
+
+double max_of(std::span<const double> u) {
+  require(!u.empty(), "multiset: max_of on empty multiset");
+  return *std::max_element(u.begin(), u.end());
+}
+
+double min_of(std::span<const double> u) {
+  require(!u.empty(), "multiset: min_of on empty multiset");
+  return *std::min_element(u.begin(), u.end());
+}
+
+double diam(std::span<const double> u) { return max_of(u) - min_of(u); }
+
+double mid(std::span<const double> u) { return 0.5 * (max_of(u) + min_of(u)); }
+
+double mean(std::span<const double> u) {
+  require(!u.empty(), "multiset: mean of empty multiset");
+  double sum = 0.0;
+  for (double x : u) sum += x;
+  return sum / static_cast<double>(u.size());
+}
+
+Multiset reduce(std::span<const double> u, std::size_t f) {
+  require(u.size() >= 2 * f + 1, "multiset: reduce needs |U| >= 2f+1");
+  Multiset sorted(u.begin(), u.end());
+  std::sort(sorted.begin(), sorted.end());
+  return Multiset(sorted.begin() + static_cast<std::ptrdiff_t>(f),
+                  sorted.end() - static_cast<std::ptrdiff_t>(f));
+}
+
+double fault_tolerant_midpoint(std::span<const double> u, std::size_t f) {
+  const Multiset kept = reduce(u, f);
+  return mid(kept);
+}
+
+double fault_tolerant_mean(std::span<const double> u, std::size_t f) {
+  const Multiset kept = reduce(u, f);
+  return mean(kept);
+}
+
+Multiset drop_min(std::span<const double> u) {
+  require(!u.empty(), "multiset: drop_min on empty multiset");
+  Multiset out(u.begin(), u.end());
+  out.erase(std::min_element(out.begin(), out.end()));
+  return out;
+}
+
+Multiset drop_max(std::span<const double> u) {
+  require(!u.empty(), "multiset: drop_max on empty multiset");
+  Multiset out(u.begin(), u.end());
+  out.erase(std::max_element(out.begin(), out.end()));
+  return out;
+}
+
+std::size_t x_distance(std::span<const double> u, std::span<const double> v,
+                       double x) {
+  if (u.size() > v.size()) return x_distance(v, u, x);
+  Multiset su(u.begin(), u.end());
+  Multiset sv(v.begin(), v.end());
+  std::sort(su.begin(), su.end());
+  std::sort(sv.begin(), sv.end());
+  // Greedy maximum matching on sorted sequences: each u is compatible with a
+  // contiguous run of v (|u - v| <= x), so matching each u in order to the
+  // earliest compatible unmatched v is optimal (exchange argument).
+  std::size_t matched = 0;
+  std::size_t j = 0;
+  for (double uu : su) {
+    while (j < sv.size() && sv[j] < uu - x) ++j;
+    if (j < sv.size() && sv[j] <= uu + x) {
+      ++matched;
+      ++j;
+    }
+  }
+  return su.size() - matched;
+}
+
+bool x_covers(std::span<const double> w, std::span<const double> u, double x) {
+  return w.size() <= u.size() && x_distance(w, u, x) == 0;
+}
+
+}  // namespace wlsync::ms

@@ -1,0 +1,71 @@
+#pragma once
+// Multiset operations from the paper's Appendix.
+//
+// The fault-tolerant averaging function mid(reduce(.)) is "the heart of the
+// algorithm" (Section 4.1): reduce removes the f largest and f smallest
+// elements, and mid takes the midpoint of the surviving range.  The Appendix
+// proves the properties (Lemmas 21-24) that make a single round halve the
+// clock separation; this module implements every Appendix definition,
+// including the x-distance d_x(U, V), so those lemmas can be tested as
+// executable properties.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wlsync::ms {
+
+/// A multiset of reals, by value.  Order of elements is irrelevant to all
+/// operations; functions sort copies internally where needed.
+using Multiset = std::vector<double>;
+
+/// Largest element.  Precondition: non-empty.
+[[nodiscard]] double max_of(std::span<const double> u);
+
+/// Smallest element.  Precondition: non-empty.
+[[nodiscard]] double min_of(std::span<const double> u);
+
+/// diam(U) = max(U) - min(U).  Precondition: non-empty.
+[[nodiscard]] double diam(std::span<const double> u);
+
+/// mid(U) = (max(U) + min(U)) / 2.  Precondition: non-empty.
+[[nodiscard]] double mid(std::span<const double> u);
+
+/// Arithmetic mean.  Precondition: non-empty.
+[[nodiscard]] double mean(std::span<const double> u);
+
+/// reduce(U): removes the f largest and f smallest elements.
+/// Precondition: |U| >= 2f + 1 (as in the paper, which requires
+/// |U| >= 2f+1 for reduce to be defined).
+[[nodiscard]] Multiset reduce(std::span<const double> u, std::size_t f);
+
+/// The paper's averaging function: mid(reduce(U)).  Halves the error per
+/// round (Lemma 9 / Lemma 24).
+[[nodiscard]] double fault_tolerant_midpoint(std::span<const double> u, std::size_t f);
+
+/// Section 7 variant: mean(reduce(U)).  Convergence rate ~ f/(n-2f), so it
+/// beats the midpoint when n >> f; error approaches ~2*epsilon.
+[[nodiscard]] double fault_tolerant_mean(std::span<const double> u, std::size_t f);
+
+/// s(U): deletes one occurrence of min(U).  l(U): deletes one occurrence of
+/// max(U).  Preconditions: non-empty.
+[[nodiscard]] Multiset drop_min(std::span<const double> u);
+[[nodiscard]] Multiset drop_max(std::span<const double> u);
+
+/// d_x(U, V): the x-distance between multisets (Appendix).  With |U| <= |V|,
+/// it is the minimum over injections c : U -> V of the number of u in U with
+/// |u - c(u)| > x; equivalently |U| minus the maximum number of x-pairs.
+/// If |U| > |V| the arguments are swapped (the definition requires
+/// |U| <= |V|; distance is symmetric in the pairing sense used by the paper).
+///
+/// Computed exactly: compatibility |u - v| <= x on sorted sequences forms an
+/// interval bigraph, for which a two-pointer greedy yields maximum matching.
+[[nodiscard]] std::size_t x_distance(std::span<const double> u,
+                                     std::span<const double> v, double x);
+
+/// Convenience for tests: true iff d_x(W, U) == 0, i.e. every element of W
+/// can be x-paired with a distinct element of U.
+[[nodiscard]] bool x_covers(std::span<const double> w, std::span<const double> u,
+                            double x);
+
+}  // namespace wlsync::ms

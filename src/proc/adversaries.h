@@ -1,0 +1,137 @@
+#pragma once
+// Byzantine adversaries (assumption A2).
+//
+// Faulty processes are unconstrained: they may change state arbitrarily,
+// take steps whenever they like (via real-time timers) and send anything to
+// anyone — but their messages still traverse the network, so they cannot
+// forge delivery delays (A3 binds the *channel*, not the sender).  The
+// strategies here cover the failure shapes the paper's analysis must
+// tolerate:
+//
+//   Silent     — sends nothing, ever (crashed from the start).  Exercises
+//                the "missing entry falls to reduce()" path.
+//   Crash      — runs a wrapped honest process until a real time, then stops
+//                (used by the reintegration experiments).
+//   Spam       — floods everyone with junk messages at random times; since
+//                the Section 4.2 algorithm records the arrival time of *any*
+//                message, spam directly attacks the ARR array.
+//   TwoFaced   — the classical splitter: each round it makes its broadcast
+//                appear at the early extreme of the legal window to one half
+//                of the recipients and at the late extreme to the other
+//                half, dragging their averages apart.  This is the strategy
+//                that breaks n = 3f configurations.
+//
+// A "liar with a skewed clock" needs no adversary code at all: register an
+// honest process as faulty with an absurd initial CORR (see
+// analysis/experiment.h).
+
+#include <cstdint>
+#include <map>
+
+#include "proc/process.h"
+#include "util/rng.h"
+
+namespace wlsync::proc {
+
+class SilentAdversary final : public Process {
+ public:
+  void on_start(Context&) override {}
+  void on_timer(Context&, std::int32_t) override {}
+  void on_message(Context&, const sim::Message&) override {}
+};
+
+/// Runs `inner` honestly until real time `crash_at`, then goes silent.
+/// The wrapped process must be registered as faulty (the wrapper reads real
+/// time through the adversary context).
+class CrashAdversary final : public Process {
+ public:
+  CrashAdversary(ProcessPtr inner, double crash_at);
+
+  void on_start(Context& ctx) override;
+  void on_timer(Context& ctx, std::int32_t tag) override;
+  void on_message(Context& ctx, const sim::Message& m) override;
+
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+  [[nodiscard]] Process& inner() noexcept { return *inner_; }
+
+ private:
+  [[nodiscard]] bool alive(Context& ctx);
+
+  ProcessPtr inner_;
+  double crash_at_;
+  bool crashed_ = false;
+};
+
+/// Sends `burst` junk messages to random recipients every ~`period` real
+/// seconds, with random values; wakes itself with real-time timers.
+class SpamAdversary final : public Process {
+ public:
+  struct Config {
+    double period = 0.05;   ///< mean real time between bursts
+    std::int32_t burst = 4; ///< messages per burst
+    std::int32_t tag = 0;   ///< tag to stamp on junk (algorithms record any)
+    double value_span = 1e6;///< junk values drawn from [-span, span]
+    std::uint64_t seed = 7;
+  };
+
+  explicit SpamAdversary(Config config) : config_(config), rng_(config.seed) {}
+
+  void on_start(Context& ctx) override;
+  void on_timer(Context& ctx, std::int32_t tag) override;
+  void on_message(Context&, const sim::Message&) override {}
+
+ private:
+  void schedule_next(AdversaryContext& ctx);
+  Config config_;
+  util::Rng rng_;
+};
+
+/// The splitter.  Rounds are periodic (labels advance by P, begins advance
+/// by ~P of real time), so the adversary *predicts* the next round from the
+/// first arrival of the current one and times its sends to land *inside*
+/// the honest arrival span at each victim: recipients with id < pivot see
+/// the adversary near the early edge (arrival ~ tmin + early_frac*beta),
+/// the rest near the late edge.  In-span arrivals survive reduce() (Lemma 6
+/// only clips values outside the nonfaulty range) and pull the two groups'
+/// averages in opposite directions — the worst case Lemma 9 bounds, and the
+/// attack that separates n = 3f+1 from n = 3f.
+class TwoFacedAdversary final : public Process {
+ public:
+  struct Config {
+    std::int32_t pivot = 0;      ///< ids < pivot get the early face
+    std::int32_t honest_end = 0; ///< ids in [pivot, honest_end) get the late
+                                 ///< face (avoid confusing fellow adversaries)
+    std::int32_t tag = 0;        ///< tag honest processes broadcast with
+    double P = 1.0;              ///< round period (local ~ real time)
+    double delta = 0.0;          ///< median network delay
+    double beta = 0.0;           ///< honest round-begin spread bound
+    double early_frac = 0.1;     ///< target arrival at tmin + frac*beta
+    double late_frac = 0.9;
+    /// Omniscient first strike: if first_tmin >= 0, round `first_label` is
+    /// attacked directly at the known schedule (the adversary knows T0 and
+    /// the A4 wake-up window), so even round 0 sees the worst case.
+    double first_tmin = -1.0;
+    double first_label = 0.0;
+  };
+
+  explicit TwoFacedAdversary(Config config) : config_(config) {}
+
+  void on_start(Context& ctx) override;
+  void on_timer(Context& ctx, std::int32_t tag) override;
+  void on_message(Context& ctx, const sim::Message& m) override;
+
+ private:
+  struct Face {
+    double value;  ///< label to forge
+    bool early;    ///< early face (group A) or late face (group B)
+  };
+
+  void schedule_attack(AdversaryContext& ctx, double tmin, double value);
+  void fire_due_faces(Context& ctx);
+
+  Config config_;
+  double last_value_ = -1e300;          ///< largest label already handled
+  std::multimap<double, Face> pending_; ///< fire real-time -> face
+};
+
+}  // namespace wlsync::proc

@@ -1,0 +1,16 @@
+#include "proc/context.h"
+
+#include <stdexcept>
+
+namespace wlsync::proc {
+
+AdversaryContext& AdversaryContext::from(Context& ctx) {
+  auto* adversary = dynamic_cast<AdversaryContext*>(&ctx);
+  if (adversary == nullptr) {
+    throw std::logic_error(
+        "AdversaryContext::from: process not registered as faulty");
+  }
+  return *adversary;
+}
+
+}  // namespace wlsync::proc

@@ -1,0 +1,261 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+
+namespace wlsync::rt {
+
+// ---------------------------------------------------------------- Router --
+
+Router::Router(std::int32_t n, double delta, double eps, std::uint64_t seed)
+    : delta_(delta), eps_(eps), rng_(seed) {
+  inboxes_.resize(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    inbox_cvs_.push_back(std::make_unique<std::condition_variable>());
+    inbox_mutexes_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+Router::~Router() { stop(); }
+
+void Router::start() {
+  std::lock_guard lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Router::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Router::send(std::int32_t to, RtMessage msg) {
+  const double latency = [&] {
+    std::lock_guard lock(mutex_);
+    return rng_.uniform(delta_ - eps_, delta_ + eps_);
+  }();
+  const TimePoint at =
+      SteadyClock::now() + std::chrono::duration_cast<SteadyClock::duration>(
+                               std::chrono::duration<double>(latency));
+  {
+    std::lock_guard lock(mutex_);
+    pending_.push({at, to, msg});
+  }
+  cv_.notify_all();
+}
+
+void Router::run() {
+  std::unique_lock lock(mutex_);
+  while (running_) {
+    if (pending_.empty()) {
+      cv_.wait(lock, [this] { return !running_ || !pending_.empty(); });
+      continue;
+    }
+    const TimePoint next = pending_.top().at;
+    if (SteadyClock::now() < next) {
+      cv_.wait_until(lock, next);
+      continue;
+    }
+    const Pending item = pending_.top();
+    pending_.pop();
+    lock.unlock();
+    {
+      const auto slot = static_cast<std::size_t>(item.to);
+      std::lock_guard inbox_lock(*inbox_mutexes_[slot]);
+      inboxes_[slot].push(item.msg);
+    }
+    inbox_cvs_[static_cast<std::size_t>(item.to)]->notify_all();
+    lock.lock();
+  }
+}
+
+bool Router::wait_message(std::int32_t id, TimePoint deadline, RtMessage& out) {
+  const auto slot = static_cast<std::size_t>(id);
+  std::unique_lock lock(*inbox_mutexes_[slot]);
+  if (!inbox_cvs_[slot]->wait_until(lock, deadline, [&] {
+        return !inboxes_[slot].empty();
+      })) {
+    return false;
+  }
+  out = inboxes_[slot].front();
+  inboxes_[slot].pop();
+  return true;
+}
+
+// ------------------------------------------------------------------ Node --
+
+/// Real-time Context: the algorithm's window onto the live world.  Must be
+/// used only from the node's own thread while it holds no inbox locks; the
+/// node mutex guards corr_ and timers_.
+class RtContext final : public proc::Context {
+ public:
+  explicit RtContext(Node& node) : node_(node) {}
+
+  [[nodiscard]] std::int32_t id() const override { return node_.id_; }
+  [[nodiscard]] std::int32_t process_count() const override { return node_.n_; }
+  [[nodiscard]] double physical_time() const override {
+    return node_.clock_.now();
+  }
+  [[nodiscard]] double local_time() const override {
+    return physical_time() + corr();
+  }
+  [[nodiscard]] double corr() const override {
+    std::lock_guard lock(node_.mutex_);
+    return node_.corr_;
+  }
+  void add_corr(double adj) override {
+    std::lock_guard lock(node_.mutex_);
+    node_.corr_ += adj;
+  }
+  void add_corr_amortized(double adj, double) override {
+    add_corr(adj);  // the runtime steps; slewing is a display concern
+  }
+  void broadcast(std::int32_t tag, double value, std::int32_t aux) override {
+    for (std::int32_t to = 0; to < node_.n_; ++to) send(to, tag, value, aux);
+  }
+  void send(std::int32_t to, std::int32_t tag, double value,
+            std::int32_t aux) override {
+    node_.router_.send(to, RtMessage{node_.id_, tag, value, aux});
+  }
+  void set_timer(double logical_time, std::int32_t tag) override {
+    double corr_now;
+    {
+      std::lock_guard lock(node_.mutex_);
+      corr_now = node_.corr_;
+    }
+    set_timer_physical(logical_time - corr_now, tag);
+  }
+  void set_timer_physical(double physical_time, std::int32_t tag) override {
+    const TimePoint at = node_.clock_.when(physical_time);
+    if (at <= SteadyClock::now()) return;  // Section 2.2: past timers vanish
+    std::lock_guard lock(node_.mutex_);
+    node_.timers_.emplace(at, tag);
+  }
+  void annotate(const proc::Annotation&) override {}
+
+ private:
+  Node& node_;
+};
+
+Node::Node(std::int32_t id, std::int32_t n, proc::ProcessPtr process,
+           DriftedClock clock, double initial_corr, double start_physical,
+           Router& router)
+    : id_(id),
+      n_(n),
+      process_(std::move(process)),
+      clock_(clock),
+      router_(router),
+      start_physical_(start_physical),
+      corr_(initial_corr) {}
+
+Node::~Node() { stop(); }
+
+void Node::start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Node::stop() {
+  running_.store(false);
+  if (thread_.joinable()) thread_.join();
+}
+
+double Node::local_time() const {
+  std::lock_guard lock(mutex_);
+  return clock_.now() + corr_;
+}
+
+void Node::run() {
+  RtContext ctx(*this);
+  // A4: START fires when the logical clock reads T0, i.e. when the physical
+  // clock reaches start_physical_.
+  std::this_thread::sleep_until(clock_.when(start_physical_));
+  process_->on_start(ctx);
+  while (running_.load()) {
+    TimePoint deadline = SteadyClock::now() + std::chrono::milliseconds(20);
+    {
+      std::lock_guard lock(mutex_);
+      if (!timers_.empty()) deadline = std::min(deadline, timers_.top().first);
+    }
+    RtMessage msg;
+    if (router_.wait_message(id_, deadline, msg)) {
+      process_->on_message(ctx,
+                           sim::make_app(msg.from, msg.tag, msg.value, msg.aux));
+      continue;
+    }
+    // Timeout: fire every timer whose deadline has passed.
+    for (;;) {
+      std::pair<TimePoint, std::int32_t> due;
+      {
+        std::lock_guard lock(mutex_);
+        if (timers_.empty() || timers_.top().first > SteadyClock::now()) break;
+        due = timers_.top();
+        timers_.pop();
+      }
+      process_->on_timer(ctx, due.second);
+    }
+  }
+}
+
+// --------------------------------------------------------------- Cluster --
+
+Cluster::Cluster(Config config) : config_(config) {
+  const core::Params& p = config_.params;
+  router_ = std::make_unique<Router>(p.n, p.delta, p.eps, config_.seed);
+  router_->start();
+  const TimePoint epoch = SteadyClock::now();
+  util::Rng rng(config_.seed);
+  for (std::int32_t id = 0; id < p.n; ++id) {
+    // Alternate fast/slow extreme rates, scaled.
+    const double rho = p.rho * config_.drift_scale;
+    const double rate = (id % 2 == 0) ? 1.0 + rho : 1.0 / (1.0 + rho);
+    DriftedClock clock(rng.uniform(0.0, 10.0), rate, epoch);
+    // START within beta of each other, with logical clocks at T0 (A4):
+    // node id wakes start_skew wall-seconds after a common lead-in.
+    const double start_skew = rng.uniform(0.0, 0.5 * p.beta);
+    const double lead_in = 0.05;  // let all threads spawn first
+    const double phys_at_start = clock.now() + rate * (lead_in + start_skew);
+    const double corr0 = p.T0 - phys_at_start;
+    core::WelchLynchConfig wl_config;
+    wl_config.params = p;
+    nodes_.push_back(std::make_unique<Node>(
+        id, p.n, std::make_unique<core::WelchLynchProcess>(wl_config), clock,
+        corr0, phys_at_start, *router_));
+  }
+  for (auto& node : nodes_) node->start();
+}
+
+Cluster::~Cluster() {
+  for (auto& node : nodes_) node->stop();
+  router_->stop();
+}
+
+double Cluster::run_and_measure(double duration, double warmup,
+                                double sample_every) {
+  const TimePoint start = SteadyClock::now();
+  const TimePoint warm = start + std::chrono::duration_cast<SteadyClock::duration>(
+                                     std::chrono::duration<double>(warmup));
+  const TimePoint end = start + std::chrono::duration_cast<SteadyClock::duration>(
+                                    std::chrono::duration<double>(duration));
+  double worst = 0.0;
+  while (SteadyClock::now() < end) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(sample_every));
+    if (SteadyClock::now() < warm) continue;
+    double lo = 1e300;
+    double hi = -1e300;
+    for (const auto& node : nodes_) {
+      const double local = node->local_time();
+      lo = std::min(lo, local);
+      hi = std::max(hi, local);
+    }
+    worst = std::max(worst, hi - lo);
+  }
+  return worst;
+}
+
+}  // namespace wlsync::rt

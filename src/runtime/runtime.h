@@ -1,0 +1,169 @@
+#pragma once
+// Real-thread runtime (Section 9.3).
+//
+// The paper's algorithm was implemented in 1986 on Suns over an Ethernet;
+// the hard part was "interacting with the operating system and the network,
+// and trying to satisfy the assumptions of the model".  This module
+// re-creates those conditions in-process: each node runs on its own OS
+// thread, physical clocks are steady_clock readings scaled by a per-node
+// drift factor, and a router thread delivers messages after a randomized
+// latency in [delta-eps, delta+eps] (OS scheduling jitter plays the role of
+// additional uncertainty, so eps should be chosen generously).
+//
+// Crucially the *same* core::WelchLynchProcess object used by the
+// deterministic simulator runs here, driven through a real-time Context —
+// the algorithm code is identical; only the world differs.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "core/welch_lynch.h"
+#include "proc/process.h"
+#include "util/rng.h"
+
+namespace wlsync::rt {
+
+using SteadyClock = std::chrono::steady_clock;
+using TimePoint = SteadyClock::time_point;
+
+/// Physical clock: reads offset + rate * (steady seconds since epoch).
+class DriftedClock {
+ public:
+  DriftedClock(double offset, double rate, TimePoint epoch)
+      : offset_(offset), rate_(rate), epoch_(epoch) {}
+
+  [[nodiscard]] double now() const {
+    const std::chrono::duration<double> elapsed = SteadyClock::now() - epoch_;
+    return offset_ + rate_ * elapsed.count();
+  }
+
+  /// Steady time point at which this clock will read `clock_time`.
+  [[nodiscard]] TimePoint when(double clock_time) const {
+    const double seconds = (clock_time - offset_) / rate_;
+    return epoch_ + std::chrono::duration_cast<SteadyClock::duration>(
+                        std::chrono::duration<double>(seconds));
+  }
+
+ private:
+  double offset_;
+  double rate_;
+  TimePoint epoch_;
+};
+
+struct RtMessage {
+  std::int32_t from = -1;
+  std::int32_t tag = 0;
+  double value = 0.0;
+  std::int32_t aux = 0;
+};
+
+class Cluster;
+
+/// Delivers messages to per-node inboxes after a randomized latency.
+class Router {
+ public:
+  Router(std::int32_t n, double delta, double eps, std::uint64_t seed);
+  ~Router();
+
+  void start();
+  void stop();
+  void send(std::int32_t to, RtMessage msg);
+
+  /// Blocks until a message for `id` arrives or `deadline` passes; returns
+  /// true and fills `out` on message, false on timeout.
+  bool wait_message(std::int32_t id, TimePoint deadline, RtMessage& out);
+
+ private:
+  struct Pending {
+    TimePoint at;
+    std::int32_t to;
+    RtMessage msg;
+    [[nodiscard]] bool operator>(const Pending& other) const {
+      return at > other.at;
+    }
+  };
+
+  void run();
+
+  double delta_, eps_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_;
+  std::vector<std::queue<RtMessage>> inboxes_;
+  std::vector<std::unique_ptr<std::condition_variable>> inbox_cvs_;
+  std::vector<std::unique_ptr<std::mutex>> inbox_mutexes_;
+  util::Rng rng_;
+  std::thread thread_;
+  bool running_ = false;
+};
+
+/// One node: a thread driving a proc::Process through a real-time Context.
+class Node {
+ public:
+  /// `start_physical` is the physical-clock reading at which on_start fires
+  /// (so the logical clock reads T0 exactly then, per A4).
+  Node(std::int32_t id, std::int32_t n, proc::ProcessPtr process,
+       DriftedClock clock, double initial_corr, double start_physical,
+       Router& router);
+  ~Node();
+
+  void start();
+  void stop();
+
+  /// Thread-safe observable local time (for skew probes).
+  [[nodiscard]] double local_time() const;
+  [[nodiscard]] std::int32_t id() const noexcept { return id_; }
+
+ private:
+  friend class RtContext;
+  void run();
+
+  std::int32_t id_;
+  std::int32_t n_;
+  proc::ProcessPtr process_;
+  DriftedClock clock_;
+  Router& router_;
+  double start_physical_;
+  mutable std::mutex mutex_;
+  double corr_;
+  // (deadline, tag) timer heap, guarded by mutex_.
+  std::priority_queue<std::pair<TimePoint, std::int32_t>,
+                      std::vector<std::pair<TimePoint, std::int32_t>>,
+                      std::greater<>>
+      timers_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+/// Assembles a live cluster of Welch-Lynch nodes and measures skew by
+/// polling the nodes' observable local times.
+class Cluster {
+ public:
+  struct Config {
+    core::Params params;
+    double drift_scale = 1.0;  ///< node i rate = 1 +- rho*drift_scale alternating
+    std::uint64_t seed = 1;
+  };
+
+  explicit Cluster(Config config);
+  ~Cluster();
+
+  /// Runs for `duration` wall seconds, sampling skew every `sample_every`;
+  /// returns the maximum skew observed after `warmup`.
+  [[nodiscard]] double run_and_measure(double duration, double warmup,
+                                       double sample_every);
+
+ private:
+  Config config_;
+  std::unique_ptr<Router> router_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace wlsync::rt

@@ -1,0 +1,78 @@
+#pragma once
+// Per-process history of the CORR variable (Section 3.2).
+//
+// CORR_p(t) is the value of p's correction variable at real time t; the
+// local time is L_p(t) = Ph_p(t) + CORR_p(t).  The simulator records every
+// change so that analysis code can evaluate L_p at arbitrary real times
+// after the fact, without instrumenting the algorithms.
+//
+// Two change shapes are supported:
+//   * steps  — the basic algorithm's CORR := CORR + ADJ;
+//   * ramps  — the Section 4.1 remark that a negative adjustment can be
+//     "stretched out over the resynchronization interval"; during a ramp the
+//     *displayed* correction moves linearly from the old to the new value
+//     while the *target* correction (used for timer arithmetic) is already
+//     the new value.
+
+#include <cassert>
+#include <vector>
+
+namespace wlsync::sim {
+
+class CorrLog {
+ public:
+  explicit CorrLog(double initial_corr) {
+    entries_.push_back({-1e300, initial_corr, initial_corr, 0.0});
+  }
+
+  /// Instantaneous change at real time t.
+  void step(double t, double new_corr) {
+    assert(t >= entries_.back().t);
+    entries_.push_back({t, new_corr, new_corr, 0.0});
+  }
+
+  /// Linear slew from the current displayed value to new_corr over
+  /// `duration` seconds starting at t.
+  void ramp(double t, double new_corr, double duration) {
+    assert(t >= entries_.back().t);
+    assert(duration > 0.0);
+    entries_.push_back({t, displayed_at(t), new_corr, duration});
+  }
+
+  /// Target correction at time t (what timer arithmetic uses).
+  [[nodiscard]] double target_at(double t) const { return find(t).target; }
+
+  /// Displayed correction at time t (what local-time probes see); differs
+  /// from target only inside a ramp window.
+  [[nodiscard]] double displayed_at(double t) const {
+    const Entry& e = find(t);
+    if (e.duration <= 0.0 || t >= e.t + e.duration) return e.target;
+    const double frac = (t - e.t) / e.duration;
+    return e.start + (e.target - e.start) * frac;
+  }
+
+  /// Latest target value (current CORR for the running process).
+  [[nodiscard]] double current_target() const { return entries_.back().target; }
+
+  [[nodiscard]] std::size_t changes() const noexcept { return entries_.size() - 1; }
+
+ private:
+  struct Entry {
+    double t;         ///< when the change began
+    double start;     ///< displayed value at the start of the change
+    double target;    ///< value after the change completes
+    double duration;  ///< 0 for steps
+  };
+
+  [[nodiscard]] const Entry& find(double t) const {
+    // Linear scan from the back: queries overwhelmingly target recent times.
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->t <= t) return *it;
+    }
+    return entries_.front();
+  }
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace wlsync::sim

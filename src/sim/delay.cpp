@@ -1,0 +1,23 @@
+#include "sim/delay.h"
+
+namespace wlsync::sim {
+
+std::unique_ptr<DelayModel> make_uniform_delay(double delta, double eps) {
+  return std::make_unique<UniformDelay>(delta, eps);
+}
+
+std::unique_ptr<DelayModel> make_extreme_delay(double delta, double eps, bool fast) {
+  return std::make_unique<ExtremeDelay>(delta, eps, fast);
+}
+
+std::unique_ptr<DelayModel> make_per_link_delay(double delta, double eps,
+                                                util::Rng rng) {
+  return std::make_unique<PerLinkDelay>(delta, eps, rng);
+}
+
+std::unique_ptr<DelayModel> make_split_delay(double delta, double eps,
+                                             std::int32_t pivot) {
+  return std::make_unique<SplitDelay>(delta, eps, pivot);
+}
+
+}  // namespace wlsync::sim

@@ -1,0 +1,102 @@
+#pragma once
+// Message-delay models (assumption A3: every delay lies in [delta-eps,
+// delta+eps]).
+//
+// The analysis of the paper is worst-case over all delay assignments within
+// the band, so we provide both benign (uniform) and extremal/adversarial
+// models; the network layer validates that every produced delay respects A3.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace wlsync::sim {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  /// Delay for a message from -> to sent at send_time.  Must lie in
+  /// [delta-eps, delta+eps]; `rng` is the model's private randomness.
+  [[nodiscard]] virtual double delay(std::int32_t from, std::int32_t to,
+                                     double send_time, util::Rng& rng) = 0;
+};
+
+/// Uniform in [delta-eps, delta+eps]; the benign default.
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(double delta, double eps) : delta_(delta), eps_(eps) {}
+  [[nodiscard]] double delay(std::int32_t, std::int32_t, double,
+                             util::Rng& rng) override {
+    return rng.uniform(delta_ - eps_, delta_ + eps_);
+  }
+
+ private:
+  double delta_, eps_;
+};
+
+/// Every message takes exactly delta + sign*eps.
+class ExtremeDelay final : public DelayModel {
+ public:
+  ExtremeDelay(double delta, double eps, bool fast)
+      : value_(fast ? delta - eps : delta + eps) {}
+  [[nodiscard]] double delay(std::int32_t, std::int32_t, double,
+                             util::Rng&) override {
+    return value_;
+  }
+
+ private:
+  double value_;
+};
+
+/// Each (from, to) link gets a fixed delay drawn once, uniform in the band.
+/// Models asymmetric routes; stresses the delta-assumption in AV = T + delta - ...
+class PerLinkDelay final : public DelayModel {
+ public:
+  PerLinkDelay(double delta, double eps, util::Rng rng)
+      : delta_(delta), eps_(eps), rng_(rng) {}
+  [[nodiscard]] double delay(std::int32_t from, std::int32_t to, double,
+                             util::Rng&) override {
+    const auto key = std::make_pair(from, to);
+    auto it = link_.find(key);
+    if (it == link_.end()) {
+      it = link_.emplace(key, rng_.uniform(delta_ - eps_, delta_ + eps_)).first;
+    }
+    return it->second;
+  }
+
+ private:
+  double delta_, eps_;
+  util::Rng rng_;
+  std::map<std::pair<std::int32_t, std::int32_t>, double> link_;
+};
+
+/// Splits recipients: low-id recipients always get the fastest legal delay,
+/// high-id recipients the slowest.  An adversarial assignment that maximally
+/// biases different processes' arrival-time estimates in opposite
+/// directions — the worst case Lemma 5 is proved against.
+class SplitDelay final : public DelayModel {
+ public:
+  SplitDelay(double delta, double eps, std::int32_t pivot)
+      : delta_(delta), eps_(eps), pivot_(pivot) {}
+  [[nodiscard]] double delay(std::int32_t, std::int32_t to, double,
+                             util::Rng&) override {
+    return to < pivot_ ? delta_ - eps_ : delta_ + eps_;
+  }
+
+ private:
+  double delta_, eps_;
+  std::int32_t pivot_;
+};
+
+[[nodiscard]] std::unique_ptr<DelayModel> make_uniform_delay(double delta, double eps);
+[[nodiscard]] std::unique_ptr<DelayModel> make_extreme_delay(double delta, double eps,
+                                                             bool fast);
+[[nodiscard]] std::unique_ptr<DelayModel> make_per_link_delay(double delta, double eps,
+                                                              util::Rng rng);
+[[nodiscard]] std::unique_ptr<DelayModel> make_split_delay(double delta, double eps,
+                                                           std::int32_t pivot);
+
+}  // namespace wlsync::sim

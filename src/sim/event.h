@@ -1,0 +1,66 @@
+#pragma once
+// Events and the execution-order relation of Section 2.3.
+//
+// The only event type in the model is receive(m, p).  Execution property 4
+// requires that TIMER messages arriving at real time t be ordered after any
+// non-TIMER messages for the same process arriving at t; we encode that as
+// an ordering tier.  Remaining ties break by insertion sequence, which makes
+// every execution of the engine deterministic.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace wlsync::sim {
+
+/// Internal engine routing for a popped event.
+enum class EngineKind : std::uint8_t {
+  kDeliver = 0,     ///< hand the message to the recipient process
+  kNicArrive = 1,   ///< message reaches the recipient's bounded NIC buffer
+  kNicService = 2,  ///< NIC hands the next buffered message to the process
+};
+
+struct Event {
+  double time = 0.0;
+  std::int32_t tier = 0;  ///< 0 = ordinary, 1 = TIMER (execution property 4)
+  std::uint64_t seq = 0;  ///< insertion order; final deterministic tiebreak
+  std::int32_t to = -1;
+  EngineKind engine_kind = EngineKind::kDeliver;
+  Message msg;
+};
+
+struct EventAfter {
+  [[nodiscard]] bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.tier != b.tier) return a.tier > b.tier;
+    return a.seq > b.seq;
+  }
+};
+
+/// Deterministic priority queue of pending events (the "message buffer" of
+/// Section 2.2, with delivery times attached at insertion).
+class EventQueue {
+ public:
+  void push(Event event) {
+    event.seq = next_seq_++;
+    queue_.push(event);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
+  [[nodiscard]] const Event& top() const { return queue_.top(); }
+
+  Event pop() {
+    Event event = queue_.top();
+    queue_.pop();
+    return event;
+  }
+
+ private:
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace wlsync::sim

@@ -1,0 +1,40 @@
+#pragma once
+// Messages of the Section 2 model.
+//
+// Interrupts are modelled uniformly as messages (Section 2.1): an ordinary
+// message carries text and the sender's name; START wakes a process up
+// initially; TIMER is delivered when the process' physical clock reaches a
+// designated value.  Our "text" is a fixed small payload (tag, value, aux),
+// which is all any algorithm in this repository needs; value typically
+// carries a clock time such as the round label T^i.
+
+#include <cstdint>
+
+namespace wlsync::sim {
+
+enum class Kind : std::uint8_t {
+  kStart = 0,  ///< initial system start-up
+  kTimer = 1,  ///< physical clock reached a designated value
+  kApp = 2,    ///< ordinary message from another process
+};
+
+struct Message {
+  Kind kind = Kind::kApp;
+  std::int32_t from = -1;  ///< sender id for kApp; -1 otherwise
+  std::int32_t tag = 0;    ///< app: message type; timer: timer tag
+  double value = 0.0;      ///< app payload (usually a clock time)
+  std::int32_t aux = 0;    ///< secondary payload (round index, sub-round, ...)
+};
+
+[[nodiscard]] inline Message make_start() { return {Kind::kStart, -1, 0, 0.0, 0}; }
+
+[[nodiscard]] inline Message make_timer(std::int32_t tag) {
+  return {Kind::kTimer, -1, tag, 0.0, 0};
+}
+
+[[nodiscard]] inline Message make_app(std::int32_t from, std::int32_t tag,
+                                      double value, std::int32_t aux = 0) {
+  return {Kind::kApp, from, tag, value, aux};
+}
+
+}  // namespace wlsync::sim

@@ -1,0 +1,277 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wlsync::sim {
+
+namespace {
+constexpr double kDelayTolerance = 1e-12;
+}
+
+/// Context implementation handed to processes during a step.  A single
+/// class serves both roles; the adversary-only entry points verify the
+/// process is registered faulty, so an honest process cannot use them even
+/// accidentally.
+class SimContext final : public proc::AdversaryContext {
+ public:
+  SimContext(Simulator& sim, std::int32_t pid, bool faulty)
+      : sim_(sim), pid_(pid), faulty_(faulty) {}
+
+  [[nodiscard]] std::int32_t id() const override { return pid_; }
+  [[nodiscard]] std::int32_t process_count() const override {
+    return sim_.process_count();
+  }
+  [[nodiscard]] double physical_time() const override {
+    return sim_.nodes_[sim_.idx(pid_)].clock->now(sim_.current_time_);
+  }
+  [[nodiscard]] double local_time() const override {
+    return physical_time() + corr();
+  }
+  [[nodiscard]] double corr() const override {
+    return sim_.nodes_[sim_.idx(pid_)].corr.current_target();
+  }
+  void add_corr(double adj) override { sim_.do_add_corr(pid_, adj, 0.0); }
+  void add_corr_amortized(double adj, double duration) override {
+    sim_.do_add_corr(pid_, adj, duration);
+  }
+  void broadcast(std::int32_t tag, double value, std::int32_t aux) override {
+    for (std::int32_t to = 0; to < sim_.process_count(); ++to) {
+      sim_.do_send(pid_, to, tag, value, aux);
+    }
+  }
+  void send(std::int32_t to, std::int32_t tag, double value,
+            std::int32_t aux) override {
+    sim_.do_send(pid_, to, tag, value, aux);
+  }
+  void set_timer(double logical_time, std::int32_t tag) override {
+    sim_.do_set_timer_logical(pid_, logical_time, tag);
+  }
+  void set_timer_physical(double physical_time, std::int32_t tag) override {
+    sim_.do_set_timer_physical(pid_, physical_time, tag);
+  }
+  void annotate(const proc::Annotation& annotation) override {
+    for (TraceSink* sink : sim_.sinks_) {
+      sink->on_annotation(pid_, sim_.current_time_, annotation);
+    }
+  }
+
+  // --- adversary-only powers ---
+  [[nodiscard]] double real_time() const override {
+    require_faulty();
+    return sim_.current_time_;
+  }
+  void set_timer_real(double real_time, std::int32_t tag) override {
+    require_faulty();
+    sim_.do_set_timer_real(pid_, real_time, tag);
+  }
+
+ private:
+  void require_faulty() const {
+    if (!faulty_) {
+      throw std::logic_error(
+          "adversary power used by a process not registered as faulty");
+    }
+  }
+
+  Simulator& sim_;
+  std::int32_t pid_;
+  bool faulty_;
+};
+
+Simulator::Simulator(SimConfig config, std::unique_ptr<DelayModel> delay)
+    : config_(config),
+      delay_(delay ? std::move(delay)
+                   : make_uniform_delay(config.delta, config.eps)),
+      rng_(config.seed) {
+  if (config_.eps < 0 || config_.delta < config_.eps) {
+    throw std::invalid_argument("Simulator: require delta >= eps >= 0 (A3)");
+  }
+}
+
+Simulator::~Simulator() = default;
+
+std::size_t Simulator::idx(std::int32_t id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) {
+    throw std::out_of_range("Simulator: bad process id");
+  }
+  return static_cast<std::size_t>(id);
+}
+
+std::int32_t Simulator::add_process(proc::ProcessPtr process,
+                                    std::unique_ptr<clk::PhysicalClock> clock,
+                                    double initial_corr, bool faulty,
+                                    double start_real_time) {
+  if (!process || !clock) throw std::invalid_argument("null process or clock");
+  Node node{std::move(process), std::move(clock), CorrLog(initial_corr), faulty,
+            Nic{}};
+  nodes_.push_back(std::move(node));
+  const auto id = static_cast<std::int32_t>(nodes_.size() - 1);
+  if (start_real_time >= 0.0) schedule_start(id, start_real_time);
+  return id;
+}
+
+void Simulator::schedule_start(std::int32_t id, double real_time) {
+  Event event;
+  event.time = real_time;
+  event.tier = 0;
+  event.to = id;
+  event.engine_kind = EngineKind::kDeliver;
+  event.msg = make_start();
+  queue_.push(event);
+}
+
+void Simulator::add_trace_sink(TraceSink* sink) {
+  if (sink != nullptr) sinks_.push_back(sink);
+}
+
+void Simulator::do_send(std::int32_t from, std::int32_t to, std::int32_t tag,
+                        double value, std::int32_t aux) {
+  (void)idx(to);  // validates the recipient id
+  const double delay = delay_->delay(from, to, current_time_, rng_);
+  if (delay < config_.delta - config_.eps - kDelayTolerance ||
+      delay > config_.delta + config_.eps + kDelayTolerance) {
+    throw std::logic_error("delay model produced a delay outside A3 bounds");
+  }
+  Event event;
+  event.time = current_time_ + delay;
+  event.tier = 0;
+  event.to = to;
+  event.engine_kind =
+      config_.nic.has_value() ? EngineKind::kNicArrive : EngineKind::kDeliver;
+  event.msg = make_app(from, tag, value, aux);
+  ++messages_sent_;
+  for (TraceSink* sink : sinks_) {
+    sink->on_send(from, to, event.msg, current_time_, event.time);
+  }
+  queue_.push(event);
+}
+
+void Simulator::do_set_timer_logical(std::int32_t pid, double logical_time,
+                                     std::int32_t tag) {
+  const Node& node = nodes_[idx(pid)];
+  // Section 4.2 set-timer(T): physical target is T - CORR for current CORR.
+  const double physical_target = logical_time - node.corr.current_target();
+  do_set_timer_physical(pid, physical_target, tag);
+}
+
+void Simulator::do_set_timer_physical(std::int32_t pid, double physical_time,
+                                      std::int32_t tag) {
+  const Node& node = nodes_[idx(pid)];
+  const double real = node.clock->to_real(physical_time);
+  do_set_timer_real(pid, real, tag);
+}
+
+void Simulator::do_set_timer_real(std::int32_t pid, double real_time,
+                                  std::int32_t tag) {
+  // Section 2.2: the TIMER is buffered only if its delivery time is in the
+  // future; otherwise nothing is placed in the buffer.
+  if (real_time <= current_time_) return;
+  Event event;
+  event.time = real_time;
+  event.tier = 1;  // execution property 4
+  event.to = pid;
+  event.engine_kind = EngineKind::kDeliver;
+  event.msg = make_timer(tag);
+  queue_.push(event);
+}
+
+void Simulator::do_add_corr(std::int32_t pid, double adj, double amortize_duration) {
+  Node& node = nodes_[idx(pid)];
+  const double old_target = node.corr.current_target();
+  const double new_target = old_target + adj;
+  if (amortize_duration > 0.0) {
+    node.corr.ramp(current_time_, new_target, amortize_duration);
+  } else {
+    node.corr.step(current_time_, new_target);
+  }
+  for (TraceSink* sink : sinks_) {
+    sink->on_corr_change(pid, current_time_, old_target, new_target);
+  }
+}
+
+void Simulator::deliver(std::int32_t pid, const Message& msg) {
+  Node& node = nodes_[idx(pid)];
+  for (TraceSink* sink : sinks_) sink->on_receive(pid, msg, current_time_);
+  SimContext ctx(*this, pid, node.faulty);
+  switch (msg.kind) {
+    case Kind::kStart:
+      node.process->on_start(ctx);
+      break;
+    case Kind::kTimer:
+      node.process->on_timer(ctx, msg.tag);
+      break;
+    case Kind::kApp:
+      node.process->on_message(ctx, msg);
+      break;
+  }
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  if (++events_processed_ > config_.max_events) {
+    throw std::runtime_error("Simulator: max_events exceeded (runaway execution?)");
+  }
+  const Event event = queue_.pop();
+  if (event.time < current_time_) {
+    throw std::logic_error("Simulator: event scheduled in the past");
+  }
+  current_time_ = event.time;
+  Node& node = nodes_[idx(event.to)];
+  switch (event.engine_kind) {
+    case EngineKind::kDeliver:
+      deliver(event.to, event.msg);
+      break;
+    case EngineKind::kNicArrive: {
+      Nic& nic = node.nic;
+      const NicConfig& cfg = *config_.nic;
+      if (nic.pending.size() >= cfg.capacity) {
+        // Section 9.3: "if too many arrive at once, the old ones are
+        // overwritten."
+        nic.pending.pop_front();
+        ++nic_dropped_;
+        for (TraceSink* sink : sinks_) sink->on_nic_drop(event.to, current_time_);
+      }
+      nic.pending.push_back(event.msg);
+      if (!nic.service_scheduled) {
+        Event service;
+        service.time = std::max(current_time_, nic.next_free);
+        service.tier = 0;
+        service.to = event.to;
+        service.engine_kind = EngineKind::kNicService;
+        queue_.push(service);
+        nic.service_scheduled = true;
+      }
+      break;
+    }
+    case EngineKind::kNicService: {
+      Nic& nic = node.nic;
+      nic.service_scheduled = false;
+      if (nic.pending.empty()) break;
+      const Message msg = nic.pending.front();
+      nic.pending.pop_front();
+      nic.next_free = current_time_ + config_.nic->service_time;
+      deliver(event.to, msg);
+      if (!nic.pending.empty()) {
+        Event service;
+        service.time = nic.next_free;
+        service.tier = 0;
+        service.to = event.to;
+        service.engine_kind = EngineKind::kNicService;
+        queue_.push(service);
+        nic.service_scheduled = true;
+      }
+      break;
+    }
+  }
+  return true;
+}
+
+void Simulator::run_until(double real_time) {
+  while (!queue_.empty() && queue_.top().time <= real_time) {
+    step();
+  }
+  if (real_time > current_time_) current_time_ = real_time;
+}
+
+}  // namespace wlsync::sim

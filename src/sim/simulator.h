@@ -1,0 +1,150 @@
+#pragma once
+// The execution engine of Section 2.3.
+//
+// A Simulator owns the processes, their physical clocks, the message buffer
+// (EventQueue) and the network delay model, and produces executions that
+// satisfy the six execution properties of the model:
+//   1/5. events fire exactly at their buffered delivery times, finitely many
+//        before any fixed time (the priority queue);
+//   2/3. configurations chain by construction (single-threaded dispatch);
+//   4.   TIMER messages at real time t are ordered after ordinary messages
+//        for the same time (ordering tier);
+//   6.   a step changes only the recipient's state and the buffer (processes
+//        only act through Context).
+//
+// Faulty processes (Byzantine, assumption A2) are registered as such and
+// receive an AdversaryContext; everyone else gets the model-legal Context.
+// An optional bounded NIC buffer per recipient reproduces the Section 9.3
+// Ethernet datagram behaviour ("if too many arrive at once, the old ones
+// are overwritten").
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "clock/physical_clock.h"
+#include "proc/process.h"
+#include "sim/corr_log.h"
+#include "sim/delay.h"
+#include "sim/event.h"
+#include "sim/trace.h"
+#include "util/rng.h"
+
+namespace wlsync::sim {
+
+/// Bounded receive buffer emulating the Section 9.3 datagram NIC.
+struct NicConfig {
+  std::size_t capacity = 8;     ///< pending messages held per recipient
+  double service_time = 50e-6;  ///< time to hand one message to the process
+};
+
+struct SimConfig {
+  double delta = 0.01;  ///< median message delay (A3)
+  double eps = 0.001;   ///< delay uncertainty (A3)
+  std::uint64_t seed = 1;
+  std::optional<NicConfig> nic;       ///< engaged only for Section 9.3 studies
+  std::uint64_t max_events = 50'000'000;  ///< runaway guard
+};
+
+class Simulator {
+ public:
+  /// `delay` may be null, in which case a UniformDelay(delta, eps) is used.
+  Simulator(SimConfig config, std::unique_ptr<DelayModel> delay);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Registers a process with its clock and initial CORR value.  If
+  /// start_real_time >= 0, a START message is buffered for that time
+  /// (assumption A4 wakes process p at real time c0_p(T0)).
+  /// Returns the process id.
+  std::int32_t add_process(proc::ProcessPtr process,
+                           std::unique_ptr<clk::PhysicalClock> clock,
+                           double initial_corr, bool faulty,
+                           double start_real_time);
+
+  /// Buffers a START for `id` at a later real time (reintegration wake-up).
+  void schedule_start(std::int32_t id, double real_time);
+
+  /// Attaches a passive observer (non-owning; must outlive the run).
+  void add_trace_sink(TraceSink* sink);
+
+  /// Runs all events with time <= real_time.
+  void run_until(double real_time);
+
+  /// Processes one event; returns false when the buffer is empty.
+  bool step();
+
+  [[nodiscard]] double current_time() const noexcept { return current_time_; }
+  [[nodiscard]] std::int32_t process_count() const noexcept {
+    return static_cast<std::int32_t>(nodes_.size());
+  }
+  [[nodiscard]] bool is_faulty(std::int32_t id) const { return nodes_[idx(id)].faulty; }
+  [[nodiscard]] const clk::PhysicalClock& clock(std::int32_t id) const {
+    return *nodes_[idx(id)].clock;
+  }
+  [[nodiscard]] const CorrLog& corr_log(std::int32_t id) const {
+    return nodes_[idx(id)].corr;
+  }
+  [[nodiscard]] proc::Process& process(std::int32_t id) {
+    return *nodes_[idx(id)].process;
+  }
+
+  /// L_p(t) = Ph_p(t) + CORR_p(t) with displayed (possibly slewing) CORR.
+  [[nodiscard]] double local_time(std::int32_t id, double real_time) const {
+    const Node& node = nodes_[idx(id)];
+    return node.clock->now(real_time) + node.corr.displayed_at(real_time);
+  }
+
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return events_processed_;
+  }
+  [[nodiscard]] std::uint64_t nic_dropped() const noexcept { return nic_dropped_; }
+  [[nodiscard]] double delta() const noexcept { return config_.delta; }
+  [[nodiscard]] double eps() const noexcept { return config_.eps; }
+
+ private:
+  friend class SimContext;
+
+  struct Nic {
+    std::deque<Message> pending;
+    double next_free = -1e300;
+    bool service_scheduled = false;
+  };
+
+  struct Node {
+    proc::ProcessPtr process;
+    std::unique_ptr<clk::PhysicalClock> clock;
+    CorrLog corr;
+    bool faulty = false;
+    Nic nic;
+  };
+
+  [[nodiscard]] std::size_t idx(std::int32_t id) const;
+
+  void do_send(std::int32_t from, std::int32_t to, std::int32_t tag, double value,
+               std::int32_t aux);
+  void do_set_timer_logical(std::int32_t pid, double logical_time, std::int32_t tag);
+  void do_set_timer_physical(std::int32_t pid, double physical_time,
+                             std::int32_t tag);
+  void do_set_timer_real(std::int32_t pid, double real_time, std::int32_t tag);
+  void do_add_corr(std::int32_t pid, double adj, double amortize_duration);
+  void deliver(std::int32_t pid, const Message& msg);
+
+  SimConfig config_;
+  std::unique_ptr<DelayModel> delay_;
+  util::Rng rng_;
+  EventQueue queue_;
+  std::vector<Node> nodes_;
+  std::vector<TraceSink*> sinks_;
+  double current_time_ = 0.0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t nic_dropped_ = 0;
+};
+
+}  // namespace wlsync::sim

@@ -1,0 +1,43 @@
+#pragma once
+// Observation hooks for executions (Section 2.3).
+//
+// Trace sinks receive every action of the execution plus algorithm-level
+// annotations.  Measurement is strictly passive: sinks cannot influence the
+// run, which keeps the executions the analysis sees identical to the
+// executions the theorems quantify over.
+
+#include <cstdint>
+
+#include "proc/context.h"
+#include "sim/event.h"
+#include "sim/message.h"
+
+namespace wlsync::sim {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// A message was accepted into the message buffer.
+  virtual void on_send(std::int32_t /*from*/, std::int32_t /*to*/,
+                       const Message& /*msg*/, double /*send_time*/,
+                       double /*deliver_time*/) {}
+
+  /// receive(m, p) occurred at real time `time`.
+  virtual void on_receive(std::int32_t /*pid*/, const Message& /*msg*/,
+                          double /*time*/) {}
+
+  /// Process `pid`'s CORR changed (step or ramp start) at real time `time`.
+  virtual void on_corr_change(std::int32_t /*pid*/, double /*time*/,
+                              double /*old_target*/, double /*new_target*/) {}
+
+  /// Algorithm-level annotation from process `pid` at real time `time`.
+  virtual void on_annotation(std::int32_t /*pid*/, double /*time*/,
+                             const proc::Annotation& /*annotation*/) {}
+
+  /// A NIC buffer overflowed and overwrote its oldest pending message
+  /// (Section 9.3 datagram loss).
+  virtual void on_nic_drop(std::int32_t /*pid*/, double /*time*/) {}
+};
+
+}  // namespace wlsync::sim

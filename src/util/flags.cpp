@@ -1,0 +1,51 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace wlsync::util {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) {
+      std::fprintf(stderr, "flags: ignoring positional argument '%s'\n", argv[i]);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      values_[std::string(arg)] = argv[++i];
+    } else {
+      values_[std::string(arg)] = "true";  // bare flag
+    }
+  }
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+std::string Flags::get_string(const std::string& name, std::string fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool Flags::has(const std::string& name) const { return values_.contains(name); }
+
+}  // namespace wlsync::util

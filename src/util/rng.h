@@ -1,0 +1,109 @@
+#pragma once
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component of the library (drift models, delay models,
+// adversaries, workload generators) draws from an Rng seeded explicitly, so
+// that any execution is exactly reproducible from its seed.  We implement
+// splitmix64 (for seeding / stream derivation) and xoshiro256** (the main
+// generator) rather than relying on std::mt19937, whose streams are not
+// guaranteed identical across standard-library implementations.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace wlsync::util {
+
+/// splitmix64 step: advances `state` and returns the next 64-bit output.
+/// Used to expand a single seed into generator state and derive substreams.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic PRNG.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator by expanding `seed` through splitmix64.
+  explicit constexpr Rng(std::uint64_t seed = 0) noexcept { reseed(seed); }
+
+  constexpr void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept {
+    // Unbiased via rejection (Lemire-style threshold omitted: simulation use).
+    const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with probability p.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Derives an independent child generator; `tag` separates substreams.
+  [[nodiscard]] Rng fork(std::uint64_t tag) noexcept {
+    std::uint64_t sm = (*this)() ^ (0xA24BAED4963EE407ULL + tag * 0x9E3779B97F4A7C15ULL);
+    Rng child(0);
+    for (auto& word : child.state_) word = splitmix64_next(sm);
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Stable 64-bit hash of a string, for deriving seeds from names (FNV-1a).
+[[nodiscard]] constexpr std::uint64_t hash_name(std::string_view name) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace wlsync::util

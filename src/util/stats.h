@@ -1,0 +1,59 @@
+#pragma once
+// Small statistics helpers used by the analysis and benchmark layers.
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace wlsync::util {
+
+/// Online accumulator for min / max / mean / variance (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` by linear interpolation.
+/// Copies and sorts internally; empty input returns NaN.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Least-squares line fit y = slope*x + intercept over paired samples.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination; 1.0 for a perfect fit.
+  double r2 = 0.0;
+};
+
+[[nodiscard]] LineFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Geometric-mean of successive ratios values[i+1]/values[i]; used to
+/// estimate per-round convergence factors (e.g., the paper's 1/2 halving).
+/// Entries where the denominator is below `floor` are skipped.
+[[nodiscard]] double mean_contraction(std::span<const double> values, double floor);
+
+}  // namespace wlsync::util

@@ -1,0 +1,35 @@
+#pragma once
+// Aligned ASCII table printing for the benchmark harness and examples.
+// Every experiment binary prints the rows/series the paper reports through
+// this printer, so output format is uniform across the repository.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wlsync::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; cells are pre-formatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header rule to `out`.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (general format).
+[[nodiscard]] std::string fmt(double value, int digits = 5);
+
+/// Formats a double in scientific notation with `digits` after the point.
+[[nodiscard]] std::string fmt_sci(double value, int digits = 3);
+
+}  // namespace wlsync::util

@@ -1,0 +1,155 @@
+// Adversary framework: honest processes cannot use Byzantine powers; each
+// adversary behaves per its contract.
+
+#include <gtest/gtest.h>
+
+#include "clock/drift.h"
+#include "proc/adversaries.h"
+#include "sim/simulator.h"
+
+namespace wlsync::proc {
+namespace {
+
+std::unique_ptr<clk::PhysicalClock> perfect_clock() {
+  return std::make_unique<clk::PhysicalClock>(clk::make_constant(1.0), 0.0,
+                                              1e-4);
+}
+
+/// An honest process that (incorrectly) tries to read real time.
+class Cheater : public Process {
+ public:
+  void on_start(Context& ctx) override {
+    (void)AdversaryContext::from(ctx).real_time();
+  }
+  void on_timer(Context&, std::int32_t) override {}
+  void on_message(Context&, const sim::Message&) override {}
+};
+
+TEST(AdversaryPowers, HonestProcessCannotUseThem) {
+  sim::SimConfig config;
+  sim::Simulator sim(config, nullptr);
+  sim.add_process(std::make_unique<Cheater>(), perfect_clock(), 0.0,
+                  /*faulty=*/false, 0.0);
+  EXPECT_THROW(sim.run_until(1.0), std::logic_error);
+}
+
+TEST(AdversaryPowers, FaultyProcessCanUseThem) {
+  sim::SimConfig config;
+  sim::Simulator sim(config, nullptr);
+  sim.add_process(std::make_unique<Cheater>(), perfect_clock(), 0.0,
+                  /*faulty=*/true, 0.0);
+  EXPECT_NO_THROW(sim.run_until(1.0));
+}
+
+/// Counts received messages.
+class Counter : public Process {
+ public:
+  void on_start(Context&) override {}
+  void on_timer(Context&, std::int32_t) override {}
+  void on_message(Context&, const sim::Message&) override { ++count; }
+  int count = 0;
+};
+
+TEST(SpamAdversary, FloodsRecipients) {
+  sim::SimConfig config;
+  sim::Simulator sim(config, nullptr);
+  SpamAdversary::Config spam;
+  spam.period = 0.01;
+  spam.burst = 5;
+  sim.add_process(std::make_unique<SpamAdversary>(spam), perfect_clock(), 0.0,
+                  true, 0.0);
+  sim.add_process(std::make_unique<Counter>(), perfect_clock(), 0.0, false,
+                  -1.0);
+  sim.run_until(1.0);
+  EXPECT_GT(sim.messages_sent(), 100u);
+}
+
+TEST(SilentAdversary, SendsNothing) {
+  sim::SimConfig config;
+  sim::Simulator sim(config, nullptr);
+  sim.add_process(std::make_unique<SilentAdversary>(), perfect_clock(), 0.0,
+                  true, 0.0);
+  sim.add_process(std::make_unique<Counter>(), perfect_clock(), 0.0, false,
+                  -1.0);
+  sim.run_until(1.0);
+  EXPECT_EQ(sim.messages_sent(), 0u);
+}
+
+/// Broadcasts one message on start and on every timer.
+class Beacon : public Process {
+ public:
+  void on_start(Context& ctx) override {
+    ctx.broadcast(/*tag=*/1, /*value=*/100.0, 0);
+  }
+  void on_timer(Context&, std::int32_t) override {}
+  void on_message(Context&, const sim::Message&) override {}
+};
+
+TEST(TwoFacedAdversary, PredictsNextRoundAndSendsTwoFaces) {
+  sim::SimConfig config;
+  config.delta = 0.01;
+  config.eps = 0.001;
+  sim::Simulator sim(config, nullptr);
+  TwoFacedAdversary::Config two_faced;
+  two_faced.pivot = 1;       // id 0 gets the early face
+  two_faced.honest_end = 3;  // ids 1, 2 get the late face
+  two_faced.tag = 1;
+  two_faced.P = 0.5;
+  two_faced.delta = config.delta;
+  two_faced.beta = 0.1;  // wide span so the two faces are clearly separated
+  // id 0, 1: counters; id 2: beacon (honest trigger); id 3: adversary.
+  sim.add_process(std::make_unique<Counter>(), perfect_clock(), 0.0, false, -1.0);
+  sim.add_process(std::make_unique<Counter>(), perfect_clock(), 0.0, false, -1.0);
+  sim.add_process(std::make_unique<Beacon>(), perfect_clock(), 0.0, false, 0.0);
+  sim.add_process(std::make_unique<TwoFacedAdversary>(two_faced),
+                  perfect_clock(), 0.0, true, 0.0);
+
+  // Beacon's broadcast reaches the adversary at ~0.01; it schedules the
+  // attack for the *predicted next round* at ~0.5: early face sent at
+  // ~0.5 + 0.1*0.1, late at ~0.5 + 0.9*0.1.
+  auto& early = dynamic_cast<Counter&>(sim.process(0));
+  auto& late = dynamic_cast<Counter&>(sim.process(1));
+  sim.run_until(0.05);
+  EXPECT_EQ(early.count, 1);  // beacon only, attack still pending
+  EXPECT_EQ(late.count, 1);
+  sim.run_until(0.55);
+  EXPECT_EQ(early.count, 2);  // early face landed
+  EXPECT_EQ(late.count, 1);   // late face still pending
+  sim.run_until(0.75);
+  EXPECT_EQ(late.count, 2);   // late face landed
+  EXPECT_EQ(early.count, 2);  // and only the chosen group got each face
+}
+
+TEST(CrashAdversary, StopsAtCrashTime) {
+  sim::SimConfig config;
+  sim::Simulator sim(config, nullptr);
+
+  /// Inner process that broadcasts on every timer tick.
+  class Ticker : public Process {
+   public:
+    void on_start(Context& ctx) override {
+      ctx.set_timer(ctx.local_time() + 0.1, 1);
+    }
+    void on_timer(Context& ctx, std::int32_t) override {
+      ctx.broadcast(0, 0.0, 0);
+      ctx.set_timer(ctx.local_time() + 0.1, 1);
+    }
+    void on_message(Context&, const sim::Message&) override {}
+  };
+
+  sim.add_process(
+      std::make_unique<CrashAdversary>(std::make_unique<Ticker>(), 0.55),
+      perfect_clock(), 0.0, true, 0.0);
+  sim.add_process(std::make_unique<Counter>(), perfect_clock(), 0.0, false,
+                  -1.0);
+  sim.run_until(2.0);
+  auto& counter = dynamic_cast<Counter&>(sim.process(1));
+  // Ticks at 0.1..0.5 broadcast (5 messages to each of 2 recipients); the
+  // 0.6 tick is past the crash.
+  EXPECT_EQ(counter.count, 5);
+  EXPECT_TRUE(
+      dynamic_cast<CrashAdversary&>(sim.process(0)).crashed());
+}
+
+}  // namespace
+}  // namespace wlsync::proc

@@ -1,0 +1,161 @@
+// Drift models and PhysicalClock: rho-boundedness (A1), exact inverses,
+// lazy extension, and validation.
+
+#include <gtest/gtest.h>
+
+#include "clock/drift.h"
+#include "clock/physical_clock.h"
+#include "util/rng.h"
+
+namespace wlsync::clk {
+namespace {
+
+constexpr double kRho = 1e-4;
+
+class DriftModels : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DriftModels, AllModelsStayRhoBounded) {
+  const std::uint64_t seed = GetParam();
+  std::vector<std::unique_ptr<DriftModel>> models;
+  models.push_back(make_constant(1.0));
+  models.push_back(make_constant(1.0 + kRho));
+  models.push_back(make_piecewise_uniform(kRho, 0.5, util::Rng(seed)));
+  models.push_back(make_random_walk(kRho, 0.5, kRho / 4, util::Rng(seed)));
+  models.push_back(make_extremal(kRho, 0.5, seed % 2 == 0));
+  for (auto& model : models) {
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      const DriftSegment segment = model->segment(i);
+      EXPECT_GT(segment.duration, 0.0);
+      EXPECT_GE(segment.rate, 1.0 / (1.0 + kRho) - 1e-12);
+      EXPECT_LE(segment.rate, 1.0 + kRho + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DriftModels, ::testing::Values(1, 2, 3, 42, 99));
+
+TEST(PhysicalClock, ConstantRateIsLinear) {
+  PhysicalClock clock(make_constant(1.0), /*offset=*/5.0, kRho);
+  EXPECT_DOUBLE_EQ(clock.now(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(clock.now(10.0), 15.0);
+  EXPECT_DOUBLE_EQ(clock.to_real(15.0), 10.0);
+}
+
+TEST(PhysicalClock, RejectsOutOfBandRate) {
+  EXPECT_THROW(PhysicalClock(make_constant(1.5), 0.0, kRho),
+               std::invalid_argument);
+  EXPECT_THROW(PhysicalClock(make_constant(0.5), 0.0, kRho),
+               std::invalid_argument);
+  EXPECT_THROW(PhysicalClock(nullptr, 0.0, kRho), std::invalid_argument);
+}
+
+class ClockRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClockRoundTrip, InverseIsExact) {
+  const std::uint64_t seed = GetParam();
+  PhysicalClock clock(make_piecewise_uniform(kRho, 0.25, util::Rng(seed)),
+                      /*offset=*/seed % 17 * 1.0, kRho);
+  util::Rng rng(seed ^ 0xABC);
+  for (int i = 0; i < 500; ++i) {
+    const double t = rng.uniform(0.0, 100.0);
+    const double clock_time = clock.now(t);
+    EXPECT_NEAR(clock.to_real(clock_time), t, 1e-9);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const double clock_time = clock.offset() + rng.uniform(0.0, 100.0);
+    EXPECT_NEAR(clock.now(clock.to_real(clock_time)), clock_time, 1e-9);
+  }
+}
+
+TEST_P(ClockRoundTrip, StrictlyMonotone) {
+  const std::uint64_t seed = GetParam();
+  PhysicalClock clock(make_random_walk(kRho, 0.25, kRho / 3, util::Rng(seed)),
+                      0.0, kRho);
+  double prev = clock.now(0.0);
+  for (double t = 0.01; t < 50.0; t += 0.371) {
+    const double current = clock.now(t);
+    EXPECT_GT(current, prev);
+    prev = current;
+  }
+}
+
+// Lemma 1: (t2-t1)/(1+rho) <= C(t2)-C(t1) <= (1+rho)(t2-t1).
+TEST_P(ClockRoundTrip, Lemma1ElapsedTimeBounds) {
+  const std::uint64_t seed = GetParam();
+  PhysicalClock clock(make_piecewise_uniform(kRho, 0.4, util::Rng(seed)), 3.0,
+                      kRho);
+  util::Rng rng(seed * 31);
+  for (int i = 0; i < 300; ++i) {
+    const double t1 = rng.uniform(0.0, 50.0);
+    const double t2 = t1 + rng.uniform(0.0, 20.0);
+    const double elapsed = clock.now(t2) - clock.now(t1);
+    EXPECT_GE(elapsed, (t2 - t1) / (1.0 + kRho) - 1e-9);
+    EXPECT_LE(elapsed, (t2 - t1) * (1.0 + kRho) + 1e-9);
+  }
+}
+
+// Lemma 2(a): |(C(t2)-t2) - (C(t1)-t1)| <= rho |t2-t1|.
+TEST_P(ClockRoundTrip, Lemma2DriftFromRealTime) {
+  const std::uint64_t seed = GetParam();
+  PhysicalClock clock(make_random_walk(kRho, 0.3, kRho / 4, util::Rng(seed)),
+                      0.0, kRho);
+  util::Rng rng(seed * 17);
+  for (int i = 0; i < 300; ++i) {
+    const double t1 = rng.uniform(0.0, 40.0);
+    const double t2 = rng.uniform(0.0, 40.0);
+    const double lhs =
+        std::abs((clock.now(t2) - t2) - (clock.now(t1) - t1));
+    EXPECT_LE(lhs, kRho * std::abs(t2 - t1) + 1e-9);
+  }
+}
+
+// Lemma 2(b): |(C(t2)-D(t2)) - (C(t1)-D(t1))| <= 2 rho |t2-t1|.
+TEST_P(ClockRoundTrip, Lemma2TwoClockDivergenceRate) {
+  const std::uint64_t seed = GetParam();
+  PhysicalClock c(make_extremal(kRho, 0.5, true), 0.0, kRho);
+  PhysicalClock d(make_extremal(kRho, 0.5, false), 7.0, kRho);
+  util::Rng rng(seed * 13);
+  for (int i = 0; i < 300; ++i) {
+    const double t1 = rng.uniform(0.0, 40.0);
+    const double t2 = rng.uniform(0.0, 40.0);
+    const double lhs = std::abs((c.now(t2) - d.now(t2)) - (c.now(t1) - d.now(t1)));
+    EXPECT_LE(lhs, 2.0 * kRho * std::abs(t2 - t1) + 1e-9);
+  }
+}
+
+// Lemma 3: if the inverse clocks stay within alpha on [T1, T2], the forward
+// clocks stay within (1+rho) alpha on the corresponding real interval.
+TEST_P(ClockRoundTrip, Lemma3InverseBoundTransfers) {
+  const std::uint64_t seed = GetParam();
+  PhysicalClock c(make_piecewise_uniform(kRho, 0.5, util::Rng(seed)), 0.0, kRho);
+  PhysicalClock d(make_piecewise_uniform(kRho, 0.5, util::Rng(seed + 1)), 0.2,
+                  kRho);
+  const double T1 = 1.0, T2 = 30.0;
+  double alpha = 0.0;
+  for (double T = T1; T <= T2; T += 0.1) {
+    alpha = std::max(alpha, std::abs(c.to_real(T) - d.to_real(T)));
+  }
+  const double t1 = std::min(c.to_real(T1), d.to_real(T1));
+  const double t2 = std::max(c.to_real(T2), d.to_real(T2));
+  for (double t = t1; t <= t2; t += 0.1) {
+    EXPECT_LE(std::abs(c.now(t) - d.now(t)), (1.0 + kRho) * alpha + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClockRoundTrip,
+                         ::testing::Values(1, 7, 21, 1234, 987654));
+
+TEST(PhysicalClock, LazyExtensionIsConsistent) {
+  // Querying far ahead first, then in between, must give identical answers
+  // to querying in order (the function is a fixed object, extended lazily).
+  PhysicalClock a(make_piecewise_uniform(kRho, 0.5, util::Rng(5)), 0.0, kRho);
+  PhysicalClock b(make_piecewise_uniform(kRho, 0.5, util::Rng(5)), 0.0, kRho);
+  const double far = a.now(500.0);
+  for (double t = 0.0; t <= 500.0; t += 7.3) {
+    EXPECT_DOUBLE_EQ(a.now(t), b.now(t));
+  }
+  EXPECT_DOUBLE_EQ(far, b.now(500.0));
+}
+
+}  // namespace
+}  // namespace wlsync::clk

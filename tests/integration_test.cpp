@@ -1,0 +1,104 @@
+// Cross-module integration: full lifecycles combining start-up, maintenance,
+// faults, and reintegration, plus determinism of the whole pipeline.
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+
+namespace wlsync::analysis {
+namespace {
+
+core::Params standard(std::int32_t n, std::int32_t f) {
+  return core::make_params(n, f, 1e-5, 0.01, 1e-3, 10.0);
+}
+
+TEST(Integration, ColdStartToMaintenanceUnderFaults) {
+  StartupSpec spec;
+  spec.params = standard(7, 2);
+  spec.rounds = 12;
+  spec.handoff = true;
+  spec.initial_clock_spread = 3.0;
+  spec.fault = FaultKind::kSilent;
+  spec.fault_count = 2;
+  spec.seed = 11;
+  const StartupResult result = run_startup(spec);
+  EXPECT_TRUE(result.handoff_done);
+  const core::Derived d = core::derive(spec.params);
+  EXPECT_LE(result.post_handoff_skew, d.gamma * (1 + 1e-9));
+}
+
+TEST(Integration, CrashRejoinWithConcurrentByzantineLoad) {
+  // Seven processes: one crash/rejoin victim plus six healthy — the victim
+  // occupies the f = 2 budget along with message-delay adversity.
+  ReintegrationSpec spec;
+  spec.params = standard(7, 2);
+  spec.crash_at = 15.0;
+  spec.wake_at = 80.0;
+  spec.rounds = 18;
+  spec.delay = DelayKind::kPerLink;
+  spec.drift = DriftKind::kRandomWalk;
+  spec.seed = 12;
+  const ReintegrationResult result = run_reintegration(spec);
+  ASSERT_TRUE(result.rejoined);
+  EXPECT_LE(result.spread_with_joiner, result.beta * (1 + 1e-9));
+  EXPECT_LE(result.skew_after, result.gamma_bound * (1 + 1e-9));
+}
+
+TEST(Integration, WholePipelineIsDeterministic) {
+  auto fingerprint = [] {
+    RunSpec spec;
+    spec.params = standard(7, 2);
+    spec.fault = FaultKind::kTwoFaced;
+    spec.fault_count = 2;
+    spec.delay = DelayKind::kPerLink;
+    spec.drift = DriftKind::kPiecewise;
+    spec.rounds = 10;
+    spec.seed = 13;
+    const RunResult result = run_experiment(spec);
+    return std::make_tuple(result.gamma_measured, result.max_abs_adj,
+                           result.final_skew, result.messages);
+  };
+  EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+TEST(Integration, SeedsActuallyMatter) {
+  auto gamma_for = [](std::uint64_t seed) {
+    RunSpec spec;
+    spec.params = standard(4, 1);
+    spec.rounds = 8;
+    spec.seed = seed;
+    return run_experiment(spec).gamma_measured;
+  };
+  EXPECT_NE(gamma_for(1), gamma_for(2));
+}
+
+TEST(Integration, LongRunFortyRoundsStable) {
+  RunSpec spec;
+  spec.params = standard(7, 2);
+  spec.fault = FaultKind::kTwoFaced;
+  spec.fault_count = 2;
+  spec.rounds = 40;
+  spec.seed = 14;
+  const RunResult result = run_experiment(spec);
+  ASSERT_FALSE(result.diverged);
+  ASSERT_GE(result.completed_rounds, 40);
+  EXPECT_LE(result.gamma_measured, result.gamma_bound * (1 + 1e-9));
+  EXPECT_TRUE(result.validity.holds);
+}
+
+TEST(Integration, MixedDriftModelsAcrossProcessesStaySynchronized) {
+  // Random-walk drift exercises different per-process rate paths.
+  RunSpec spec;
+  spec.params = standard(10, 3);
+  spec.drift = DriftKind::kRandomWalk;
+  spec.fault = FaultKind::kSpam;
+  spec.fault_count = 3;
+  spec.rounds = 15;
+  spec.seed = 15;
+  const RunResult result = run_experiment(spec);
+  ASSERT_FALSE(result.diverged);
+  EXPECT_LE(result.gamma_measured, result.gamma_bound * (1 + 1e-9));
+}
+
+}  // namespace
+}  // namespace wlsync::analysis

@@ -1,0 +1,83 @@
+// Heterogeneous failure mixes: the f-fault budget can be spent on any
+// combination of behaviours (A2 places no constraint on *how* the faulty
+// processes misbehave).  Theorem 4/16/19 must hold for every mixture.
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+
+namespace wlsync::analysis {
+namespace {
+
+struct MixCase {
+  std::uint64_t seed;
+  std::vector<RunSpec::FaultSpec> mix;
+};
+
+class MixedFaults : public ::testing::TestWithParam<MixCase> {};
+
+TEST_P(MixedFaults, AllGuaranteesHold) {
+  const MixCase& c = GetParam();
+  RunSpec spec;
+  std::int32_t f = 0;
+  for (const auto& entry : c.mix) f += entry.count;
+  spec.params = core::make_params(3 * f + 1, f, 1e-5, 0.01, 1e-3, 10.0);
+  spec.fault_mix = c.mix;
+  spec.rounds = 14;
+  spec.seed = c.seed;
+  const RunResult result = run_experiment(spec);
+  ASSERT_FALSE(result.diverged);
+  EXPECT_LE(result.gamma_measured, result.gamma_bound * (1 + 1e-9));
+  EXPECT_LE(result.max_abs_adj, result.adj_bound * (1 + 1e-9));
+  for (double spread : result.begin_spread) {
+    EXPECT_LE(spread, spec.params.beta * (1 + 1e-9));
+  }
+  EXPECT_TRUE(result.validity.holds);
+}
+
+std::vector<MixCase> mix_cases() {
+  using FS = RunSpec::FaultSpec;
+  std::vector<MixCase> cases;
+  std::uint64_t seed = 100;
+  // f = 2 mixes.
+  cases.push_back({seed++, {FS{FaultKind::kSilent, 1}, FS{FaultKind::kTwoFaced, 1}}});
+  cases.push_back({seed++, {FS{FaultKind::kSpam, 1}, FS{FaultKind::kTwoFaced, 1}}});
+  cases.push_back({seed++, {FS{FaultKind::kLiar, 1}, FS{FaultKind::kSilent, 1}}});
+  // f = 3 mixes.
+  cases.push_back({seed++,
+                   {FS{FaultKind::kSilent, 1}, FS{FaultKind::kSpam, 1},
+                    FS{FaultKind::kTwoFaced, 1}}});
+  cases.push_back({seed++,
+                   {FS{FaultKind::kLiar, 1}, FS{FaultKind::kTwoFaced, 2}}});
+  // f = 4, everything at once.
+  cases.push_back({seed++,
+                   {FS{FaultKind::kSilent, 1}, FS{FaultKind::kSpam, 1},
+                    FS{FaultKind::kTwoFaced, 1}, FS{FaultKind::kLiar, 1}}});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, MixedFaults, ::testing::ValuesIn(mix_cases()));
+
+TEST(MixedFaults, MixOverridesHomogeneousFields) {
+  RunSpec spec;
+  spec.params = core::make_params(7, 2, 1e-5, 0.01, 1e-3, 10.0);
+  spec.fault = FaultKind::kTwoFaced;  // would be 2 splitters...
+  spec.fault_count = 2;
+  spec.fault_mix = {RunSpec::FaultSpec{FaultKind::kSilent, 1}};  // ...but mix wins
+  spec.rounds = 8;
+  spec.seed = 1;
+  const RunResult result = run_experiment(spec);
+  // Only one faulty process: 6 honest remain.
+  EXPECT_EQ(result.honest.size(), 6u);
+  EXPECT_FALSE(result.diverged);
+}
+
+TEST(MixedFaults, RejectsAllFaulty) {
+  RunSpec spec;
+  spec.params = core::make_params(4, 1, 1e-5, 0.01, 1e-3, 10.0);
+  spec.fault_mix = {RunSpec::FaultSpec{FaultKind::kSilent, 4}};
+  EXPECT_THROW((void)Experiment{spec}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wlsync::analysis

@@ -1,0 +1,148 @@
+// The Appendix lemmas (21-24) as executable properties over random
+// multisets.  These are the facts that make mid(reduce(.)) halve the clock
+// separation each round, so we test them directly and exhaustively.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "multiset/multiset_ops.h"
+#include "util/rng.h"
+
+namespace wlsync::ms {
+namespace {
+
+struct LemmaCase {
+  std::uint64_t seed;
+  std::size_t n;
+  std::size_t f;
+};
+
+class MultisetLemmas : public ::testing::TestWithParam<LemmaCase> {};
+
+/// Builds W (the "nonfaulty" values) with |W| = n - f, then U and V of size
+/// n whose x-distance from W is zero: each contains all of W perturbed by
+/// at most x, plus f arbitrary (Byzantine) values.
+struct Instance {
+  Multiset w, u, v;
+  double x;
+};
+
+Instance make_instance(const LemmaCase& c) {
+  util::Rng rng(c.seed);
+  Instance inst;
+  inst.x = rng.uniform(0.0, 0.5);
+  const std::size_t honest = c.n - c.f;
+  for (std::size_t i = 0; i < honest; ++i) {
+    inst.w.push_back(rng.uniform(-10.0, 10.0));
+  }
+  auto perturbed = [&](double w_val) {
+    return w_val + rng.uniform(-inst.x, inst.x);
+  };
+  for (double w_val : inst.w) {
+    inst.u.push_back(perturbed(w_val));
+    inst.v.push_back(perturbed(w_val));
+  }
+  for (std::size_t i = 0; i < c.f; ++i) {
+    inst.u.push_back(rng.uniform(-1e6, 1e6));  // Byzantine garbage
+    inst.v.push_back(rng.uniform(-1e6, 1e6));
+  }
+  return inst;
+}
+
+TEST_P(MultisetLemmas, ConstructionHasZeroDistance) {
+  const Instance inst = make_instance(GetParam());
+  EXPECT_EQ(x_distance(inst.w, inst.u, inst.x * (1 + 1e-12)), 0u);
+  EXPECT_EQ(x_distance(inst.w, inst.v, inst.x * (1 + 1e-12)), 0u);
+}
+
+// Lemma 21: max(reduce(U)) <= max(W) + x and min(reduce(U)) >= min(W) - x.
+TEST_P(MultisetLemmas, Lemma21ReduceBoundedByWitness) {
+  const LemmaCase c = GetParam();
+  const Instance inst = make_instance(c);
+  const Multiset kept = reduce(inst.u, c.f);
+  const double x = inst.x * (1 + 1e-12) + 1e-12;
+  EXPECT_LE(max_of(kept), max_of(inst.w) + x);
+  EXPECT_GE(min_of(kept), min_of(inst.w) - x);
+}
+
+// Lemma 22: removing the largest (or smallest) element from both multisets
+// does not increase the x-distance.
+TEST_P(MultisetLemmas, Lemma22DropPreservesDistance) {
+  const LemmaCase c = GetParam();
+  util::Rng rng(c.seed ^ 0xD00D);
+  Multiset u, v;
+  for (std::size_t i = 0; i < c.n; ++i) {
+    u.push_back(rng.uniform(-5.0, 5.0));
+    v.push_back(rng.uniform(-5.0, 5.0));
+  }
+  for (double x : {0.0, 0.1, 1.0, 3.0}) {
+    const std::size_t base = x_distance(u, v, x);
+    EXPECT_LE(x_distance(drop_max(u), drop_max(v), x), base);
+    EXPECT_LE(x_distance(drop_min(u), drop_min(v), x), base);
+  }
+}
+
+// Lemma 23: min(reduce(U)) - max(reduce(V)) <= 2x.
+TEST_P(MultisetLemmas, Lemma23ReducedRangesOverlapWithin2x) {
+  const LemmaCase c = GetParam();
+  const Instance inst = make_instance(c);
+  const double x = inst.x * (1 + 1e-12) + 1e-12;
+  const Multiset ru = reduce(inst.u, c.f);
+  const Multiset rv = reduce(inst.v, c.f);
+  EXPECT_LE(min_of(ru) - max_of(rv), 2 * x);
+  EXPECT_LE(min_of(rv) - max_of(ru), 2 * x);
+}
+
+// Lemma 24: |mid(reduce(U)) - mid(reduce(V))| <= diam(W)/2 + 2x.
+// This is the halving property: diam(W) is the honest spread (beta), and the
+// midpoints land within half of it plus the 2x noise term.
+TEST_P(MultisetLemmas, Lemma24MidpointsWithinHalfDiamPlus2x) {
+  const LemmaCase c = GetParam();
+  const Instance inst = make_instance(c);
+  const double x = inst.x * (1 + 1e-12) + 1e-12;
+  const double lhs = std::abs(fault_tolerant_midpoint(inst.u, c.f) -
+                              fault_tolerant_midpoint(inst.v, c.f));
+  EXPECT_LE(lhs, 0.5 * diam(inst.w) + 2 * x + 1e-9)
+      << "n=" << c.n << " f=" << c.f << " seed=" << c.seed;
+}
+
+std::vector<LemmaCase> lemma_cases() {
+  std::vector<LemmaCase> cases;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    for (const auto& [n, f] : std::vector<std::pair<std::size_t, std::size_t>>{
+             {4, 1}, {7, 2}, {10, 3}, {13, 4}, {16, 5}, {5, 1}, {9, 2}}) {
+      cases.push_back({seed * 7919, n, f});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, MultisetLemmas,
+                         ::testing::ValuesIn(lemma_cases()));
+
+// Section 7: using the mean, the convergence rate is ~ f/(n-2f).  With
+// Byzantine values *inside* the honest range (worst case for the mean), the
+// distance between two reduced means is at most
+// (f/(n-2f)) * (diam(W) + 2x) + 2x, mirroring [DLPSW1].
+TEST(MeanVariant, ConvergenceRateScalesWithNf) {
+  util::Rng rng(404);
+  const std::size_t n = 16, f = 2;
+  for (int trial = 0; trial < 50; ++trial) {
+    Multiset w;
+    for (std::size_t i = 0; i + f < n; ++i) w.push_back(rng.uniform(0.0, 1.0));
+    Multiset u(w), v(w);
+    for (std::size_t i = 0; i < f; ++i) {
+      u.push_back(rng.uniform(0.0, 1.0));
+      v.push_back(rng.uniform(0.0, 1.0));
+    }
+    const double gap =
+        std::abs(fault_tolerant_mean(u, f) - fault_tolerant_mean(v, f));
+    const double rate =
+        static_cast<double>(f) / static_cast<double>(n - 2 * f);
+    EXPECT_LE(gap, rate * diam(w) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace wlsync::ms

@@ -1,0 +1,127 @@
+// Unit tests for the Appendix multiset operations.
+
+#include <gtest/gtest.h>
+
+#include "multiset/multiset_ops.h"
+
+namespace wlsync::ms {
+namespace {
+
+TEST(MultisetOps, MinMaxMidDiam) {
+  const Multiset u{3.0, -1.0, 4.0, 1.5};
+  EXPECT_DOUBLE_EQ(max_of(u), 4.0);
+  EXPECT_DOUBLE_EQ(min_of(u), -1.0);
+  EXPECT_DOUBLE_EQ(diam(u), 5.0);
+  EXPECT_DOUBLE_EQ(mid(u), 1.5);
+}
+
+TEST(MultisetOps, MidOfSingleton) {
+  const Multiset u{7.0};
+  EXPECT_DOUBLE_EQ(mid(u), 7.0);
+  EXPECT_DOUBLE_EQ(diam(u), 0.0);
+}
+
+TEST(MultisetOps, MeanBasic) {
+  const Multiset u{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(u), 2.0);
+}
+
+TEST(MultisetOps, ReduceRemovesExtremes) {
+  const Multiset u{10.0, 1.0, 5.0, 7.0, 3.0};
+  const Multiset kept = reduce(u, 1);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_DOUBLE_EQ(kept.front(), 3.0);
+  EXPECT_DOUBLE_EQ(kept.back(), 7.0);
+}
+
+TEST(MultisetOps, ReduceZeroFaultsIsIdentityAsMultiset) {
+  const Multiset u{2.0, 1.0, 2.0};
+  const Multiset kept = reduce(u, 0);
+  EXPECT_EQ(kept.size(), 3u);
+}
+
+TEST(MultisetOps, ReduceHandlesDuplicateExtremes) {
+  // Duplicates: reduce removes only f occurrences from each end.
+  const Multiset u{1.0, 1.0, 5.0, 9.0, 9.0};
+  const Multiset kept = reduce(u, 1);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_DOUBLE_EQ(kept.front(), 1.0);
+  EXPECT_DOUBLE_EQ(kept.back(), 9.0);
+}
+
+TEST(MultisetOps, FaultTolerantMidpointIgnoresOutliers) {
+  // One absurd value must not move the result beyond the honest range.
+  const Multiset u{0.0, 0.1, 0.2, 1e9};
+  const double av = fault_tolerant_midpoint(u, 1);
+  EXPECT_GE(av, 0.0);
+  EXPECT_LE(av, 0.2);
+}
+
+TEST(MultisetOps, FaultTolerantMeanIgnoresOutliers) {
+  const Multiset u{0.0, 0.1, 0.2, -1e9};
+  const double av = fault_tolerant_mean(u, 1);
+  EXPECT_GE(av, 0.0);
+  EXPECT_LE(av, 0.2);
+}
+
+TEST(MultisetOps, DropMinMaxRemoveOneOccurrence) {
+  const Multiset u{1.0, 1.0, 2.0};
+  EXPECT_EQ(drop_min(u).size(), 2u);
+  EXPECT_DOUBLE_EQ(min_of(drop_min(u)), 1.0);  // one copy survives
+  EXPECT_DOUBLE_EQ(max_of(drop_max(u)), 1.0);
+}
+
+TEST(XDistance, ZeroWhenIdentical) {
+  const Multiset u{1.0, 2.0, 3.0};
+  EXPECT_EQ(x_distance(u, u, 0.0), 0u);
+}
+
+TEST(XDistance, CountsUnpairable) {
+  const Multiset u{0.0, 10.0};
+  const Multiset v{0.05, 20.0};
+  EXPECT_EQ(x_distance(u, v, 0.1), 1u);   // 10 cannot pair
+  EXPECT_EQ(x_distance(u, v, 10.0), 0u);  // both pair
+}
+
+TEST(XDistance, UsesOptimalMatching) {
+  // Greedy-by-value traps: u = {1, 2}, v = {1.9, 2.1}, x = 1.
+  // Pairing 1<->1.9 and 2<->2.1 works; a bad matcher might pair 2<->1.9
+  // and strand 1.  Distance must be 0.
+  const Multiset u{1.0, 2.0};
+  const Multiset v{1.9, 2.1};
+  EXPECT_EQ(x_distance(u, v, 1.0), 0u);
+}
+
+TEST(XDistance, SwapsWhenFirstIsLarger) {
+  const Multiset u{1.0, 2.0, 3.0};
+  const Multiset v{2.0};
+  EXPECT_EQ(x_distance(u, v, 0.5), 0u);  // v's 2.0 pairs with u's 2.0
+}
+
+TEST(XDistance, DuplicatesNeedDistinctPartners) {
+  const Multiset u{5.0, 5.0};
+  const Multiset v{5.0, 100.0};
+  EXPECT_EQ(x_distance(u, v, 0.1), 1u);  // only one 5-partner available
+}
+
+TEST(MultisetOps, PreconditionViolationsThrow) {
+  const Multiset empty;
+  EXPECT_THROW((void)max_of(empty), std::invalid_argument);
+  EXPECT_THROW((void)min_of(empty), std::invalid_argument);
+  EXPECT_THROW((void)mean(empty), std::invalid_argument);
+  EXPECT_THROW((void)drop_min(empty), std::invalid_argument);
+  EXPECT_THROW((void)drop_max(empty), std::invalid_argument);
+  const Multiset four{1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW((void)reduce(four, 2), std::invalid_argument);  // needs 2f+1=5
+  EXPECT_NO_THROW((void)reduce(four, 1));
+}
+
+TEST(XCovers, RequiresSizeAndDistance) {
+  const Multiset w{1.0, 2.0};
+  const Multiset u{1.0, 2.0, 3.0};
+  EXPECT_TRUE(x_covers(w, u, 0.0));
+  EXPECT_FALSE(x_covers(u, w, 0.0));  // |W| > |U|
+}
+
+}  // namespace
+}  // namespace wlsync::ms

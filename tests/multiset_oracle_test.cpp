@@ -1,0 +1,109 @@
+// Oracle tests: the production x-distance (greedy two-pointer matching) is
+// checked against a brute-force optimum over all injections for small
+// multisets, and reduce/mid are checked against their literal definitions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "multiset/multiset_ops.h"
+#include "util/rng.h"
+
+namespace wlsync::ms {
+namespace {
+
+/// Brute force: minimum over all injections U -> V (|U| <= |V|) of the
+/// number of elements u with |u - c(u)| > x.  Permutation enumeration, so
+/// keep |V| <= 8.
+std::size_t x_distance_oracle(const Multiset& u, const Multiset& v, double x) {
+  if (u.size() > v.size()) return x_distance_oracle(v, u, x);
+  std::vector<std::size_t> index(v.size());
+  std::iota(index.begin(), index.end(), 0);
+  std::size_t best = u.size();
+  do {
+    std::size_t unpaired = 0;
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      if (std::abs(u[i] - v[index[i]]) > x) ++unpaired;
+    }
+    best = std::min(best, unpaired);
+  } while (std::next_permutation(index.begin(), index.end()));
+  return best;
+}
+
+class XDistanceOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XDistanceOracle, GreedyMatchesBruteForce) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto nu = static_cast<std::size_t>(rng.range(1, 6));
+    const auto nv = static_cast<std::size_t>(rng.range(nu, 7));
+    Multiset u, v;
+    for (std::size_t i = 0; i < nu; ++i) u.push_back(rng.uniform(-3.0, 3.0));
+    for (std::size_t i = 0; i < nv; ++i) v.push_back(rng.uniform(-3.0, 3.0));
+    // Sprinkle duplicates to stress multiset semantics.
+    if (nu > 2 && rng.chance(0.5)) u[0] = u[1];
+    if (nv > 2 && rng.chance(0.5)) v[0] = v[1];
+    for (double x : {0.0, 0.2, 0.7, 2.0, 10.0}) {
+      EXPECT_EQ(x_distance(u, v, x), x_distance_oracle(u, v, x))
+          << "trial " << trial << " x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XDistanceOracle,
+                         ::testing::Values(1, 2, 3, 4, 5, 77, 12345));
+
+TEST(ReduceOracle, MatchesSortDefinition) {
+  util::Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto f = static_cast<std::size_t>(rng.range(0, 3));
+    const auto n = static_cast<std::size_t>(rng.range(
+        static_cast<std::int64_t>(2 * f + 1), 12));
+    Multiset u;
+    for (std::size_t i = 0; i < n; ++i) u.push_back(rng.uniform(-5.0, 5.0));
+    Multiset sorted(u);
+    std::sort(sorted.begin(), sorted.end());
+    const Multiset expected(sorted.begin() + static_cast<std::ptrdiff_t>(f),
+                            sorted.end() - static_cast<std::ptrdiff_t>(f));
+    Multiset got = reduce(u, f);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(MidOracle, EqualsMeanOfExtremes) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    Multiset u;
+    const auto n = static_cast<std::size_t>(rng.range(1, 9));
+    for (std::size_t i = 0; i < n; ++i) u.push_back(rng.uniform(-5.0, 5.0));
+    const double lo = *std::min_element(u.begin(), u.end());
+    const double hi = *std::max_element(u.begin(), u.end());
+    EXPECT_DOUBLE_EQ(mid(u), 0.5 * (lo + hi));
+    EXPECT_DOUBLE_EQ(diam(u), hi - lo);
+  }
+}
+
+// The translation identities used silently throughout the analysis
+// (Appendix: mid(U + r) = mid(U) + r, reduce(U + r) = reduce(U) + r).
+TEST(TranslationInvariance, MidAndReduceCommuteWithShift) {
+  util::Rng rng(8);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto f = static_cast<std::size_t>(rng.range(0, 2));
+    const auto n = static_cast<std::size_t>(rng.range(
+        static_cast<std::int64_t>(2 * f + 1), 10));
+    Multiset u;
+    for (std::size_t i = 0; i < n; ++i) u.push_back(rng.uniform(-5.0, 5.0));
+    const double r = rng.uniform(-100.0, 100.0);
+    Multiset shifted(u);
+    for (double& value : shifted) value += r;
+    EXPECT_NEAR(fault_tolerant_midpoint(shifted, f),
+                fault_tolerant_midpoint(u, f) + r, 1e-9);
+    EXPECT_NEAR(fault_tolerant_mean(shifted, f),
+                fault_tolerant_mean(u, f) + r, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace wlsync::ms

@@ -1,0 +1,158 @@
+// Section 5.2 parameter algebra: derived bounds, validation, and the
+// equivalence between the beta-feasibility inequality and P_lower <= P_upper.
+
+#include <gtest/gtest.h>
+
+#include "core/params.h"
+
+namespace wlsync::core {
+namespace {
+
+Params typical() {
+  Params p;
+  p.n = 7;
+  p.f = 2;
+  p.rho = 1e-5;
+  p.delta = 0.01;
+  p.eps = 1e-3;
+  p.P = 10.0;
+  p.beta = beta_for_round_length(p.P, p.rho, p.delta, p.eps) * 1.05;
+  return p;
+}
+
+TEST(Params, DerivedFormulasMatchPaper) {
+  const Params p = typical();
+  const Derived d = derive(p);
+  const double s = p.beta + p.delta + p.eps;
+  EXPECT_DOUBLE_EQ(d.window, (1 + p.rho) * s);
+  EXPECT_DOUBLE_EQ(d.adj_bound, (1 + p.rho) * (p.beta + p.eps) + p.rho * p.delta);
+  EXPECT_DOUBLE_EQ(d.gamma,
+                   p.beta + p.eps + p.rho * (7 * p.beta + 3 * p.delta + 7 * p.eps) +
+                       8 * p.rho * p.rho * s + 4 * p.rho * p.rho * p.rho * s);
+  EXPECT_DOUBLE_EQ(d.alpha3, p.eps);
+  EXPECT_GT(d.lambda, 0.0);
+  EXPECT_DOUBLE_EQ(d.alpha1, 1 - p.rho - p.eps / d.lambda);
+  EXPECT_DOUBLE_EQ(d.alpha2, 1 + p.rho + p.eps / d.lambda);
+}
+
+TEST(Params, GammaIsRoughly4EpsWhenBetaIsTight) {
+  // Section 10: "clocks stay synchronized to within about 4 eps" when P is
+  // small enough that the drift term is negligible.
+  const double rho = 1e-6, delta = 0.01, eps = 1e-3;
+  const double P = 1.0;
+  const double beta = beta_for_round_length(P, rho, delta, eps);
+  Params p{/*n=*/4, /*f=*/1, rho, delta, eps, beta, P, 0.0};
+  const Derived d = derive(p);
+  // beta ~ 4 eps + 4 rho P; gamma ~ beta + eps ~ 5 eps.
+  EXPECT_NEAR(p.beta, 4 * eps, 0.5 * eps);
+  EXPECT_NEAR(d.gamma, 5 * eps, 0.7 * eps);
+}
+
+TEST(Params, ValidAcceptsTypical) {
+  EXPECT_TRUE(validate(typical()).empty());
+}
+
+TEST(Params, DetectsA2Violation) {
+  Params p = typical();
+  p.n = 3 * p.f;  // one short
+  EXPECT_FALSE(validate(p).empty());
+}
+
+TEST(Params, DetectsBadDelayBand) {
+  Params p = typical();
+  p.eps = p.delta + 1.0;
+  EXPECT_FALSE(validate(p).empty());
+}
+
+TEST(Params, DetectsTooSmallBeta) {
+  Params p = typical();
+  p.beta = p.eps;  // << 4 eps: infeasible
+  EXPECT_FALSE(validate(p).empty());
+}
+
+TEST(Params, DetectsRoundLengthOutOfRange) {
+  Params p = typical();
+  p.P = derive(p).p_lower * 0.5;
+  EXPECT_FALSE(validate(p).empty());
+  p = typical();
+  p.P = derive(p).p_upper * 2.0;
+  EXPECT_FALSE(validate(p).empty());
+}
+
+TEST(Params, MinFeasibleBetaSatisfiesInequality) {
+  for (double rho : {1e-6, 1e-5, 1e-4, 1e-3}) {
+    for (double delta : {0.001, 0.01, 0.1}) {
+      const double eps = delta / 10;
+      const double beta = min_feasible_beta(rho, delta, eps);
+      Params p{/*n=*/4, /*f=*/1, rho, delta, eps, beta, 1.0, 0.0};
+      const Derived d = derive(p);
+      EXPECT_GE(beta, d.beta_rhs - 1e-12) << "rho=" << rho << " delta=" << delta;
+      // It is the *minimum*: 1% less must violate.
+      Params small = p;
+      small.beta = beta * 0.99;
+      EXPECT_LT(small.beta, derive(small).beta_rhs);
+    }
+  }
+}
+
+// The paper states the beta inequality "follows" from combining the P
+// bounds: check P_lower(beta) <= P_upper(beta) iff beta >= beta_rhs, over a
+// sweep of betas around the threshold.
+TEST(Params, FeasibilityEquivalentToPWindowNonEmpty) {
+  const double rho = 1e-5, delta = 0.01, eps = 1e-3;
+  const double threshold = min_feasible_beta(rho, delta, eps);
+  for (double scale : {0.8, 0.9, 0.999, 1.001, 1.1, 2.0, 10.0}) {
+    Params p{/*n=*/4, /*f=*/1, rho, delta, eps, threshold * scale, 1.0, 0.0};
+    const Derived d = derive(p);
+    const bool window_nonempty = d.p_lower <= d.p_upper;
+    const bool beta_ok = p.beta >= d.beta_rhs;
+    EXPECT_EQ(window_nonempty, beta_ok) << "scale=" << scale;
+  }
+}
+
+TEST(Params, BetaForRoundLengthTracks4Eps4RhoP) {
+  // Section 5.2: "if P is regarded as fixed, beta ... is roughly 4eps+4rhoP".
+  const double rho = 1e-5, delta = 0.01, eps = 1e-3;
+  for (double P : {1.0, 10.0, 100.0, 1000.0}) {
+    const double beta = beta_for_round_length(P, rho, delta, eps);
+    const double rough = 4 * eps + 4 * rho * P;
+    EXPECT_NEAR(beta, rough, 0.05 * rough + 1e-6) << "P=" << P;
+    Params p{/*n=*/4, /*f=*/1, rho, delta, eps, beta * 1.05, P, 0.0};
+    EXPECT_TRUE(validate(p).empty()) << "P=" << P;
+  }
+}
+
+TEST(Params, MakeParamsProducesValidSet) {
+  const Params p = make_params(10, 3, 1e-5, 0.01, 1e-3, 50.0);
+  EXPECT_TRUE(validate(p).empty());
+  EXPECT_EQ(p.n, 10);
+  EXPECT_EQ(p.f, 3);
+}
+
+TEST(Params, MakeParamsRejectsImpossible) {
+  // Huge P with large rho: P_upper < P_lower no matter the beta... actually
+  // beta grows with P; pick P so large that validation still passes is
+  // normal — instead violate A2.
+  EXPECT_THROW((void)make_params(3, 1, 1e-5, 0.01, 1e-3, 10.0),
+               std::invalid_argument);
+}
+
+TEST(Params, RoundLabelGrid) {
+  Params p = typical();
+  p.T0 = 5.0;
+  EXPECT_DOUBLE_EQ(p.round_label(0), 5.0);
+  EXPECT_DOUBLE_EQ(p.round_label(3), 5.0 + 3 * p.P);
+}
+
+TEST(Params, StartupFormulas) {
+  const double rho = 1e-5, delta = 0.01, eps = 1e-3;
+  EXPECT_DOUBLE_EQ(startup_round_slack(rho, delta, eps),
+                   2 * eps + 2 * rho * (11 * delta + 39 * eps));
+  EXPECT_DOUBLE_EQ(startup_limit(rho, delta, eps),
+                   2 * startup_round_slack(rho, delta, eps));
+  // Lemma 20's limit is "about 4 eps" for small rho.
+  EXPECT_NEAR(startup_limit(rho, delta, eps), 4 * eps, 0.1 * eps);
+}
+
+}  // namespace
+}  // namespace wlsync::core

@@ -1,0 +1,72 @@
+// Section 9.1: a crashed-and-repaired process resynchronizes with the
+// ordinary averaging procedure and rejoins within beta.
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+
+namespace wlsync::analysis {
+namespace {
+
+core::Params standard(std::int32_t n, std::int32_t f) {
+  return core::make_params(n, f, 1e-5, 0.01, 1e-3, 10.0);
+}
+
+class ReintegrationSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReintegrationSeeds, RejoinsWithinBeta) {
+  ReintegrationSpec spec;
+  spec.params = standard(4, 1);
+  spec.crash_at = 25.0;
+  spec.wake_at = 95.0;  // several rounds dead
+  spec.rounds = 20;
+  spec.seed = GetParam();
+  const ReintegrationResult result = run_reintegration(spec);
+  ASSERT_TRUE(result.rejoined);
+  // The Section 9.1 claim: the joiner reaches T^{i+1} within beta of every
+  // other nonfaulty process.
+  EXPECT_LE(result.spread_with_joiner, result.beta * (1 + 1e-9));
+  // Thereafter it is an ordinary participant: gamma holds for everyone.
+  EXPECT_LE(result.skew_after, result.gamma_bound * (1 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReintegrationSeeds,
+                         ::testing::Values(1, 12, 123, 1234));
+
+TEST(Reintegration, WakeMidRoundStillJoins) {
+  ReintegrationSpec spec;
+  spec.params = standard(4, 1);
+  spec.crash_at = 22.0;
+  // Wake just after a round boundary (rounds land near multiples of P=10s):
+  // the orientation phase must skip the partially observed round.
+  spec.wake_at = 90.3;
+  spec.rounds = 20;
+  spec.seed = 5;
+  const ReintegrationResult result = run_reintegration(spec);
+  ASSERT_TRUE(result.rejoined);
+  EXPECT_LE(result.spread_with_joiner, result.beta * (1 + 1e-9));
+}
+
+TEST(Reintegration, LargerSystemWithSevenProcesses) {
+  ReintegrationSpec spec;
+  spec.params = standard(7, 2);
+  spec.crash_at = 18.0;
+  spec.wake_at = 77.0;
+  spec.rounds = 18;
+  spec.seed = 6;
+  const ReintegrationResult result = run_reintegration(spec);
+  ASSERT_TRUE(result.rejoined);
+  EXPECT_LE(result.spread_with_joiner, result.beta * (1 + 1e-9));
+  EXPECT_LE(result.skew_after, result.gamma_bound * (1 + 1e-9));
+}
+
+TEST(Reintegration, RejectsTooEarlyWake) {
+  ReintegrationSpec spec;
+  spec.params = standard(4, 1);
+  spec.crash_at = 25.0;
+  spec.wake_at = 30.0;  // < crash + 2P
+  EXPECT_THROW((void)run_reintegration(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wlsync::analysis
