@@ -6,6 +6,7 @@
 //   [MS]          graceful degradation past f
 //   plain mean    broken by a single liar (why reduce() exists)
 
+#include "analysis/parallel_runner.h"
 #include "bench_common.h"
 
 using namespace wlsync;
@@ -13,6 +14,7 @@ using namespace wlsync;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const auto rounds = static_cast<std::int32_t>(flags.get_int("rounds", 14));
+  const auto threads = static_cast<int>(flags.get_int("threads", 0));
 
   // --- head-to-head under each fault class -------------------------------
   bench::print_header(
@@ -21,8 +23,10 @@ int main(int argc, char** argv) {
       "delta=10ms, eps=1ms, P=10s.  gamma / max adjustment / validity.");
 
   const core::Params params = bench::default_params(7, 2);
-  util::Table table({"algorithm", "fault", "steady skew", "max |ADJ|",
-                     "validity", "msgs/round"});
+  // Row labels ride along with the specs so they cannot drift from the
+  // trial order.
+  std::vector<std::pair<analysis::Algo, analysis::FaultKind>> cells;
+  std::vector<analysis::RunSpec> specs;
   for (auto algo : {analysis::Algo::kWelchLynch, analysis::Algo::kLM,
                     analysis::Algo::kST, analysis::Algo::kMS,
                     analysis::Algo::kPlainMean}) {
@@ -36,13 +40,23 @@ int main(int argc, char** argv) {
       spec.fault_count = fault == analysis::FaultKind::kNone ? 0 : 2;
       spec.rounds = rounds;
       spec.seed = 5;
-      const analysis::RunResult result = analysis::run_experiment(spec);
-      table.add_row(
-          {bench::algo_name(algo), bench::fault_name(fault),
-           util::fmt(result.gamma_measured), util::fmt(result.max_abs_adj),
-           bench::verdict(result.validity.holds),
-           std::to_string(result.messages / std::max(1, result.completed_rounds))});
+      specs.push_back(spec);
+      cells.emplace_back(algo, fault);
     }
+  }
+  const std::vector<analysis::RunResult> results =
+      analysis::run_experiments(specs, threads);
+
+  util::Table table({"algorithm", "fault", "steady skew", "max |ADJ|",
+                     "validity", "msgs/round"});
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto [algo, fault] = cells[i];
+    const analysis::RunResult& result = results[i];
+    table.add_row(
+        {bench::algo_name(algo), bench::fault_name(fault),
+         util::fmt(result.gamma_measured), util::fmt(result.max_abs_adj),
+         bench::verdict(result.validity.holds),
+         std::to_string(result.messages / std::max(1, result.completed_rounds))});
   }
   table.print(std::cout);
 
@@ -57,24 +71,36 @@ int main(int argc, char** argv) {
                          "bound winner", "WL measured", "ST measured",
                          "within bounds"});
   bool saw_wl_win = false, saw_st_win = false, within_all = true;
-  for (double ratio : {1.5, 2.0, 3.0, 5.0, 10.0, 20.0}) {
-    const double eps = 1e-3;
-    const double delta = ratio * eps;
-    const core::Params p = core::make_params(7, 2, 1e-5, delta, eps, 10.0);
-    auto run = [&](analysis::Algo algo) {
+  const std::vector<double> ratios{1.5, 2.0, 3.0, 5.0, 10.0, 20.0};
+  // One Params per ratio, shared by the spec builder and the bound
+  // calculations below, so the bounds printed always describe the
+  // experiments actually run.
+  std::vector<core::Params> cross_params;
+  std::vector<analysis::RunSpec> cross_specs;
+  for (double ratio : ratios) {
+    const double cross_eps = 1e-3;
+    cross_params.push_back(
+        core::make_params(7, 2, 1e-5, ratio * cross_eps, cross_eps, 10.0));
+    for (auto algo : {analysis::Algo::kWelchLynch, analysis::Algo::kST}) {
       analysis::RunSpec spec;
-      spec.params = p;
+      spec.params = cross_params.back();
       spec.algo = algo;
       spec.fault = analysis::FaultKind::kSilent;
       spec.fault_count = 2;
       spec.rounds = rounds;
       spec.seed = 6;
-      return analysis::run_experiment(spec).gamma_measured;
-    };
+      cross_specs.push_back(spec);
+    }
+  }
+  const std::vector<analysis::RunResult> cross_results =
+      analysis::run_experiments(cross_specs, threads);
+  for (std::size_t r = 0; r < ratios.size(); ++r) {
+    const double ratio = ratios[r];
+    const core::Params& p = cross_params[r];
     const double wl_bound = core::derive(p).gamma;
-    const double st_bound = delta + eps;
-    const double wl = run(analysis::Algo::kWelchLynch);
-    const double st = run(analysis::Algo::kST);
+    const double st_bound = p.delta + p.eps;
+    const double wl = cross_results[2 * r].gamma_measured;
+    const double st = cross_results[2 * r + 1].gamma_measured;
     const bool wl_wins = wl_bound < st_bound;
     saw_wl_win = saw_wl_win || wl_wins;
     saw_st_win = saw_st_win || !wl_wins;

@@ -4,6 +4,7 @@
 // worst-case steering gap for both functions, and (b) system-level
 // one-round contraction and steady skew as n grows at fixed f.
 
+#include "analysis/parallel_runner.h"
 #include "bench_common.h"
 #include "multiset/multiset_ops.h"
 #include "util/rng.h"
@@ -13,6 +14,7 @@ using namespace wlsync;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const auto trials = static_cast<std::int32_t>(flags.get_int("trials", 400));
+  const auto threads = static_cast<int>(flags.get_int("threads", 0));
 
   bench::print_header(
       "EXP-MEAN (Section 7)",
@@ -63,6 +65,10 @@ int main(int argc, char** argv) {
   util::Table system({"n", "averaging", "round-1 contraction",
                       "steady skew", "within gamma"});
   bool ok = true;
+  // Row labels ride along with the specs so they cannot drift from the
+  // trial order.
+  std::vector<std::pair<std::int32_t, core::Averaging>> cells;
+  std::vector<analysis::RunSpec> specs;
   for (std::int32_t n : {7, 10, 16}) {
     for (auto averaging :
          {core::Averaging::kMidpoint, core::Averaging::kReducedMean}) {
@@ -83,20 +89,27 @@ int main(int argc, char** argv) {
       spec.initial_spread = 0.9 * p.beta;
       spec.rounds = 14;
       spec.seed = 31;
-      const analysis::RunResult result = analysis::run_experiment(spec);
-      const double contraction =
-          result.begin_spread.size() > 1 && result.begin_spread[0] > 0
-              ? result.begin_spread[1] / result.begin_spread[0]
-              : 1.0;
-      const bool within =
-          result.gamma_measured <= result.gamma_bound * (1 + 1e-9);
-      ok = ok && within;
-      system.add_row(
-          {std::to_string(n),
-           averaging == core::Averaging::kMidpoint ? "midpoint" : "mean",
-           util::fmt(contraction, 3), util::fmt(result.gamma_measured),
-           bench::verdict(within)});
+      specs.push_back(spec);
+      cells.emplace_back(n, averaging);
     }
+  }
+  const std::vector<analysis::RunResult> results =
+      analysis::run_experiments(specs, threads);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto [n, averaging] = cells[i];
+    const analysis::RunResult& result = results[i];
+    const double contraction =
+        result.begin_spread.size() > 1 && result.begin_spread[0] > 0
+            ? result.begin_spread[1] / result.begin_spread[0]
+            : 1.0;
+    const bool within =
+        result.gamma_measured <= result.gamma_bound * (1 + 1e-9);
+    ok = ok && within;
+    system.add_row(
+        {std::to_string(n),
+         averaging == core::Averaging::kMidpoint ? "midpoint" : "mean",
+         util::fmt(contraction, 3), util::fmt(result.gamma_measured),
+         bench::verdict(within)});
   }
   system.print(std::cout);
   std::cout << "\nboth averaging functions hold gamma at every n: "

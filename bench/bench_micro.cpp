@@ -4,10 +4,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <queue>
+#include <vector>
+
 #include "analysis/experiment.h"
+#include "clock/drift.h"
 #include "clock/physical_clock.h"
+#include "engine/scheduler.h"
 #include "multiset/multiset_ops.h"
+#include "proc/process.h"
 #include "sim/event.h"
+#include "sim/simulator.h"
 #include "util/rng.h"
 
 namespace wlsync {
@@ -90,6 +97,126 @@ void BM_EventQueue(benchmark::State& state) {
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_EventQueue)->Arg(1024)->Arg(16384);
+
+/// The seed's queue — a std::priority_queue copying whole Events on every
+/// sift — kept here as the baseline the pooled engine is measured against.
+class LegacyEventQueue {
+ public:
+  void push(sim::Event event) {
+    event.seq = next_seq_++;
+    queue_.push(event);
+  }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  sim::Event pop() {
+    sim::Event event = queue_.top();
+    queue_.pop();
+    return event;
+  }
+
+ private:
+  std::priority_queue<sim::Event, std::vector<sim::Event>, sim::EventAfter>
+      queue_;
+  std::uint64_t next_seq_ = 0;
+};
+
+void BM_LegacyEventQueue(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(8);
+  for (auto _ : state) {
+    LegacyEventQueue queue;
+    for (std::size_t i = 0; i < batch; ++i) {
+      sim::Event event;
+      event.time = rng.uniform();
+      event.tier = static_cast<std::int32_t>(i % 2);
+      queue.push(event);
+    }
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_LegacyEventQueue)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  // Events/sec through Simulator::step on a full Welch-Lynch workload
+  // (n = 10, two-faced faults), per scheduler policy.
+  const auto kind = static_cast<engine::SchedulerKind>(state.range(0));
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    analysis::RunSpec spec;
+    spec.params = core::make_params(10, 3, 1e-5, 0.01, 1e-3, 10.0);
+    spec.fault = analysis::FaultKind::kTwoFaced;
+    spec.fault_count = 2;
+    spec.rounds = 10;
+    spec.seed = 9;
+    spec.scheduler = kind;
+    analysis::Experiment experiment(spec);
+    state.ResumeTiming();
+    experiment.simulator().run_until(12 * spec.params.P);
+    events += static_cast<std::int64_t>(
+        experiment.simulator().events_processed());
+  }
+  state.SetItemsProcessed(events);
+  state.SetLabel(engine::scheduler_name(kind));
+}
+BENCHMARK(BM_SimulatorEventThroughput)
+    ->Arg(static_cast<int>(engine::SchedulerKind::kLegacyHeap))
+    ->Arg(static_cast<int>(engine::SchedulerKind::kDaryHeap))
+    ->Arg(static_cast<int>(engine::SchedulerKind::kCalendar));
+
+/// Keeps `fanout` timers outstanding forever: the scheduler-bound workload.
+class TimerStressProcess final : public proc::Process {
+ public:
+  TimerStressProcess(std::int32_t fanout, double period)
+      : fanout_(fanout), period_(period) {}
+  void on_start(proc::Context& ctx) override {
+    for (std::int32_t k = 0; k < fanout_; ++k) {
+      ctx.set_timer(ctx.local_time() +
+                        period_ * static_cast<double>(k + 1) /
+                            static_cast<double>(fanout_),
+                    k);
+    }
+  }
+  void on_timer(proc::Context& ctx, std::int32_t tag) override {
+    ctx.set_timer(ctx.local_time() + period_, tag);
+  }
+  void on_message(proc::Context&, const sim::Message&) override {}
+
+ private:
+  std::int32_t fanout_;
+  double period_;
+};
+
+void BM_SimulatorStepSchedulerBound(benchmark::State& state) {
+  // Events/sec through Simulator::step with ~1024 events always pending and
+  // a near-trivial handler: isolates the scheduling layer of step().
+  const auto kind = static_cast<engine::SchedulerKind>(state.range(0));
+  sim::SimConfig config;
+  config.scheduler = kind;
+  config.max_events = ~0ull;
+  sim::Simulator sim(config, nullptr);
+  for (std::int32_t p = 0; p < 4; ++p) {
+    sim.add_process(std::make_unique<TimerStressProcess>(256, 1.0),
+                    std::make_unique<clk::PhysicalClock>(
+                        clk::make_constant(1.0), 0.0, 1e-5),
+                    0.0, false, /*start=*/0.0);
+  }
+  double horizon = 1.0;
+  sim.run_until(horizon);  // warm-up: all timers armed
+  const std::uint64_t warmup = sim.events_processed();
+  for (auto _ : state) {
+    horizon += 1.0;
+    sim.run_until(horizon);  // 4 * 256 timer events per window
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(sim.events_processed() - warmup));
+  state.SetLabel(engine::scheduler_name(kind));
+}
+BENCHMARK(BM_SimulatorStepSchedulerBound)
+    ->Arg(static_cast<int>(engine::SchedulerKind::kLegacyHeap))
+    ->Arg(static_cast<int>(engine::SchedulerKind::kDaryHeap))
+    ->Arg(static_cast<int>(engine::SchedulerKind::kCalendar));
 
 void BM_SimulatedRounds(benchmark::State& state) {
   // Whole-system throughput: one complete Welch-Lynch round (n^2 messages,

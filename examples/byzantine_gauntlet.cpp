@@ -10,7 +10,7 @@
 
 #include <iostream>
 
-#include "analysis/experiment.h"
+#include "analysis/parallel_runner.h"
 #include "util/table.h"
 
 using namespace wlsync;
@@ -38,9 +38,12 @@ int main() {
   std::cout << "Byzantine gauntlet: n=10, f=3, gamma bound = "
             << util::fmt(gamma) << " s\n\n";
 
-  util::Table table({"adversary (x3)", "delay regime", "steady skew",
-                     "validity", "verdict"});
-  bool all_ok = true;
+  // Every (adversary, delay-regime) cell is an independent trial; the whole
+  // gauntlet runs as one ParallelRunner sweep.  The cells vector is built
+  // in the same loop as the specs, so row labels cannot drift from the
+  // trial order.
+  std::vector<std::pair<analysis::FaultKind, analysis::DelayKind>> cells;
+  std::vector<analysis::RunSpec> specs;
   for (auto fault :
        {analysis::FaultKind::kSilent, analysis::FaultKind::kSpam,
         analysis::FaultKind::kTwoFaced, analysis::FaultKind::kLiar}) {
@@ -54,17 +57,28 @@ int main() {
       spec.drift = analysis::DriftKind::kRandomWalk;
       spec.rounds = 16;
       spec.seed = 77;
-      const analysis::RunResult result = analysis::run_experiment(spec);
-      const bool ok = !result.diverged && result.gamma_measured <= gamma &&
-                      result.validity.holds;
-      all_ok = all_ok && ok;
-      table.add_row({fault_label(fault),
-                     delay == analysis::DelayKind::kUniform ? "uniform"
-                                                            : "adversarial",
-                     util::fmt(result.gamma_measured),
-                     result.validity.holds ? "holds" : "violated",
-                     ok ? "survived" : "FAILED"});
+      specs.push_back(spec);
+      cells.emplace_back(fault, delay);
     }
+  }
+  const std::vector<analysis::RunResult> results =
+      analysis::run_experiments(specs);
+
+  util::Table table({"adversary (x3)", "delay regime", "steady skew",
+                     "validity", "verdict"});
+  bool all_ok = true;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto [fault, delay] = cells[i];
+    const analysis::RunResult& result = results[i];
+    const bool ok = !result.diverged && result.gamma_measured <= gamma &&
+                    result.validity.holds;
+    all_ok = all_ok && ok;
+    table.add_row({fault_label(fault),
+                   delay == analysis::DelayKind::kUniform ? "uniform"
+                                                          : "adversarial",
+                   util::fmt(result.gamma_measured),
+                   result.validity.holds ? "holds" : "violated",
+                   ok ? "survived" : "FAILED"});
   }
 
   // The ablation: plain mean + one lying clock.

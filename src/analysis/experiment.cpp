@@ -104,6 +104,7 @@ void Experiment::build() {
   sim_config.eps = p.eps;
   sim_config.seed = rng.fork(1)();
   sim_config.nic = spec_.nic;
+  sim_config.scheduler = spec_.scheduler;
   util::Rng delay_rng = rng.fork(2);
   sim_ = std::make_unique<sim::Simulator>(sim_config,
                                           build_delay(spec_.delay, p, delay_rng));

@@ -88,6 +88,9 @@ struct RunSpec {
   std::int32_t rounds = 20;
   std::uint64_t seed = 1;
   std::optional<sim::NicConfig> nic;
+  /// Engine scheduling policy — performance only; results are identical
+  /// under every policy (see tests/engine_test.cpp).
+  engine::SchedulerKind scheduler = engine::SchedulerKind::kDaryHeap;
 
   double lm_delta_max = 0.0;  ///< 0 = auto
   double ms_tau = 0.0;        ///< 0 = auto

@@ -1,0 +1,95 @@
+#include "analysis/parallel_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace wlsync::analysis {
+
+ParallelRunner::ParallelRunner(int threads) : threads_(threads) {
+  if (threads_ <= 0) {
+    threads_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads_ <= 0) threads_ = 1;
+  }
+}
+
+void ParallelRunner::run_indexed(
+    std::size_t count, const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& thread : pool) thread.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<RunResult> ParallelRunner::run(
+    const std::vector<RunSpec>& specs) const {
+  std::vector<RunResult> results(specs.size());
+  // Each task writes only its own slot, so the merge is by construction
+  // deterministic: position i is trial i regardless of completion order.
+  run_indexed(specs.size(),
+              [&](std::size_t i) { results[i] = run_experiment(specs[i]); });
+  return results;
+}
+
+std::vector<RunSpec> seed_sweep(const RunSpec& base, std::uint64_t first_seed,
+                                std::int32_t count) {
+  std::vector<RunSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  for (std::int32_t i = 0; i < count; ++i) {
+    specs.push_back(base);
+    specs.back().seed = first_seed + static_cast<std::uint64_t>(i);
+  }
+  return specs;
+}
+
+std::vector<RunResult> run_experiments(const std::vector<RunSpec>& specs,
+                                       int threads) {
+  return ParallelRunner(threads).run(specs);
+}
+
+bool results_identical(const RunResult& a, const RunResult& b) {
+  return a.honest == b.honest && a.gamma_bound == b.gamma_bound &&
+         a.gamma_measured == b.gamma_measured && a.adj_bound == b.adj_bound &&
+         a.max_abs_adj == b.max_abs_adj && a.begin_spread == b.begin_spread &&
+         a.skew_at_round == b.skew_at_round &&
+         a.validity.holds == b.validity.holds &&
+         a.validity.max_upper_violation == b.validity.max_upper_violation &&
+         a.validity.max_lower_violation == b.validity.max_lower_violation &&
+         a.validity.measured_hi_slope == b.validity.measured_hi_slope &&
+         a.validity.measured_lo_slope == b.validity.measured_lo_slope &&
+         a.final_skew == b.final_skew && a.diverged == b.diverged &&
+         a.messages == b.messages && a.nic_dropped == b.nic_dropped &&
+         a.tmin0 == b.tmin0 && a.tmax0 == b.tmax0 && a.t_end == b.t_end &&
+         a.completed_rounds == b.completed_rounds;
+}
+
+}  // namespace wlsync::analysis

@@ -1,0 +1,59 @@
+#pragma once
+// Parallel multi-trial experiment runner.
+//
+// Large n/f/seed sweeps dominate the wall time of every study in this
+// repository, and the trials are embarrassingly parallel: each Experiment
+// owns its Simulator, its RNG streams (derived from RunSpec::seed alone),
+// and its trace sinks, and touches no shared mutable state.  ParallelRunner
+// shards a vector of independent RunSpecs across a thread pool and merges
+// results deterministically: result[i] always corresponds to specs[i], and
+// is bit-for-bit the RunResult a serial run_experiment(specs[i]) produces,
+// whatever the thread count or interleaving (pinned by
+// tests/parallel_runner_test.cpp).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/experiment.h"
+
+namespace wlsync::analysis {
+
+class ParallelRunner {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency().
+  explicit ParallelRunner(int threads = 0);
+
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+  /// Invokes fn(0) ... fn(count - 1), each exactly once, sharded across the
+  /// pool.  fn must be safe to call concurrently for distinct indices.  The
+  /// first exception thrown by any task is rethrown to the caller after all
+  /// workers have drained.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& fn) const;
+
+  /// Runs one Experiment per spec; result[i] corresponds to specs[i].
+  [[nodiscard]] std::vector<RunResult> run(
+      const std::vector<RunSpec>& specs) const;
+
+ private:
+  int threads_;
+};
+
+/// The common sweep axis: `count` copies of `base` with seeds
+/// first_seed, first_seed + 1, ...  Per-trial RNG streams are derived from
+/// the seed inside Experiment, so distinct seeds give independent trials.
+[[nodiscard]] std::vector<RunSpec> seed_sweep(const RunSpec& base,
+                                              std::uint64_t first_seed,
+                                              std::int32_t count);
+
+/// One-shot convenience: sweep `specs` across `threads` workers.
+[[nodiscard]] std::vector<RunResult> run_experiments(
+    const std::vector<RunSpec>& specs, int threads = 0);
+
+/// Exact (bitwise, no tolerance) equality of every measured field — the
+/// standard the parallel runner and the scheduler policies are held to.
+[[nodiscard]] bool results_identical(const RunResult& a, const RunResult& b);
+
+}  // namespace wlsync::analysis

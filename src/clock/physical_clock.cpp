@@ -48,22 +48,51 @@ void PhysicalClock::extend_clock(double clock_time) const {
   }
 }
 
-double PhysicalClock::now(double real_time) const {
-  extend_real(real_time);
-  // Find the last breakpoint with break.real <= real_time.
+std::size_t PhysicalClock::locate_real(double real_time) const {
+  // Index of the last breakpoint with break.real <= real_time (0 if none).
+  // Callers have already extended coverage past real_time.
+  const std::size_t last = breaks_.size() - 1;
+  std::size_t i = hint_real_ <= last ? hint_real_ : last;
+  if (breaks_[i].real <= real_time) {
+    if (i == last || real_time < breaks_[i + 1].real) return hint_real_ = i;
+    ++i;  // the common forward step to the adjacent segment
+    if (i == last || real_time < breaks_[i + 1].real) return hint_real_ = i;
+  }
   const auto it = std::upper_bound(
       breaks_.begin(), breaks_.end(), real_time,
       [](double t, const Breakpoint& b) { return t < b.real; });
-  const Breakpoint& seg = it == breaks_.begin() ? breaks_.front() : *(it - 1);
+  i = it == breaks_.begin()
+          ? 0
+          : static_cast<std::size_t>(it - breaks_.begin()) - 1;
+  return hint_real_ = i;
+}
+
+std::size_t PhysicalClock::locate_clock(double clock_time) const {
+  const std::size_t last = breaks_.size() - 1;
+  std::size_t i = hint_clock_ <= last ? hint_clock_ : last;
+  if (breaks_[i].clock <= clock_time) {
+    if (i == last || clock_time < breaks_[i + 1].clock) return hint_clock_ = i;
+    ++i;
+    if (i == last || clock_time < breaks_[i + 1].clock) return hint_clock_ = i;
+  }
+  const auto it = std::upper_bound(
+      breaks_.begin(), breaks_.end(), clock_time,
+      [](double c, const Breakpoint& b) { return c < b.clock; });
+  i = it == breaks_.begin()
+          ? 0
+          : static_cast<std::size_t>(it - breaks_.begin()) - 1;
+  return hint_clock_ = i;
+}
+
+double PhysicalClock::now(double real_time) const {
+  extend_real(real_time);
+  const Breakpoint& seg = breaks_[locate_real(real_time)];
   return seg.clock + (real_time - seg.real) * seg.rate;
 }
 
 double PhysicalClock::to_real(double clock_time) const {
   extend_clock(clock_time);
-  const auto it = std::upper_bound(
-      breaks_.begin(), breaks_.end(), clock_time,
-      [](double c, const Breakpoint& b) { return c < b.clock; });
-  const Breakpoint& seg = it == breaks_.begin() ? breaks_.front() : *(it - 1);
+  const Breakpoint& seg = breaks_[locate_clock(clock_time)];
   return seg.real + (clock_time - seg.clock) / seg.rate;
 }
 

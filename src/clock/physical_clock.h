@@ -48,6 +48,8 @@ class PhysicalClock {
 
   void extend_real(double real_time) const;
   void extend_clock(double clock_time) const;
+  [[nodiscard]] std::size_t locate_real(double real_time) const;
+  [[nodiscard]] std::size_t locate_clock(double clock_time) const;
 
   std::unique_ptr<DriftModel> drift_;
   double rho_;
@@ -55,6 +57,10 @@ class PhysicalClock {
   // (infinite) function the clock denotes.
   mutable std::vector<Breakpoint> breaks_;
   mutable std::uint64_t next_segment_ = 0;
+  // Last-hit segment per axis: queries are temporally local, so most hit
+  // the same or the next segment and skip the binary search entirely.
+  mutable std::size_t hint_real_ = 0;
+  mutable std::size_t hint_clock_ = 0;
 };
 
 }  // namespace wlsync::clk

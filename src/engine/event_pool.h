@@ -1,0 +1,72 @@
+#pragma once
+// Slab-pooled object storage with stable 32-bit handles.
+//
+// The discrete-event engine stores every pending Event payload exactly once
+// and moves 4-byte handles through the scheduler instead of copying ~56-byte
+// events on every heap sift.  Storage grows in fixed-size slabs, so a
+// reference obtained from operator[] stays valid across later acquisitions
+// — the dispatcher can hold the popped event by reference while the handler
+// it invokes schedules new events into the same pool.
+//
+// Slots are recycled through a free list.  A recycled slot retains its stale
+// contents; callers assign the full payload after acquire().
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace wlsync::engine {
+
+template <typename T>
+class SlabPool {
+ public:
+  using value_type = T;
+  using Handle = std::uint32_t;
+  static constexpr Handle kInvalidHandle = 0xFFFFFFFFu;
+
+  /// Returns a handle to an uninitialized (or stale) slot.
+  Handle acquire() {
+    if (!free_.empty()) {
+      const Handle handle = free_.back();
+      free_.pop_back();
+      ++live_;
+      return handle;
+    }
+    const std::size_t slab = next_ >> kSlabShift;
+    if (slab == slabs_.size()) {
+      slabs_.push_back(std::make_unique<T[]>(kSlabSize));
+    }
+    ++live_;
+    return static_cast<Handle>(next_++);
+  }
+
+  /// Returns the slot to the free list.  The handle must be live.
+  void release(Handle handle) noexcept {
+    free_.push_back(handle);
+    --live_;
+  }
+
+  [[nodiscard]] T& operator[](Handle handle) noexcept {
+    return slabs_[handle >> kSlabShift][handle & kSlabMask];
+  }
+  [[nodiscard]] const T& operator[](Handle handle) const noexcept {
+    return slabs_[handle >> kSlabShift][handle & kSlabMask];
+  }
+
+  /// Number of live (acquired, unreleased) slots.
+  [[nodiscard]] std::size_t live() const noexcept { return live_; }
+  /// Number of slots ever allocated (high-water mark).
+  [[nodiscard]] std::size_t capacity() const noexcept { return next_; }
+
+ private:
+  static constexpr std::size_t kSlabShift = 10;
+  static constexpr std::size_t kSlabSize = std::size_t{1} << kSlabShift;
+  static constexpr std::size_t kSlabMask = kSlabSize - 1;
+
+  std::vector<std::unique_ptr<T[]>> slabs_;
+  std::vector<Handle> free_;
+  std::size_t next_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace wlsync::engine

@@ -1,7 +1,10 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace wlsync::sim {
 
@@ -83,7 +86,8 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<DelayModel> delay)
     : config_(config),
       delay_(delay ? std::move(delay)
                    : make_uniform_delay(config.delta, config.eps)),
-      rng_(config.seed) {
+      rng_(config.seed),
+      scheduler_(engine::make_scheduler(config.scheduler, pool_)) {
   if (config_.eps < 0 || config_.delta < config_.eps) {
     throw std::invalid_argument("Simulator: require delta >= eps >= 0 (A3)");
   }
@@ -93,9 +97,24 @@ Simulator::~Simulator() = default;
 
 std::size_t Simulator::idx(std::int32_t id) const {
   if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) {
-    throw std::out_of_range("Simulator: bad process id");
+    throw std::out_of_range("Simulator: process id " + std::to_string(id) +
+                            " is not registered (valid ids are [0, " +
+                            std::to_string(nodes_.size()) + "))");
   }
   return static_cast<std::size_t>(id);
+}
+
+void Simulator::schedule_event(double time, std::int32_t tier, std::int32_t to,
+                               EngineKind engine_kind, const Message& msg) {
+  const EventHandle handle = pool_.acquire();
+  Event& event = pool_[handle];
+  event.time = time;
+  event.tier = tier;
+  event.seq = next_seq_++;
+  event.to = to;
+  event.engine_kind = engine_kind;
+  event.msg = msg;
+  scheduler_->push(handle);
 }
 
 std::int32_t Simulator::add_process(proc::ProcessPtr process,
@@ -112,13 +131,7 @@ std::int32_t Simulator::add_process(proc::ProcessPtr process,
 }
 
 void Simulator::schedule_start(std::int32_t id, double real_time) {
-  Event event;
-  event.time = real_time;
-  event.tier = 0;
-  event.to = id;
-  event.engine_kind = EngineKind::kDeliver;
-  event.msg = make_start();
-  queue_.push(event);
+  schedule_event(real_time, /*tier=*/0, id, EngineKind::kDeliver, make_start());
 }
 
 void Simulator::add_trace_sink(TraceSink* sink) {
@@ -133,18 +146,16 @@ void Simulator::do_send(std::int32_t from, std::int32_t to, std::int32_t tag,
       delay > config_.delta + config_.eps + kDelayTolerance) {
     throw std::logic_error("delay model produced a delay outside A3 bounds");
   }
-  Event event;
-  event.time = current_time_ + delay;
-  event.tier = 0;
-  event.to = to;
-  event.engine_kind =
-      config_.nic.has_value() ? EngineKind::kNicArrive : EngineKind::kDeliver;
-  event.msg = make_app(from, tag, value, aux);
+  const double deliver_time = current_time_ + delay;
+  const Message msg = make_app(from, tag, value, aux);
   ++messages_sent_;
   for (TraceSink* sink : sinks_) {
-    sink->on_send(from, to, event.msg, current_time_, event.time);
+    sink->on_send(from, to, msg, current_time_, deliver_time);
   }
-  queue_.push(event);
+  schedule_event(deliver_time, /*tier=*/0, to,
+                 config_.nic.has_value() ? EngineKind::kNicArrive
+                                         : EngineKind::kDeliver,
+                 msg);
 }
 
 void Simulator::do_set_timer_logical(std::int32_t pid, double logical_time,
@@ -167,13 +178,8 @@ void Simulator::do_set_timer_real(std::int32_t pid, double real_time,
   // Section 2.2: the TIMER is buffered only if its delivery time is in the
   // future; otherwise nothing is placed in the buffer.
   if (real_time <= current_time_) return;
-  Event event;
-  event.time = real_time;
-  event.tier = 1;  // execution property 4
-  event.to = pid;
-  event.engine_kind = EngineKind::kDeliver;
-  event.msg = make_timer(tag);
-  queue_.push(event);
+  schedule_event(real_time, /*tier=*/1 /* execution property 4 */, pid,
+                 EngineKind::kDeliver, make_timer(tag));
 }
 
 void Simulator::do_add_corr(std::int32_t pid, double adj, double amortize_duration) {
@@ -208,12 +214,21 @@ void Simulator::deliver(std::int32_t pid, const Message& msg) {
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
+  if (scheduler_->empty()) return false;
+  dispatch(scheduler_->pop());
+  return true;
+}
+
+void Simulator::dispatch(EventHandle handle) {
   if (++events_processed_ > config_.max_events) {
+    pool_.release(handle);
     throw std::runtime_error("Simulator: max_events exceeded (runaway execution?)");
   }
-  const Event event = queue_.pop();
+  // Slab storage keeps this reference valid while the handler schedules new
+  // events into the same pool; the slot is recycled only after dispatch.
+  const Event& event = pool_[handle];
   if (event.time < current_time_) {
+    pool_.release(handle);
     throw std::logic_error("Simulator: event scheduled in the past");
   }
   current_time_ = event.time;
@@ -234,12 +249,8 @@ bool Simulator::step() {
       }
       nic.pending.push_back(event.msg);
       if (!nic.service_scheduled) {
-        Event service;
-        service.time = std::max(current_time_, nic.next_free);
-        service.tier = 0;
-        service.to = event.to;
-        service.engine_kind = EngineKind::kNicService;
-        queue_.push(service);
+        schedule_event(std::max(current_time_, nic.next_free), /*tier=*/0,
+                       event.to, EngineKind::kNicService, Message{});
         nic.service_scheduled = true;
       }
       break;
@@ -248,28 +259,26 @@ bool Simulator::step() {
       Nic& nic = node.nic;
       nic.service_scheduled = false;
       if (nic.pending.empty()) break;
-      const Message msg = nic.pending.front();
+      const Message msg = std::move(nic.pending.front());
       nic.pending.pop_front();
       nic.next_free = current_time_ + config_.nic->service_time;
       deliver(event.to, msg);
       if (!nic.pending.empty()) {
-        Event service;
-        service.time = nic.next_free;
-        service.tier = 0;
-        service.to = event.to;
-        service.engine_kind = EngineKind::kNicService;
-        queue_.push(service);
+        schedule_event(nic.next_free, /*tier=*/0, event.to,
+                       EngineKind::kNicService, Message{});
         nic.service_scheduled = true;
       }
       break;
     }
   }
-  return true;
+  pool_.release(handle);
 }
 
 void Simulator::run_until(double real_time) {
-  while (!queue_.empty() && queue_.top().time <= real_time) {
-    step();
+  for (;;) {
+    const EventHandle handle = scheduler_->pop_if_not_after(real_time);
+    if (handle == EventPool::kInvalidHandle) break;
+    dispatch(handle);
   }
   if (real_time > current_time_) current_time_ = real_time;
 }

@@ -2,8 +2,9 @@
 // The execution engine of Section 2.3.
 //
 // A Simulator owns the processes, their physical clocks, the message buffer
-// (EventQueue) and the network delay model, and produces executions that
-// satisfy the six execution properties of the model:
+// (a slab-pooled EventPool ordered by a pluggable engine::SchedulerPolicy)
+// and the network delay model, and produces executions that satisfy the six
+// execution properties of the model:
 //   1/5. events fire exactly at their buffered delivery times, finitely many
 //        before any fixed time (the priority queue);
 //   2/3. configurations chain by construction (single-threaded dispatch);
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "clock/physical_clock.h"
+#include "engine/scheduler.h"
 #include "proc/process.h"
 #include "sim/corr_log.h"
 #include "sim/delay.h"
@@ -46,6 +48,9 @@ struct SimConfig {
   std::uint64_t seed = 1;
   std::optional<NicConfig> nic;       ///< engaged only for Section 9.3 studies
   std::uint64_t max_events = 50'000'000;  ///< runaway guard
+  /// Event-scheduling policy; a pure performance knob — every policy
+  /// dispatches the identical deterministic (time, tier, seq) order.
+  engine::SchedulerKind scheduler = engine::SchedulerKind::kDaryHeap;
 };
 
 class Simulator {
@@ -126,6 +131,15 @@ class Simulator {
 
   [[nodiscard]] std::size_t idx(std::int32_t id) const;
 
+  /// Builds an event in place in the pool (stamping its seq) and hands the
+  /// handle to the scheduler — the one entry point for all scheduling.
+  void schedule_event(double time, std::int32_t tier, std::int32_t to,
+                      EngineKind engine_kind, const Message& msg);
+
+  /// Executes one popped event: advances the clock, routes by engine kind,
+  /// recycles the slot.  The handle must have just been popped.
+  void dispatch(EventHandle handle);
+
   void do_send(std::int32_t from, std::int32_t to, std::int32_t tag, double value,
                std::int32_t aux);
   void do_set_timer_logical(std::int32_t pid, double logical_time, std::int32_t tag);
@@ -138,7 +152,9 @@ class Simulator {
   SimConfig config_;
   std::unique_ptr<DelayModel> delay_;
   util::Rng rng_;
-  EventQueue queue_;
+  EventPool pool_;
+  std::unique_ptr<engine::SchedulerPolicy> scheduler_;
+  std::uint64_t next_seq_ = 0;
   std::vector<Node> nodes_;
   std::vector<TraceSink*> sinks_;
   double current_time_ = 0.0;
