@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agreement_test.dir/tests/agreement_test.cpp.o"
+  "CMakeFiles/agreement_test.dir/tests/agreement_test.cpp.o.d"
+  "agreement_test"
+  "agreement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adjustment.dir/bench/bench_adjustment.cpp.o"
+  "CMakeFiles/bench_adjustment.dir/bench/bench_adjustment.cpp.o.d"
+  "bench_adjustment"
+  "bench_adjustment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adjustment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_agreement.dir/bench/bench_agreement.cpp.o"
+  "CMakeFiles/bench_agreement.dir/bench/bench_agreement.cpp.o.d"
+  "bench_agreement"
+  "bench_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

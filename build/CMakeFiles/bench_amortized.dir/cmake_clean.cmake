@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_amortized.dir/bench/bench_amortized.cpp.o"
+  "CMakeFiles/bench_amortized.dir/bench/bench_amortized.cpp.o.d"
+  "bench_amortized"
+  "bench_amortized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_amortized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

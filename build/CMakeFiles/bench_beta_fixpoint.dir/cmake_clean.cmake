@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_beta_fixpoint.dir/bench/bench_beta_fixpoint.cpp.o"
+  "CMakeFiles/bench_beta_fixpoint.dir/bench/bench_beta_fixpoint.cpp.o.d"
+  "bench_beta_fixpoint"
+  "bench_beta_fixpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_beta_fixpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_k_exchange.dir/bench/bench_k_exchange.cpp.o"
+  "CMakeFiles/bench_k_exchange.dir/bench/bench_k_exchange.cpp.o.d"
+  "bench_k_exchange"
+  "bench_k_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_k_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

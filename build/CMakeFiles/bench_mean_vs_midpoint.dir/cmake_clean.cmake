@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mean_vs_midpoint.dir/bench/bench_mean_vs_midpoint.cpp.o"
+  "CMakeFiles/bench_mean_vs_midpoint.dir/bench/bench_mean_vs_midpoint.cpp.o.d"
+  "bench_mean_vs_midpoint"
+  "bench_mean_vs_midpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mean_vs_midpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_mean_vs_midpoint.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reintegration.dir/bench/bench_reintegration.cpp.o"
+  "CMakeFiles/bench_reintegration.dir/bench/bench_reintegration.cpp.o.d"
+  "bench_reintegration"
+  "bench_reintegration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reintegration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stagger.dir/bench/bench_stagger.cpp.o"
+  "CMakeFiles/bench_stagger.dir/bench/bench_stagger.cpp.o.d"
+  "bench_stagger"
+  "bench_stagger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stagger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

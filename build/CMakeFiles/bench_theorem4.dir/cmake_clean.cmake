@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem4.dir/bench/bench_theorem4.cpp.o"
+  "CMakeFiles/bench_theorem4.dir/bench/bench_theorem4.cpp.o.d"
+  "bench_theorem4"
+  "bench_theorem4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validity.dir/bench/bench_validity.cpp.o"
+  "CMakeFiles/bench_validity.dir/bench/bench_validity.cpp.o.d"
+  "bench_validity"
+  "bench_validity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_byzantine_gauntlet.dir/examples/byzantine_gauntlet.cpp.o"
+  "CMakeFiles/example_byzantine_gauntlet.dir/examples/byzantine_gauntlet.cpp.o.d"
+  "example_byzantine_gauntlet"
+  "example_byzantine_gauntlet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_byzantine_gauntlet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cold_start.dir/examples/cold_start.cpp.o"
+  "CMakeFiles/example_cold_start.dir/examples/cold_start.cpp.o.d"
+  "example_cold_start"
+  "example_cold_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cold_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

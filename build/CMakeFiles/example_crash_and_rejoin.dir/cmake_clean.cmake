@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_crash_and_rejoin.dir/examples/crash_and_rejoin.cpp.o"
+  "CMakeFiles/example_crash_and_rejoin.dir/examples/crash_and_rejoin.cpp.o.d"
+  "example_crash_and_rejoin"
+  "example_crash_and_rejoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_crash_and_rejoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_live_threads.dir/examples/live_threads.cpp.o"
+  "CMakeFiles/example_live_threads.dir/examples/live_threads.cpp.o.d"
+  "example_live_threads"
+  "example_live_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_live_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hssd_test.dir/tests/hssd_test.cpp.o"
+  "CMakeFiles/hssd_test.dir/tests/hssd_test.cpp.o.d"
+  "hssd_test"
+  "hssd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hssd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_faults_test.dir/tests/mixed_faults_test.cpp.o"
+  "CMakeFiles/mixed_faults_test.dir/tests/mixed_faults_test.cpp.o.d"
+  "mixed_faults_test"
+  "mixed_faults_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_faults_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiset_lemmas_test.dir/tests/multiset_lemmas_test.cpp.o"
+  "CMakeFiles/multiset_lemmas_test.dir/tests/multiset_lemmas_test.cpp.o.d"
+  "multiset_lemmas_test"
+  "multiset_lemmas_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiset_lemmas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

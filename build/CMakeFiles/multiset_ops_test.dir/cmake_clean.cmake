@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiset_ops_test.dir/tests/multiset_ops_test.cpp.o"
+  "CMakeFiles/multiset_ops_test.dir/tests/multiset_ops_test.cpp.o.d"
+  "multiset_ops_test"
+  "multiset_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiset_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiset_oracle_test.dir/tests/multiset_oracle_test.cpp.o"
+  "CMakeFiles/multiset_oracle_test.dir/tests/multiset_oracle_test.cpp.o.d"
+  "multiset_oracle_test"
+  "multiset_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiset_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

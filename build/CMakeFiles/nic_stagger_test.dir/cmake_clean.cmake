@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_stagger_test.dir/tests/nic_stagger_test.cpp.o"
+  "CMakeFiles/nic_stagger_test.dir/tests/nic_stagger_test.cpp.o.d"
+  "nic_stagger_test"
+  "nic_stagger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_stagger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_runner_test.dir/tests/parallel_runner_test.cpp.o"
+  "CMakeFiles/parallel_runner_test.dir/tests/parallel_runner_test.cpp.o.d"
+  "parallel_runner_test"
+  "parallel_runner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

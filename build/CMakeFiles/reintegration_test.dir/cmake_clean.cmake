@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reintegration_test.dir/tests/reintegration_test.cpp.o"
+  "CMakeFiles/reintegration_test.dir/tests/reintegration_test.cpp.o.d"
+  "reintegration_test"
+  "reintegration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reintegration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

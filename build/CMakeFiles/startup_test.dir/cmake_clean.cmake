@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/startup_test.dir/tests/startup_test.cpp.o"
+  "CMakeFiles/startup_test.dir/tests/startup_test.cpp.o.d"
+  "startup_test"
+  "startup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/startup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

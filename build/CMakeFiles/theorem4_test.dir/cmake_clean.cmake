@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem4_test.dir/tests/theorem4_test.cpp.o"
+  "CMakeFiles/theorem4_test.dir/tests/theorem4_test.cpp.o.d"
+  "theorem4_test"
+  "theorem4_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validity_test.dir/tests/validity_test.cpp.o"
+  "CMakeFiles/validity_test.dir/tests/validity_test.cpp.o.d"
+  "validity_test"
+  "validity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/welch_lynch_test.dir/tests/welch_lynch_test.cpp.o"
+  "CMakeFiles/welch_lynch_test.dir/tests/welch_lynch_test.cpp.o.d"
+  "welch_lynch_test"
+  "welch_lynch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/welch_lynch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/experiment.cpp" "CMakeFiles/wlsync.dir/src/analysis/experiment.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/analysis/experiment.cpp.o.d"
+  "/root/repo/src/analysis/parallel_runner.cpp" "CMakeFiles/wlsync.dir/src/analysis/parallel_runner.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/analysis/parallel_runner.cpp.o.d"
+  "/root/repo/src/analysis/round_trace.cpp" "CMakeFiles/wlsync.dir/src/analysis/round_trace.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/analysis/round_trace.cpp.o.d"
+  "/root/repo/src/analysis/skew.cpp" "CMakeFiles/wlsync.dir/src/analysis/skew.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/analysis/skew.cpp.o.d"
+  "/root/repo/src/baselines/averaging_rounds.cpp" "CMakeFiles/wlsync.dir/src/baselines/averaging_rounds.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/baselines/averaging_rounds.cpp.o.d"
+  "/root/repo/src/baselines/hssd.cpp" "CMakeFiles/wlsync.dir/src/baselines/hssd.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/baselines/hssd.cpp.o.d"
+  "/root/repo/src/baselines/srikanth_toueg.cpp" "CMakeFiles/wlsync.dir/src/baselines/srikanth_toueg.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/baselines/srikanth_toueg.cpp.o.d"
+  "/root/repo/src/clock/drift.cpp" "CMakeFiles/wlsync.dir/src/clock/drift.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/clock/drift.cpp.o.d"
+  "/root/repo/src/clock/physical_clock.cpp" "CMakeFiles/wlsync.dir/src/clock/physical_clock.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/clock/physical_clock.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "CMakeFiles/wlsync.dir/src/core/params.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/core/params.cpp.o.d"
+  "/root/repo/src/core/reintegration.cpp" "CMakeFiles/wlsync.dir/src/core/reintegration.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/core/reintegration.cpp.o.d"
+  "/root/repo/src/core/startup.cpp" "CMakeFiles/wlsync.dir/src/core/startup.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/core/startup.cpp.o.d"
+  "/root/repo/src/core/welch_lynch.cpp" "CMakeFiles/wlsync.dir/src/core/welch_lynch.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/core/welch_lynch.cpp.o.d"
+  "/root/repo/src/engine/scheduler.cpp" "CMakeFiles/wlsync.dir/src/engine/scheduler.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/engine/scheduler.cpp.o.d"
+  "/root/repo/src/multiset/multiset_ops.cpp" "CMakeFiles/wlsync.dir/src/multiset/multiset_ops.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/multiset/multiset_ops.cpp.o.d"
+  "/root/repo/src/proc/adversaries.cpp" "CMakeFiles/wlsync.dir/src/proc/adversaries.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/proc/adversaries.cpp.o.d"
+  "/root/repo/src/proc/context.cpp" "CMakeFiles/wlsync.dir/src/proc/context.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/proc/context.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "CMakeFiles/wlsync.dir/src/runtime/runtime.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/runtime/runtime.cpp.o.d"
+  "/root/repo/src/sim/delay.cpp" "CMakeFiles/wlsync.dir/src/sim/delay.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/sim/delay.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/wlsync.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/util/flags.cpp" "CMakeFiles/wlsync.dir/src/util/flags.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/util/flags.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/wlsync.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/wlsync.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/wlsync.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
