@@ -36,6 +36,16 @@ inline const char* fault_name(analysis::FaultKind kind) {
   return "?";
 }
 
+inline const char* drift_name(analysis::DriftKind kind) {
+  switch (kind) {
+    case analysis::DriftKind::kNone: return "none";
+    case analysis::DriftKind::kExtremal: return "extremal";
+    case analysis::DriftKind::kPiecewise: return "piecewise";
+    case analysis::DriftKind::kRandomWalk: return "randomwalk";
+  }
+  return "?";
+}
+
 inline const char* delay_name(analysis::DelayKind kind) {
   switch (kind) {
     case analysis::DelayKind::kUniform: return "uniform";

@@ -4,7 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "analysis/experiment.h"
@@ -216,7 +218,54 @@ void BM_SimulatorStepSchedulerBound(benchmark::State& state) {
 BENCHMARK(BM_SimulatorStepSchedulerBound)
     ->Arg(static_cast<int>(engine::SchedulerKind::kLegacyHeap))
     ->Arg(static_cast<int>(engine::SchedulerKind::kDaryHeap))
-    ->Arg(static_cast<int>(engine::SchedulerKind::kCalendar));
+    ->Arg(static_cast<int>(engine::SchedulerKind::kCalendar))
+    ->Arg(static_cast<int>(engine::SchedulerKind::kAuto));
+
+/// Queue pressure of the batched fan-out path vs the seed's per-recipient
+/// scheduling, n = 128 full mesh (ISSUE 2's acceptance metric).  Reported
+/// counters are per simulated round: scheduler push+pop operations, the
+/// pending-entry high-water mark, and direct (queue-bypassing) deliveries.
+/// arg0: 1 = batched, 0 = per-recipient; arg1: DelayKind (kSlow clusters a
+/// broadcast's deliveries at one instant — the regime the batching wins
+/// outright; kUniform spreads them, where the win is depth, not op count).
+void BM_BroadcastFanoutQueueOps(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  const auto delay = static_cast<analysis::DelayKind>(state.range(1));
+  constexpr std::int32_t kRounds = 3;
+  std::uint64_t ops = 0;
+  std::uint64_t peak = 0;
+  std::uint64_t direct = 0;
+  std::int64_t rounds_done = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    analysis::RunSpec spec;
+    spec.params = core::make_params(128, 42, 1e-5, 0.01, 1e-3, 10.0);
+    spec.rounds = kRounds;
+    spec.delay = delay;
+    spec.seed = 9;
+    spec.batch_fanout = batched;
+    analysis::Experiment experiment(spec);
+    state.ResumeTiming();
+    experiment.simulator().run_until((kRounds + 2) * spec.params.P);
+    ops += experiment.simulator().queue_ops();
+    peak = std::max<std::uint64_t>(peak, experiment.simulator().peak_pending());
+    direct += experiment.simulator().fanout_direct();
+    rounds_done += kRounds;
+  }
+  state.counters["queue_ops/round"] =
+      static_cast<double>(ops) / static_cast<double>(rounds_done);
+  state.counters["peak_pending"] = static_cast<double>(peak);
+  state.counters["direct/round"] =
+      static_cast<double>(direct) / static_cast<double>(rounds_done);
+  state.SetLabel(std::string(batched ? "batched" : "per-recipient") + "/" +
+                 (delay == analysis::DelayKind::kSlow ? "slow" : "uniform"));
+}
+BENCHMARK(BM_BroadcastFanoutQueueOps)
+    ->Args({0, static_cast<int>(analysis::DelayKind::kSlow)})
+    ->Args({1, static_cast<int>(analysis::DelayKind::kSlow)})
+    ->Args({0, static_cast<int>(analysis::DelayKind::kUniform)})
+    ->Args({1, static_cast<int>(analysis::DelayKind::kUniform)})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SimulatedRounds(benchmark::State& state) {
   // Whole-system throughput: one complete Welch-Lynch round (n^2 messages,

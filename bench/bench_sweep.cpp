@@ -1,0 +1,234 @@
+// EXP-SWEEP — the one sweep driver (ROADMAP: "grid n x f x delay x drift
+// without editing mains").
+//
+// Builds the cross product of comma-separated axis lists, runs every cell
+// times every seed through the work-stealing ParallelRunner, and streams
+// one CSV row per trial the moment it completes (rows carry their spec
+// index; completion order is nondeterministic, sort by the first column for
+// a stable view).  Example:
+//
+//   bench_sweep --n=8,16,32 --delay=uniform,slow --drift=extremal
+//               --algo=wl,st --trials=20 --rounds=12 --out=grid.csv
+//
+// Axis values:
+//   --algo      wl, lm, st, ms, mean, hssd
+//   --delay     uniform, fast, slow, perlink, split
+//   --drift     none, extremal, piecewise, randomwalk
+//   --fault     none, silent, spam, twofaced, liar   (with --faults=count;
+//               count < 0 means f, the tolerated maximum)
+//   --topology  mesh, cliques, kregular   (--degree, --clique as needed)
+//   --f         explicit list, or auto = (n-1)/3 per cell
+//   --P         round length; --trials seeds per cell from --seed0
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/parallel_runner.h"
+#include "bench_common.h"
+#include "net/topology.h"
+
+namespace wlsync {
+namespace {
+
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> items;
+  std::stringstream stream(value);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+std::vector<std::int64_t> split_ints(const std::string& value) {
+  std::vector<std::int64_t> items;
+  for (const std::string& item : split_list(value)) {
+    items.push_back(std::stoll(item));
+  }
+  return items;
+}
+
+template <typename T>
+T parse_name(const std::string& name,
+             const std::vector<std::pair<std::string, T>>& table,
+             const char* axis) {
+  for (const auto& [key, value] : table) {
+    if (key == name) return value;
+  }
+  throw std::invalid_argument(std::string("bench_sweep: unknown ") + axis +
+                              " '" + name + "'");
+}
+
+analysis::Algo parse_algo(const std::string& name) {
+  return parse_name<analysis::Algo>(
+      name,
+      {{"wl", analysis::Algo::kWelchLynch},
+       {"lm", analysis::Algo::kLM},
+       {"st", analysis::Algo::kST},
+       {"ms", analysis::Algo::kMS},
+       {"mean", analysis::Algo::kPlainMean},
+       {"hssd", analysis::Algo::kHSSD}},
+      "algo");
+}
+
+analysis::DelayKind parse_delay(const std::string& name) {
+  return parse_name<analysis::DelayKind>(
+      name,
+      {{"uniform", analysis::DelayKind::kUniform},
+       {"fast", analysis::DelayKind::kFast},
+       {"slow", analysis::DelayKind::kSlow},
+       {"perlink", analysis::DelayKind::kPerLink},
+       {"split", analysis::DelayKind::kSplit}},
+      "delay");
+}
+
+analysis::DriftKind parse_drift(const std::string& name) {
+  return parse_name<analysis::DriftKind>(
+      name,
+      {{"none", analysis::DriftKind::kNone},
+       {"extremal", analysis::DriftKind::kExtremal},
+       {"piecewise", analysis::DriftKind::kPiecewise},
+       {"randomwalk", analysis::DriftKind::kRandomWalk}},
+      "drift");
+}
+
+analysis::FaultKind parse_fault(const std::string& name) {
+  return parse_name<analysis::FaultKind>(
+      name,
+      {{"none", analysis::FaultKind::kNone},
+       {"silent", analysis::FaultKind::kSilent},
+       {"spam", analysis::FaultKind::kSpam},
+       {"twofaced", analysis::FaultKind::kTwoFaced},
+       {"liar", analysis::FaultKind::kLiar}},
+      "fault");
+}
+
+net::TopologyKind parse_topology(const std::string& name) {
+  return parse_name<net::TopologyKind>(
+      name,
+      {{"mesh", net::TopologyKind::kFullMesh},
+       {"cliques", net::TopologyKind::kRingOfCliques},
+       {"kregular", net::TopologyKind::kKRegular}},
+      "topology");
+}
+
+const char* topology_label(net::TopologyKind kind) {
+  return net::topology_name(kind);
+}
+
+void write_csv_header(std::ostream& out) {
+  out << "spec,n,f,algo,delay,drift,fault,faults,topology,rounds,seed,"
+         "completed_rounds,messages,gamma_bound,gamma_measured,adj_bound,"
+         "max_abs_adj,final_skew,validity_holds,diverged\n";
+}
+
+}  // namespace
+}  // namespace wlsync
+
+int main(int argc, char** argv) {
+  using namespace wlsync;
+  const util::Flags flags(argc, argv);
+
+  const std::vector<std::int64_t> ns = split_ints(flags.get_string("n", "7"));
+  const std::string f_flag = flags.get_string("f", "auto");
+  const std::vector<std::string> algos =
+      split_list(flags.get_string("algo", "wl"));
+  const std::vector<std::string> delays =
+      split_list(flags.get_string("delay", "uniform"));
+  const std::vector<std::string> drifts =
+      split_list(flags.get_string("drift", "extremal"));
+  const std::vector<std::string> faults =
+      split_list(flags.get_string("fault", "none"));
+  const std::vector<std::string> topologies =
+      split_list(flags.get_string("topology", "mesh"));
+  const auto fault_count = flags.get_int("faults", -1);
+  const auto trials = static_cast<std::int32_t>(flags.get_int("trials", 5));
+  const auto rounds = static_cast<std::int32_t>(flags.get_int("rounds", 12));
+  const double P = flags.get_double("P", 10.0);
+  const auto seed0 = static_cast<std::uint64_t>(flags.get_int("seed0", 1));
+  const auto threads = static_cast<int>(flags.get_int("threads", 0));
+  const std::string out_path = flags.get_string("out", "");
+
+  // ------------------------------------------------------------- grid ---
+  std::vector<analysis::RunSpec> specs;
+  for (const std::int64_t n : ns) {
+    const std::vector<std::int64_t> fs =
+        f_flag == "auto" ? std::vector<std::int64_t>{(n - 1) / 3}
+                         : split_ints(f_flag);
+    for (const std::int64_t f : fs) {
+      for (const std::string& algo : algos) {
+        for (const std::string& delay : delays) {
+          for (const std::string& drift : drifts) {
+            for (const std::string& fault : faults) {
+              for (const std::string& topology : topologies) {
+                analysis::RunSpec base;
+                base.params = core::make_params(
+                    static_cast<std::int32_t>(n), static_cast<std::int32_t>(f),
+                    1e-5, 0.01, 1e-3, P);
+                base.algo = parse_algo(algo);
+                base.delay = parse_delay(delay);
+                base.drift = parse_drift(drift);
+                base.fault = parse_fault(fault);
+                base.fault_count =
+                    base.fault == analysis::FaultKind::kNone
+                        ? 0
+                        : static_cast<std::int32_t>(
+                              fault_count < 0 ? f : fault_count);
+                base.topology.kind = parse_topology(topology);
+                base.topology.degree =
+                    static_cast<std::int32_t>(flags.get_int("degree", 8));
+                base.topology.clique_size =
+                    static_cast<std::int32_t>(flags.get_int("clique", 8));
+                base.rounds = rounds;
+                const std::vector<analysis::RunSpec> seeded =
+                    analysis::seed_sweep(base, seed0, trials);
+                specs.insert(specs.end(), seeded.begin(), seeded.end());
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // ----------------------------------------------------------- stream ---
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::cerr << "bench_sweep: cannot open --out=" << out_path << "\n";
+      return 1;
+    }
+  }
+  std::ostream& csv = out_path.empty() ? std::cout : file;
+  write_csv_header(csv);
+
+  std::size_t done = 0;
+  const analysis::ParallelRunner runner(threads);
+  std::cerr << "bench_sweep: " << specs.size() << " trials on "
+            << runner.threads() << " threads\n";
+  (void)runner.run_streaming(
+      specs, [&](std::size_t i, const analysis::RunResult& r) {
+        const analysis::RunSpec& s = specs[i];
+        csv << i << ',' << s.params.n << ',' << s.params.f << ','
+            << bench::algo_name(s.algo) << ',' << bench::delay_name(s.delay)
+            << ',' << bench::drift_name(s.drift) << ','
+            << bench::fault_name(s.fault) << ',' << s.fault_count << ','
+            << topology_label(s.topology.kind) << ',' << s.rounds << ','
+            << s.seed << ',' << r.completed_rounds << ',' << r.messages << ','
+            << r.gamma_bound << ',' << r.gamma_measured << ',' << r.adj_bound
+            << ',' << r.max_abs_adj << ',' << r.final_skew << ','
+            << (r.validity.holds ? 1 : 0) << ',' << (r.diverged ? 1 : 0)
+            << '\n';
+        if (++done % 50 == 0) {
+          std::cerr << "  " << done << "/" << specs.size() << " trials\n";
+        }
+      });
+  csv.flush();
+  std::cerr << "bench_sweep: done (" << done << " trials)\n";
+  return 0;
+}

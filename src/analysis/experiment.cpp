@@ -105,6 +105,11 @@ void Experiment::build() {
   sim_config.seed = rng.fork(1)();
   sim_config.nic = spec_.nic;
   sim_config.scheduler = spec_.scheduler;
+  sim_config.batch_fanout = spec_.batch_fanout;
+  if (spec_.topology.kind != net::TopologyKind::kFullMesh) {
+    // Full mesh stays on the implicit fast path (no adjacency storage).
+    sim_config.topology = net::build_topology(spec_.topology, p.n);
+  }
   util::Rng delay_rng = rng.fork(2);
   sim_ = std::make_unique<sim::Simulator>(sim_config,
                                           build_delay(spec_.delay, p, delay_rng));

@@ -19,6 +19,7 @@
 #include "analysis/skew.h"
 #include "core/params.h"
 #include "core/welch_lynch.h"
+#include "net/topology.h"
 #include "sim/simulator.h"
 
 namespace wlsync::analysis {
@@ -83,14 +84,24 @@ struct RunSpec {
   DriftKind drift = DriftKind::kExtremal;
   double drift_period = 2.0;
 
+  /// Exchange graph (net layer).  kFullMesh is the paper's model and runs
+  /// the implicit-mesh fast path; sparse kinds open the large-n workload
+  /// family (bench_topology).
+  net::TopologySpec topology;
+  /// Batched fan-out delivery: one scheduler entry per in-flight broadcast.
+  /// Results are bit-identical either way (tests/topology_test.cpp); false
+  /// keeps the seed's per-recipient scheduling as the measured baseline.
+  bool batch_fanout = true;
+
   /// Real-time spread of the nonfaulty STARTs; < 0 means 0.9 * beta.
   double initial_spread = -1.0;
   std::int32_t rounds = 20;
   std::uint64_t seed = 1;
   std::optional<sim::NicConfig> nic;
   /// Engine scheduling policy — performance only; results are identical
-  /// under every policy (see tests/engine_test.cpp).
-  engine::SchedulerKind scheduler = engine::SchedulerKind::kDaryHeap;
+  /// under every policy (see tests/engine_test.cpp).  kAuto selects by
+  /// observed queue depth; set an explicit kind to override.
+  engine::SchedulerKind scheduler = engine::SchedulerKind::kAuto;
 
   double lm_delta_max = 0.0;  ///< 0 = auto
   double ms_tau = 0.0;        ///< 0 = auto

@@ -8,6 +8,12 @@
 
 namespace wlsync::analysis {
 
+namespace {
+thread_local bool t_in_runner_worker = false;
+}
+
+bool ParallelRunner::in_worker() noexcept { return t_in_runner_worker; }
+
 ParallelRunner::ParallelRunner(int threads) : threads_(threads) {
   if (threads_ <= 0) {
     threads_ = static_cast<int>(std::thread::hardware_concurrency());
@@ -25,26 +31,53 @@ void ParallelRunner::run_indexed(
     return;
   }
 
-  std::atomic<std::size_t> next{0};
+  // Contiguous chunk per worker, drained front-to-back through an atomic
+  // cursor; exhausted workers steal from the other chunks in ring order.
+  // The cursor may overshoot `end` by one per visiting worker — bounded,
+  // and claims beyond the chunk simply fall through to the next victim.
+  struct Chunk {
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+  };
+  std::vector<Chunk> chunks(workers);
+  const std::size_t base = count / workers;
+  const std::size_t extra = count % workers;
+  std::size_t begin = 0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    chunks[w].next.store(begin, std::memory_order_relaxed);
+    begin += base + (w < extra ? 1 : 0);
+    chunks[w].end = begin;
+  }
+
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
-  auto worker = [&] {
+  auto run_one = [&](std::size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  auto drain = [&](Chunk& chunk) {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        fn(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
+      const std::size_t i = chunk.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= chunk.end) return;
+      run_one(i);
+    }
+  };
+  auto worker = [&](std::size_t w) {
+    t_in_runner_worker = true;  // pool threads die with the call: no reset
+    drain(chunks[w]);
+    for (std::size_t lap = 1; lap < workers; ++lap) {
+      drain(chunks[(w + lap) % workers]);  // steal from the others
     }
   };
 
   std::vector<std::thread> pool;
   pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker, w);
   for (std::thread& thread : pool) thread.join();
 
   if (first_error) std::rethrow_exception(first_error);
@@ -57,6 +90,21 @@ std::vector<RunResult> ParallelRunner::run(
   // deterministic: position i is trial i regardless of completion order.
   run_indexed(specs.size(),
               [&](std::size_t i) { results[i] = run_experiment(specs[i]); });
+  return results;
+}
+
+std::vector<RunResult> ParallelRunner::run_streaming(
+    const std::vector<RunSpec>& specs,
+    const std::function<void(std::size_t, const RunResult&)>& on_result)
+    const {
+  if (!on_result) return run(specs);
+  std::vector<RunResult> results(specs.size());
+  std::mutex stream_mutex;
+  run_indexed(specs.size(), [&](std::size_t i) {
+    results[i] = run_experiment(specs[i]);
+    const std::lock_guard<std::mutex> lock(stream_mutex);
+    on_result(i, results[i]);
+  });
   return results;
 }
 

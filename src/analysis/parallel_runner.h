@@ -10,6 +10,15 @@
 // is bit-for-bit the RunResult a serial run_experiment(specs[i]) produces,
 // whatever the thread count or interleaving (pinned by
 // tests/parallel_runner_test.cpp).
+//
+// Scheduling is work-stealing over contiguous chunks: each worker owns an
+// equal slice of the index space (locality for cache- and NUMA-friendly
+// sweeps) and drains it through a per-chunk atomic cursor; workers that
+// finish early steal from the slices with work remaining, so heterogeneous
+// trial costs — a grid mixing n = 4 with n = 512 — keep every core busy to
+// the end instead of waiting on whichever worker drew the expensive tail.
+// run_streaming additionally surfaces each trial's result the moment it
+// completes, for CSV writers and progress meters over long grids.
 
 #include <cstdint>
 #include <functional>
@@ -27,15 +36,30 @@ class ParallelRunner {
   [[nodiscard]] int threads() const noexcept { return threads_; }
 
   /// Invokes fn(0) ... fn(count - 1), each exactly once, sharded across the
-  /// pool.  fn must be safe to call concurrently for distinct indices.  The
-  /// first exception thrown by any task is rethrown to the caller after all
-  /// workers have drained.
+  /// pool (work-stealing chunks — see the header comment).  fn must be safe
+  /// to call concurrently for distinct indices.  The first exception thrown
+  /// by any task is rethrown to the caller after all workers have drained.
   void run_indexed(std::size_t count,
                    const std::function<void(std::size_t)>& fn) const;
+
+  /// True on a thread currently executing run_indexed work.  Auto-parallel
+  /// helpers (analysis/measure.cpp) consult this to stay serial inside an
+  /// outer sweep instead of oversubscribing the machine with nested pools.
+  [[nodiscard]] static bool in_worker() noexcept;
 
   /// Runs one Experiment per spec; result[i] corresponds to specs[i].
   [[nodiscard]] std::vector<RunResult> run(
       const std::vector<RunSpec>& specs) const;
+
+  /// Like run(), but additionally invokes on_result(i, result) as each
+  /// trial finishes — completion order, not spec order; calls are
+  /// serialized, so the callback may write to shared sinks (CSV, progress
+  /// bars) without its own locking.  The returned vector is still in spec
+  /// order and bit-identical to run()'s.
+  std::vector<RunResult> run_streaming(
+      const std::vector<RunSpec>& specs,
+      const std::function<void(std::size_t, const RunResult&)>& on_result)
+      const;
 
  private:
   int threads_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "analysis/measure.h"
 #include "core/params.h"
 
 namespace wlsync::analysis {
@@ -23,17 +24,26 @@ double skew_at(const sim::Simulator& sim, const std::vector<std::int32_t>& ids,
 SkewSeries skew_series(const sim::Simulator& sim,
                        const std::vector<std::int32_t>& ids, double t0,
                        double t1, double dt) {
+  // Batched pipeline: one pass over every clock for the whole window, then
+  // a column-wise spread — same instants and identical doubles as the
+  // historical per-sample skew_at scan (pinned by tests/topology_test.cpp).
+  const LocalTimeGrid grid = sample_local_times(
+      sim, ids, sample_times_with_endpoint(t0, t1, dt));
   SkewSeries series;
-  for (double t = t0; t < t1; t += dt) {
-    series.times.push_back(t);
-    const double skew = skew_at(sim, ids, t);
+  series.times = grid.times;
+  series.skews.reserve(grid.cols);
+  for (std::size_t k = 0; k < grid.cols; ++k) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < grid.rows; ++r) {
+      const double local = grid.at(r, k);
+      lo = std::min(lo, local);
+      hi = std::max(hi, local);
+    }
+    const double skew = hi - lo;
     series.skews.push_back(skew);
     series.max_skew = std::max(series.max_skew, skew);
   }
-  series.times.push_back(t1);
-  const double skew = skew_at(sim, ids, t1);
-  series.skews.push_back(skew);
-  series.max_skew = std::max(series.max_skew, skew);
   return series;
 }
 
@@ -91,11 +101,17 @@ ValidityReport check_validity(const sim::Simulator& sim,
   report.max_lower_violation = -std::numeric_limits<double>::infinity();
   double hi_slope = -std::numeric_limits<double>::infinity();
   double lo_slope = std::numeric_limits<double>::infinity();
-  for (double t = t_start; t <= t_end; t += dt) {
-    for (std::int32_t id : ids) {
-      const double elapsed = sim.local_time(id, t) - params.T0;
-      const double upper = derived.alpha2 * (t - tmin0) + derived.alpha3;
-      const double lower = derived.alpha1 * (t - tmax0) - derived.alpha3;
+  // Same single-pass pipeline as skew_series; the envelope folds are
+  // order-insensitive (max/min), evaluated in the historical t-outer,
+  // id-inner order regardless.
+  const LocalTimeGrid grid =
+      sample_local_times(sim, ids, sample_times_closed(t_start, t_end, dt));
+  for (std::size_t k = 0; k < grid.cols; ++k) {
+    const double t = grid.times[k];
+    const double upper = derived.alpha2 * (t - tmin0) + derived.alpha3;
+    const double lower = derived.alpha1 * (t - tmax0) - derived.alpha3;
+    for (std::size_t r = 0; r < grid.rows; ++r) {
+      const double elapsed = grid.at(r, k) - params.T0;
       report.max_upper_violation =
           std::max(report.max_upper_violation, elapsed - upper);
       report.max_lower_violation =

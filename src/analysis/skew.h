@@ -7,6 +7,10 @@
 // (Section 3.2): the agreement spread max |L_p(t) - L_q(t)| and the
 // validity envelope alpha1 (t - tmax0) - alpha3 <= L_p(t) - T0 <=
 // alpha2 (t - tmin0) + alpha3.
+//
+// skew_series and check_validity run on the sharded single-pass pipeline of
+// analysis/measure.h (each clock walked once per window); skew_at is the
+// per-sample reference scan the pipeline is regression-pinned against.
 
 #include <cstdint>
 #include <vector>

@@ -40,7 +40,18 @@ void RoundExchangeProcess::on_timer(proc::Context& ctx, std::int32_t tag) {
       begin_round(ctx);
       break;
     case kUpdateTimer: {
-      const double adj = compute_adjustment(diff_, ctx.id());
+      // Project the per-id estimates onto the neighbor view: one slot per
+      // exchange-graph neighbor, own slot pinned to 0 (our clock is 0 away
+      // from itself).  On the full mesh this is the historical all-n
+      // vector, bit for bit.
+      const std::span<const std::int32_t> peers = ctx.neighbors();
+      values_.clear();
+      values_.reserve(peers.size());
+      for (std::int32_t q : peers) {
+        values_.push_back(q == ctx.id() ? 0.0
+                                        : diff_[static_cast<std::size_t>(q)]);
+      }
+      const double adj = compute_adjustment(values_);
       last_adj_ = adj;
       ctx.add_corr(adj);
       ctx.annotate({proc::Annotation::Type::kUpdate, round_, adj, 0.0});
@@ -56,12 +67,11 @@ void RoundExchangeProcess::on_timer(proc::Context& ctx, std::int32_t tag) {
 }
 
 double InteractiveConvergenceProcess::compute_adjustment(
-    const std::vector<double>& diffs, std::int32_t self) const {
+    const std::vector<double>& diffs) const {
   // CNV: replace values differing from our own (0) by more than delta_max
-  // with 0, then average all n.
+  // with 0, then average the whole neighbor view.
   double sum = 0.0;
-  for (std::size_t q = 0; q < diffs.size(); ++q) {
-    double v = static_cast<std::int32_t>(q) == self ? 0.0 : diffs[q];
+  for (double v : diffs) {
     if (v == core::kNeverArrived || std::abs(v) > delta_max_) v = 0.0;
     sum += v;
   }
@@ -69,27 +79,25 @@ double InteractiveConvergenceProcess::compute_adjustment(
 }
 
 double MahaneySchneiderProcess::compute_adjustment(
-    const std::vector<double>& diffs, std::int32_t self) const {
+    const std::vector<double>& diffs) const {
+  // A value is acceptable if >= peers - f values (itself included) lie
+  // within tau of it; unacceptable or missing values are replaced by our
+  // own (0).  `peers` is the neighbor view — params().n on the full mesh.
   const auto n = diffs.size();
-  std::vector<double> values(n);
-  for (std::size_t q = 0; q < n; ++q) {
-    const double v = static_cast<std::int32_t>(q) == self ? 0.0 : diffs[q];
-    values[q] = v;
-  }
-  // A value is acceptable if >= n - f values (itself included) lie within
-  // tau of it; unacceptable or missing values are replaced by our own (0).
-  const auto needed =
-      static_cast<std::size_t>(params().n - params().f);
+  // Guard sparse neighbor views smaller than f: never require fewer than
+  // one supporter (the value itself).
+  const auto f = static_cast<std::size_t>(params().f);
+  const std::size_t needed = n > f ? n - f : 1;
   double sum = 0.0;
   for (std::size_t q = 0; q < n; ++q) {
-    double v = values[q];
+    double v = diffs[q];
     if (v == core::kNeverArrived) {
       sum += 0.0;
       continue;
     }
     std::size_t close = 0;
     for (std::size_t r = 0; r < n; ++r) {
-      if (values[r] != core::kNeverArrived && std::abs(values[r] - v) <= tau_) {
+      if (diffs[r] != core::kNeverArrived && std::abs(diffs[r] - v) <= tau_) {
         ++close;
       }
     }
@@ -99,11 +107,10 @@ double MahaneySchneiderProcess::compute_adjustment(
   return sum / static_cast<double>(n);
 }
 
-double PlainMeanProcess::compute_adjustment(const std::vector<double>& diffs,
-                                            std::int32_t self) const {
+double PlainMeanProcess::compute_adjustment(
+    const std::vector<double>& diffs) const {
   double sum = 0.0;
-  for (std::size_t q = 0; q < diffs.size(); ++q) {
-    double v = static_cast<std::int32_t>(q) == self ? 0.0 : diffs[q];
+  for (double v : diffs) {
     if (v == core::kNeverArrived) v = 0.0;
     sum += v;  // no clipping: one liar can drag the mean anywhere
   }

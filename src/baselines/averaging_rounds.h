@@ -33,12 +33,12 @@ class RoundExchangeProcess : public proc::Process {
 
  protected:
   /// Combines this round's difference estimates into a clock adjustment.
-  /// `diffs[q]` is the estimate for process q or core::kNeverArrived if no
-  /// message arrived; `self` is the caller's id (its own entry is an
-  /// estimate of its own broadcast echoed back — subclasses typically
-  /// override it with 0).
+  /// `diffs` holds one entry per *neighbor* (the caller's exchange-graph
+  /// view, which is every process on the paper's full mesh), in neighbor
+  /// order: the estimate for that neighbor, core::kNeverArrived if no
+  /// message arrived, and exactly 0.0 for the caller's own slot.
   [[nodiscard]] virtual double compute_adjustment(
-      const std::vector<double>& diffs, std::int32_t self) const = 0;
+      const std::vector<double>& diffs) const = 0;
 
   [[nodiscard]] const core::Params& params() const noexcept { return params_; }
 
@@ -48,6 +48,7 @@ class RoundExchangeProcess : public proc::Process {
   core::Params params_;
   core::Derived derived_;
   std::vector<double> diff_;
+  std::vector<double> values_;  ///< per-round neighbor-view scratch
   double label_ = 0.0;
   std::int32_t round_ = 0;
   double last_adj_ = 0.0;
@@ -65,8 +66,8 @@ class InteractiveConvergenceProcess final : public RoundExchangeProcess {
       : RoundExchangeProcess(params), delta_max_(delta_max) {}
 
  protected:
-  [[nodiscard]] double compute_adjustment(const std::vector<double>& diffs,
-                                          std::int32_t self) const override;
+  [[nodiscard]] double compute_adjustment(
+      const std::vector<double>& diffs) const override;
 
  private:
   double delta_max_;
@@ -82,8 +83,8 @@ class MahaneySchneiderProcess final : public RoundExchangeProcess {
       : RoundExchangeProcess(params), tau_(tau) {}
 
  protected:
-  [[nodiscard]] double compute_adjustment(const std::vector<double>& diffs,
-                                          std::int32_t self) const override;
+  [[nodiscard]] double compute_adjustment(
+      const std::vector<double>& diffs) const override;
 
  private:
   double tau_;
@@ -98,8 +99,8 @@ class PlainMeanProcess final : public RoundExchangeProcess {
       : RoundExchangeProcess(params) {}
 
  protected:
-  [[nodiscard]] double compute_adjustment(const std::vector<double>& diffs,
-                                          std::int32_t self) const override;
+  [[nodiscard]] double compute_adjustment(
+      const std::vector<double>& diffs) const override;
 };
 
 }  // namespace wlsync::baselines

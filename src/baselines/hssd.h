@@ -11,6 +11,12 @@
 // the n > 3f requirement: any number of process faults is tolerated as long
 // as nonfaulty processes stay connected.
 //
+// Relays go through Context::broadcast and therefore follow the configured
+// net::Topology: on a sparse exchange graph the signature chains hop across
+// the diameter exactly as [HSSD] intends (connectivity of the nonfaulty
+// subgraph is the algorithm's only network requirement), and the timeliness
+// test already charges k hops for a k-signature chain.
+//
 // Signature simulation: a chain is (round label, signature count) in
 // (value, aux).  Unforgeability is an *assumption* of [HSSD]; adversaries
 // in HSSD experiments are therefore restricted to omission-style faults

@@ -36,12 +36,19 @@ void SrikanthTouegProcess::on_message(proc::Context& ctx, const sim::Message& m)
   auto& senders = heard_[k];
   senders.insert(m.from);
   const auto count = static_cast<std::int32_t>(senders.size());
-  if (count >= params_.f + 1) {
-    // f+1 distinct senders include an honest one: join the broadcast even if
-    // our own clock has not reached kP yet (the relay rule).
+  // Quorums are f-based, but a process can only ever hear its exchange-graph
+  // neighbors: clamp so sparse topologies (neighbor view < 2f+1) degrade to
+  // neighborhood-unanimity instead of deadlocking.  On the paper's full
+  // mesh (n >= 3f+1 neighbors) the clamps are no-ops.
+  const std::int32_t accept_quorum =
+      std::min(2 * params_.f + 1, ctx.neighbor_count());
+  const std::int32_t relay_quorum = std::min(params_.f + 1, accept_quorum);
+  if (count >= relay_quorum) {
+    // Enough distinct senders include an honest one: join the broadcast even
+    // if our own clock has not reached kP yet (the relay rule).
     maybe_broadcast(ctx, k);
   }
-  if (count >= 2 * params_.f + 1) accept(ctx, k);
+  if (count >= accept_quorum) accept(ctx, k);
 }
 
 void SrikanthTouegProcess::accept(proc::Context& ctx, std::int32_t k) {

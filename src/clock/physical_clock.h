@@ -20,6 +20,13 @@
 namespace wlsync::clk {
 
 class PhysicalClock {
+ private:
+  struct Breakpoint {
+    double real;   ///< real time at segment start
+    double clock;  ///< clock reading at segment start
+    double rate;   ///< slope over this segment
+  };
+
  public:
   /// A clock reading `offset` at real time 0, advancing per `drift`.
   /// `rho` is the asserted bound; every segment rate is validated against it.
@@ -39,13 +46,33 @@ class PhysicalClock {
   /// Clock value at real time 0.
   [[nodiscard]] double offset() const noexcept { return breaks_.front().clock; }
 
- private:
-  struct Breakpoint {
-    double real;   ///< real time at segment start
-    double clock;  ///< clock reading at segment start
-    double rate;   ///< slope over this segment
+  /// Single-pass sampling cursor for the batched measurement pipeline:
+  /// repeated now(t) calls with non-decreasing t walk the segment list once
+  /// (amortized O(1) per sample) through a private index, never the clock's
+  /// shared hint caches — so Walkers over *distinct* clocks are safe to
+  /// drive from different threads.  Queries past the generated horizon
+  /// still extend the walked clock lazily; shard by clock, never share one
+  /// clock across threads.  Produces bit-identical values to now().
+  class Walker {
+   public:
+    explicit Walker(const PhysicalClock& clock) : clock_(clock) {}
+
+    [[nodiscard]] double now(double real_time) {
+      clock_.extend_real(real_time);
+      const std::vector<Breakpoint>& breaks = clock_.breaks_;
+      while (seg_ + 1 < breaks.size() && breaks[seg_ + 1].real <= real_time) {
+        ++seg_;
+      }
+      const Breakpoint& seg = breaks[seg_];
+      return seg.clock + (real_time - seg.real) * seg.rate;
+    }
+
+   private:
+    const PhysicalClock& clock_;
+    std::size_t seg_ = 0;
   };
 
+ private:
   void extend_real(double real_time) const;
   void extend_clock(double clock_time) const;
   [[nodiscard]] std::size_t locate_real(double real_time) const;

@@ -117,12 +117,28 @@ void WelchLynchProcess::on_message(proc::Context& ctx, const sim::Message& m) {
 void WelchLynchProcess::do_update(proc::Context& ctx) {
   const double base = label_ + static_cast<double>(exchange_) * sub_period(ctx);
   // AV := mid(reduce(ARR)); ADJ := T + delta - AV; CORR := CORR + ADJ.
-  const double av =
-      config_.averaging == Averaging::kMidpoint
-          ? ms::fault_tolerant_midpoint(
-                arr_, static_cast<std::size_t>(config_.params.f))
-          : ms::fault_tolerant_mean(arr_,
-                                    static_cast<std::size_t>(config_.params.f));
+  // The multiset is the neighbor view: on the paper's full mesh that is all
+  // of ARR; on a sparse exchange graph only neighbors can have arrived, so
+  // the non-neighbor slots (permanently kNeverArrived) must not be allowed
+  // to masquerade as f stale entries for reduce() to clip.
+  auto f = static_cast<std::size_t>(config_.params.f);
+  const std::span<const std::int32_t> peers = ctx.neighbors();
+  const ms::Multiset* values = &arr_;
+  if (static_cast<std::int32_t>(peers.size()) != ctx.process_count()) {
+    scratch_.clear();
+    scratch_.reserve(peers.size());
+    for (std::int32_t q : peers) {
+      scratch_.push_back(arr_[static_cast<std::size_t>(q)]);
+    }
+    values = &scratch_;
+    // The A2 ratio applied to the neighborhood: a process can only clip
+    // the faults that can actually reach it, so the global budget f caps
+    // at (deg - 1) / 3 locally (deg >= 3 f_local + 1, as n >= 3f + 1).
+    f = std::min(f, (scratch_.size() - 1) / 3);
+  }
+  const double av = config_.averaging == Averaging::kMidpoint
+                        ? ms::fault_tolerant_midpoint(*values, f)
+                        : ms::fault_tolerant_mean(*values, f);
   const double adj = base + config_.params.delta - av;
   last_av_ = av;
   last_adj_ = adj;

@@ -99,6 +99,7 @@ class WelchLynchProcess final : public proc::Process {
   WelchLynchConfig config_;
   Derived derived_;
   std::vector<double> arr_;
+  std::vector<double> scratch_;  ///< neighbor-view multiset (sparse graphs)
   double label_ = 0.0;        ///< T: start label of the current round
   std::int32_t round_ = 0;    ///< i
   std::int32_t exchange_ = 0; ///< sub-exchange j in [0, k)

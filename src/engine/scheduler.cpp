@@ -245,6 +245,63 @@ class CalendarQueueScheduler final : public SchedulerPolicy {
   mutable std::size_t cache_pos_ = 0;
 };
 
+// ------------------------------------------------------------------ auto ---
+
+/// Depth-adaptive policy (the ROADMAP item PR 1 left manual): a d-ary heap
+/// while the pending set is small, the calendar queue once it grows past
+/// kCalendarAt.  Wide hysteresis (migrate back only below kHeapAt) keeps
+/// workloads that oscillate around the threshold from paying the O(k log k)
+/// migration repeatedly.  Selection depends only on the pending-set size,
+/// which is itself determined by the deterministic execution — and since
+/// every policy pops the identical (time, tier, seq) order, the switch is
+/// invisible to results whenever it happens.
+class AutoScheduler final : public SchedulerPolicy {
+ public:
+  explicit AutoScheduler(const sim::EventPool& pool)
+      : heap_(pool), calendar_(pool), active_(&heap_) {}
+
+  void push(sim::EventHandle handle) override {
+    active_->push(handle);
+    if (active_ == &heap_ && heap_.size() >= kCalendarAt) {
+      migrate(&heap_, &calendar_);
+    }
+  }
+  sim::EventHandle pop() override {
+    const sim::EventHandle handle = active_->pop();
+    maybe_downshift();
+    return handle;
+  }
+  sim::EventHandle pop_if_not_after(double time) override {
+    const sim::EventHandle handle = active_->pop_if_not_after(time);
+    if (handle != sim::EventPool::kInvalidHandle) maybe_downshift();
+    return handle;
+  }
+  [[nodiscard]] sim::EventHandle peek() const override {
+    return active_->peek();
+  }
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return active_->size();
+  }
+
+ private:
+  static constexpr std::size_t kCalendarAt = 1024;
+  static constexpr std::size_t kHeapAt = 192;
+
+  void maybe_downshift() {
+    if (active_ == &calendar_ && calendar_.size() <= kHeapAt) {
+      migrate(&calendar_, &heap_);
+    }
+  }
+  void migrate(SchedulerPolicy* from, SchedulerPolicy* to) {
+    while (from->size() > 0) to->push(from->pop());
+    active_ = to;
+  }
+
+  DAryHeapScheduler heap_;
+  CalendarQueueScheduler calendar_;
+  SchedulerPolicy* active_;
+};
+
 }  // namespace
 
 const char* scheduler_name(SchedulerKind kind) noexcept {
@@ -252,6 +309,7 @@ const char* scheduler_name(SchedulerKind kind) noexcept {
     case SchedulerKind::kDaryHeap: return "d-ary-heap";
     case SchedulerKind::kCalendar: return "calendar";
     case SchedulerKind::kLegacyHeap: return "legacy-heap";
+    case SchedulerKind::kAuto: return "auto";
   }
   return "?";
 }
@@ -265,6 +323,8 @@ std::unique_ptr<SchedulerPolicy> make_scheduler(SchedulerKind kind,
       return std::make_unique<CalendarQueueScheduler>(pool);
     case SchedulerKind::kLegacyHeap:
       return std::make_unique<LegacyHeapScheduler>(pool);
+    case SchedulerKind::kAuto:
+      return std::make_unique<AutoScheduler>(pool);
   }
   throw std::invalid_argument("make_scheduler: unknown SchedulerKind");
 }

@@ -9,11 +9,17 @@
 // That invariant is what lets scheduler selection be a pure performance
 // knob (and is pinned down by tests/engine_test.cpp).
 //
-// Two policies ship today:
-//   kDaryHeap  — 4-ary indexed heap; O(log n), branch-light, the default.
+// Policies:
+//   kDaryHeap  — 4-ary indexed heap; O(log n), branch-light.
 //   kCalendar  — Brown's calendar queue; amortized O(1) for workloads whose
 //                event times are roughly uniform per window, the classic
 //                choice of large discrete-event network simulators.
+//   kAuto      — the default: starts on the d-ary heap and migrates the
+//                pending set to the calendar queue when the observed depth
+//                crosses ~1k events (where the calendar wins ~2.5x), back
+//                when it falls low again.  Migration drains one policy into
+//                the other; since every policy pops the same total order,
+//                switching at any instant cannot change the execution.
 
 #include <cstdint>
 #include <memory>
@@ -29,6 +35,10 @@ enum class SchedulerKind : std::uint8_t {
   /// every sift.  Kept as the measured baseline for bench_micro's
   /// event-throughput comparison; never the right choice in production.
   kLegacyHeap = 2,
+  /// Depth-adaptive: d-ary heap below ~1k pending events, calendar queue
+  /// above (hysteresis avoids thrashing at the boundary).  The default;
+  /// pick an explicit policy via SimConfig/RunSpec to override.
+  kAuto = 3,
 };
 
 [[nodiscard]] const char* scheduler_name(SchedulerKind kind) noexcept;

@@ -1,0 +1,121 @@
+#pragma once
+// The exchange graph of the network layer.
+//
+// The paper's model is fully connected: broadcast(m) reaches every process,
+// including the sender (Section 2.2).  That is the faithful default here —
+// but at n >= 64 the n^2 messages per round dominate everything, and the
+// sparse/structured exchange graphs of the gradient-clock-sync literature
+// (Bund/Lenzen/Rosenbaum; Khanchandani/Lenzen) are the route to scale.  A
+// Topology is the pluggable answer: a symmetric adjacency, stored CSR for
+// cache-friendly fan-out walks, that Context::broadcast routes through.
+//
+// Invariants every constructor establishes (and from_adjacency repairs):
+//   * each node's neighbor list contains the node itself (a process always
+//     hears its own broadcast, as in the paper);
+//   * lists are sorted ascending and duplicate-free — the batched fan-out
+//     draws per-link delays in neighbor order, so this ordering is what
+//     makes full-mesh runs bit-identical to the unbatched engine;
+//   * the graph is symmetric (p hears q iff q hears p), matching the
+//     bidirectional-link reading of assumption A3.
+//
+// Point-to-point Context::send is NOT restricted by the topology: Byzantine
+// processes may address anyone (A2 constrains channels, not senders), and
+// the two-faced adversary depends on that.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wlsync::net {
+
+class Topology {
+ public:
+  /// Every pair of processes exchanges messages (the paper's model).
+  [[nodiscard]] static Topology full_mesh(std::int32_t n);
+
+  /// Cliques of `clique_size` consecutive ids, closed into a ring by one
+  /// bridge edge between adjacent cliques (last node of clique k to first
+  /// node of clique k+1).  Diameter ~ n / clique_size; the cheapest
+  /// structured graph that keeps local quorums dense.
+  [[nodiscard]] static Topology ring_of_cliques(std::int32_t n,
+                                                std::int32_t clique_size);
+
+  /// Random circulant graph of degree ~`degree`: stride 1 (a ring, which
+  /// guarantees connectivity) plus degree/2 - 1 distinct random strides,
+  /// each contributing edges i <-> i +- s (mod n).  Random circulants are
+  /// expanders with high probability — the classic constant-degree
+  /// exchange graph for large-n synchronization studies.
+  [[nodiscard]] static Topology k_regular(std::int32_t n, std::int32_t degree,
+                                          std::uint64_t seed);
+
+  /// User-supplied adjacency (`lists[p]` = p's neighbors).  Ids are
+  /// validated, the graph is symmetrized, self-loops are added, and lists
+  /// are sorted/deduplicated.
+  [[nodiscard]] static Topology from_adjacency(
+      const std::vector<std::vector<std::int32_t>>& lists);
+
+  Topology() = default;
+
+  [[nodiscard]] std::int32_t n() const noexcept {
+    return static_cast<std::int32_t>(offsets_.size()) - 1;
+  }
+
+  /// Sorted neighbor ids of p, p itself included.
+  [[nodiscard]] std::span<const std::int32_t> neighbors(std::int32_t p) const {
+    const auto i = static_cast<std::size_t>(p);
+    return {targets_.data() + offsets_[i],
+            static_cast<std::size_t>(offsets_[i + 1] - offsets_[i])};
+  }
+
+  [[nodiscard]] std::int32_t degree(std::int32_t p) const {
+    return static_cast<std::int32_t>(neighbors(p).size());
+  }
+
+  /// Directed edge count (self-loops included); messages per broadcast sum.
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return targets_.size();
+  }
+
+  [[nodiscard]] bool is_full_mesh() const noexcept {
+    return edge_count() ==
+           static_cast<std::size_t>(n()) * static_cast<std::size_t>(n());
+  }
+
+  /// True when every process can reach every other (ignoring self-loops).
+  /// Synchronization is hopeless across disconnected components, so the
+  /// experiment harness validates this up front.
+  [[nodiscard]] bool connected() const;
+
+ private:
+  /// CSR: neighbors of p are targets_[offsets_[p] .. offsets_[p+1]).
+  std::vector<std::int32_t> offsets_;  // size n + 1
+  std::vector<std::int32_t> targets_;
+};
+
+// ---------------------------------------------------------------------------
+// Declarative topology selection, the RunSpec- and sweep-facing surface.
+
+enum class TopologyKind : std::uint8_t {
+  kFullMesh = 0,       ///< the paper's model; the batched-fan-out fast path
+  kRingOfCliques = 1,
+  kKRegular = 2,
+  kCustom = 3,         ///< TopologySpec::custom adjacency lists
+};
+
+[[nodiscard]] const char* topology_name(TopologyKind kind) noexcept;
+
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::kFullMesh;
+  std::int32_t clique_size = 8;  ///< kRingOfCliques
+  std::int32_t degree = 8;       ///< kKRegular (effective degree ~ 2*(degree/2))
+  std::uint64_t seed = 1;        ///< kKRegular stride draw
+  std::vector<std::vector<std::int32_t>> custom;  ///< kCustom
+};
+
+/// Materializes the spec for an n-process system.  Throws
+/// std::invalid_argument on malformed specs (including a kCustom adjacency
+/// whose size differs from n, or any disconnected result).
+[[nodiscard]] Topology build_topology(const TopologySpec& spec, std::int32_t n);
+
+}  // namespace wlsync::net

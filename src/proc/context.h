@@ -10,6 +10,7 @@
 // still routing messages through the network (they cannot control delays).
 
 #include <cstdint>
+#include <span>
 
 #include "sim/message.h"
 
@@ -36,6 +37,18 @@ class Context {
 
   [[nodiscard]] virtual std::int32_t id() const = 0;
   [[nodiscard]] virtual std::int32_t process_count() const = 0;
+
+  /// The processes this one exchanges messages with (its closed
+  /// neighborhood in the exchange graph, itself included), sorted by id.
+  /// In the paper's fully connected model this is every process; under a
+  /// sparse net::Topology algorithms must size their quorums and averages
+  /// from this view instead of process_count().
+  [[nodiscard]] virtual std::span<const std::int32_t> neighbors() const = 0;
+
+  /// neighbors().size() as the std::int32_t the quorum arithmetic wants.
+  [[nodiscard]] std::int32_t neighbor_count() const {
+    return static_cast<std::int32_t>(neighbors().size());
+  }
 
   /// Current physical clock reading Ph_p (read-only, Section 2.1).
   [[nodiscard]] virtual double physical_time() const = 0;

@@ -98,6 +98,9 @@ class RtContext final : public proc::Context {
 
   [[nodiscard]] std::int32_t id() const override { return node_.id_; }
   [[nodiscard]] std::int32_t process_count() const override { return node_.n_; }
+  [[nodiscard]] std::span<const std::int32_t> neighbors() const override {
+    return {node_.neighbors_.data(), node_.neighbors_.size()};
+  }
   [[nodiscard]] double physical_time() const override {
     return node_.clock_.now();
   }
@@ -116,7 +119,7 @@ class RtContext final : public proc::Context {
     add_corr(adj);  // the runtime steps; slewing is a display concern
   }
   void broadcast(std::int32_t tag, double value, std::int32_t aux) override {
-    for (std::int32_t to = 0; to < node_.n_; ++to) send(to, tag, value, aux);
+    for (std::int32_t to : node_.neighbors_) send(to, tag, value, aux);
   }
   void send(std::int32_t to, std::int32_t tag, double value,
             std::int32_t aux) override {
@@ -144,12 +147,13 @@ class RtContext final : public proc::Context {
 
 Node::Node(std::int32_t id, std::int32_t n, proc::ProcessPtr process,
            DriftedClock clock, double initial_corr, double start_physical,
-           Router& router)
+           Router& router, std::vector<std::int32_t> neighbors)
     : id_(id),
       n_(n),
       process_(std::move(process)),
       clock_(clock),
       router_(router),
+      neighbors_(std::move(neighbors)),
       start_physical_(start_physical),
       corr_(initial_corr) {}
 
@@ -204,8 +208,9 @@ void Node::run() {
 
 // --------------------------------------------------------------- Cluster --
 
-Cluster::Cluster(Config config) : config_(config) {
+Cluster::Cluster(Config config) : config_(std::move(config)) {
   const core::Params& p = config_.params;
+  const net::Topology topology = net::build_topology(config_.topology, p.n);
   router_ = std::make_unique<Router>(p.n, p.delta, p.eps, config_.seed);
   router_->start();
   const TimePoint epoch = SteadyClock::now();
@@ -223,9 +228,11 @@ Cluster::Cluster(Config config) : config_(config) {
     const double corr0 = p.T0 - phys_at_start;
     core::WelchLynchConfig wl_config;
     wl_config.params = p;
+    const std::span<const std::int32_t> peers = topology.neighbors(id);
     nodes_.push_back(std::make_unique<Node>(
         id, p.n, std::make_unique<core::WelchLynchProcess>(wl_config), clock,
-        corr0, phys_at_start, *router_));
+        corr0, phys_at_start, *router_,
+        std::vector<std::int32_t>(peers.begin(), peers.end())));
   }
   for (auto& node : nodes_) node->start();
 }

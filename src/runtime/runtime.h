@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/welch_lynch.h"
+#include "net/topology.h"
 #include "proc/process.h"
 #include "util/rng.h"
 
@@ -108,10 +109,12 @@ class Router {
 class Node {
  public:
   /// `start_physical` is the physical-clock reading at which on_start fires
-  /// (so the logical clock reads T0 exactly then, per A4).
+  /// (so the logical clock reads T0 exactly then, per A4).  `neighbors` is
+  /// the node's closed neighborhood in the exchange graph (sorted, itself
+  /// included); broadcasts go to exactly these ids.
   Node(std::int32_t id, std::int32_t n, proc::ProcessPtr process,
        DriftedClock clock, double initial_corr, double start_physical,
-       Router& router);
+       Router& router, std::vector<std::int32_t> neighbors);
   ~Node();
 
   void start();
@@ -130,6 +133,7 @@ class Node {
   proc::ProcessPtr process_;
   DriftedClock clock_;
   Router& router_;
+  std::vector<std::int32_t> neighbors_;
   double start_physical_;
   mutable std::mutex mutex_;
   double corr_;
@@ -150,6 +154,9 @@ class Cluster {
     core::Params params;
     double drift_scale = 1.0;  ///< node i rate = 1 +- rho*drift_scale alternating
     std::uint64_t seed = 1;
+    /// Exchange graph the live cluster's broadcasts route through; the
+    /// default is the paper's full mesh.
+    net::TopologySpec topology;
   };
 
   explicit Cluster(Config config);

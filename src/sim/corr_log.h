@@ -64,6 +64,31 @@ class CorrLog {
     double duration;  ///< 0 for steps
   };
 
+ public:
+  /// Single-pass sampling cursor: displayed_at(t) for non-decreasing t,
+  /// walking the entry list once instead of scanning from the back per
+  /// query.  Bit-identical to CorrLog::displayed_at; one Walker per log,
+  /// logs shardable across threads (reads only).
+  class Walker {
+   public:
+    explicit Walker(const CorrLog& log) : log_(log) {}
+
+    [[nodiscard]] double displayed_at(double t) {
+      const std::vector<Entry>& entries = log_.entries_;
+      while (idx_ + 1 < entries.size() && entries[idx_ + 1].t <= t) ++idx_;
+      const Entry& e = entries[idx_];
+      if (e.duration <= 0.0 || t >= e.t + e.duration) return e.target;
+      const double frac = (t - e.t) / e.duration;
+      return e.start + (e.target - e.start) * frac;
+    }
+
+   private:
+    const CorrLog& log_;
+    std::size_t idx_ = 0;
+  };
+
+ private:
+
   [[nodiscard]] const Entry& find(double t) const {
     // Linear scan from the back: queries overwhelmingly target recent times.
     for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {

@@ -27,6 +27,7 @@ enum class EngineKind : std::uint8_t {
   kDeliver = 0,     ///< hand the message to the recipient process
   kNicArrive = 1,   ///< message reaches the recipient's bounded NIC buffer
   kNicService = 2,  ///< NIC hands the next buffered message to the process
+  kFanout = 3,      ///< batched broadcast: next delivery of a FanoutRecord
 };
 
 struct Event {
@@ -35,6 +36,10 @@ struct Event {
   std::uint64_t seq = 0;  ///< insertion order; final deterministic tiebreak
   std::int32_t to = -1;
   EngineKind engine_kind = EngineKind::kDeliver;
+  /// kFanout only: handle of the broadcast's net::FanoutRecord.  The event
+  /// is keyed (time, seq, to) by the record's *next* delivery and re-armed
+  /// in place after each one, so one queue entry serves the whole fan-out.
+  std::uint32_t link = 0xFFFFFFFFu;
   Message msg;
 };
 

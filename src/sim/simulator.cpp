@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -38,10 +39,11 @@ class SimContext final : public proc::AdversaryContext {
   void add_corr_amortized(double adj, double duration) override {
     sim_.do_add_corr(pid_, adj, duration);
   }
+  [[nodiscard]] std::span<const std::int32_t> neighbors() const override {
+    return sim_.neighbors_of(pid_);
+  }
   void broadcast(std::int32_t tag, double value, std::int32_t aux) override {
-    for (std::int32_t to = 0; to < sim_.process_count(); ++to) {
-      sim_.do_send(pid_, to, tag, value, aux);
-    }
+    sim_.do_broadcast(pid_, tag, value, aux);
   }
   void send(std::int32_t to, std::int32_t tag, double value,
             std::int32_t aux) override {
@@ -83,11 +85,11 @@ class SimContext final : public proc::AdversaryContext {
 };
 
 Simulator::Simulator(SimConfig config, std::unique_ptr<DelayModel> delay)
-    : config_(config),
+    : config_(std::move(config)),
       delay_(delay ? std::move(delay)
-                   : make_uniform_delay(config.delta, config.eps)),
-      rng_(config.seed),
-      scheduler_(engine::make_scheduler(config.scheduler, pool_)) {
+                   : make_uniform_delay(config_.delta, config_.eps)),
+      rng_(config_.seed),
+      scheduler_(engine::make_scheduler(config_.scheduler, pool_)) {
   if (config_.eps < 0 || config_.delta < config_.eps) {
     throw std::invalid_argument("Simulator: require delta >= eps >= 0 (A3)");
   }
@@ -104,6 +106,12 @@ std::size_t Simulator::idx(std::int32_t id) const {
   return static_cast<std::size_t>(id);
 }
 
+void Simulator::push_handle(EventHandle handle) {
+  scheduler_->push(handle);
+  ++queue_pushes_;
+  peak_pending_ = std::max(peak_pending_, scheduler_->size());
+}
+
 void Simulator::schedule_event(double time, std::int32_t tier, std::int32_t to,
                                EngineKind engine_kind, const Message& msg) {
   const EventHandle handle = pool_.acquire();
@@ -114,7 +122,26 @@ void Simulator::schedule_event(double time, std::int32_t tier, std::int32_t to,
   event.to = to;
   event.engine_kind = engine_kind;
   event.msg = msg;
-  scheduler_->push(handle);
+  push_handle(handle);
+}
+
+std::span<const std::int32_t> Simulator::neighbors_of(std::int32_t id) const {
+  (void)idx(id);
+  if (config_.topology.has_value()) {
+    if (config_.topology->n() != process_count()) {
+      throw std::logic_error(
+          "Simulator: topology node count does not match process count");
+    }
+    return config_.topology->neighbors(id);
+  }
+  // Implicit full mesh: an identity list shared by every process.
+  if (all_ids_.size() != nodes_.size()) {
+    all_ids_.resize(nodes_.size());
+    for (std::size_t i = 0; i < all_ids_.size(); ++i) {
+      all_ids_[i] = static_cast<std::int32_t>(i);
+    }
+  }
+  return {all_ids_.data(), all_ids_.size()};
 }
 
 std::int32_t Simulator::add_process(proc::ProcessPtr process,
@@ -138,15 +165,19 @@ void Simulator::add_trace_sink(TraceSink* sink) {
   if (sink != nullptr) sinks_.push_back(sink);
 }
 
-void Simulator::do_send(std::int32_t from, std::int32_t to, std::int32_t tag,
-                        double value, std::int32_t aux) {
-  (void)idx(to);  // validates the recipient id
+double Simulator::draw_delay(std::int32_t from, std::int32_t to) {
   const double delay = delay_->delay(from, to, current_time_, rng_);
   if (delay < config_.delta - config_.eps - kDelayTolerance ||
       delay > config_.delta + config_.eps + kDelayTolerance) {
     throw std::logic_error("delay model produced a delay outside A3 bounds");
   }
-  const double deliver_time = current_time_ + delay;
+  return delay;
+}
+
+void Simulator::do_send(std::int32_t from, std::int32_t to, std::int32_t tag,
+                        double value, std::int32_t aux) {
+  (void)idx(to);  // validates the recipient id
+  const double deliver_time = current_time_ + draw_delay(from, to);
   const Message msg = make_app(from, tag, value, aux);
   ++messages_sent_;
   for (TraceSink* sink : sinks_) {
@@ -156,6 +187,55 @@ void Simulator::do_send(std::int32_t from, std::int32_t to, std::int32_t tag,
                  config_.nic.has_value() ? EngineKind::kNicArrive
                                          : EngineKind::kDeliver,
                  msg);
+}
+
+void Simulator::do_broadcast(std::int32_t from, std::int32_t tag, double value,
+                             std::int32_t aux) {
+  const std::span<const std::int32_t> recipients = neighbors_of(from);
+  if (!config_.batch_fanout) {
+    // Reference path: one scheduler entry per recipient (the seed engine).
+    for (std::int32_t to : recipients) do_send(from, to, tag, value, aux);
+    return;
+  }
+  if (recipients.empty()) return;
+
+  // Batched path.  Everything observable happens exactly as in the
+  // reference path and in the same order: delays are drawn per link in
+  // neighbor order from the same RNG stream, seq numbers are the block the
+  // per-recipient loop would have consumed, and on_send fires per
+  // recipient at send time.  Only the scheduler sees a difference — one
+  // entry, keyed by the earliest remaining delivery.
+  const Message msg = make_app(from, tag, value, aux);
+  const net::FanoutHandle record_handle = fanouts_.acquire();
+  net::FanoutRecord& record = fanouts_[record_handle];
+  record.msg = msg;
+  record.deliveries.clear();
+  record.cursor = 0;
+  record.deliveries.reserve(recipients.size());
+  for (std::int32_t to : recipients) {
+    const double deliver_time = current_time_ + draw_delay(from, to);
+    ++messages_sent_;
+    for (TraceSink* sink : sinks_) {
+      sink->on_send(from, to, msg, current_time_, deliver_time);
+    }
+    record.deliveries.push_back({deliver_time, next_seq_++, to});
+  }
+  std::sort(record.deliveries.begin(), record.deliveries.end(),
+            [](const net::FanoutDelivery& a, const net::FanoutDelivery& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;  // equal-time order of the seed engine
+            });
+
+  const net::FanoutDelivery& first = record.deliveries.front();
+  const EventHandle handle = pool_.acquire();
+  Event& event = pool_[handle];
+  event.time = first.time;
+  event.tier = 0;
+  event.seq = first.seq;
+  event.to = first.to;
+  event.engine_kind = EngineKind::kFanout;
+  event.link = record_handle;
+  push_handle(handle);
 }
 
 void Simulator::do_set_timer_logical(std::int32_t pid, double logical_time,
@@ -215,15 +295,81 @@ void Simulator::deliver(std::int32_t pid, const Message& msg) {
 
 bool Simulator::step() {
   if (scheduler_->empty()) return false;
-  dispatch(scheduler_->pop());
+  ++queue_pops_;
+  dispatch(scheduler_->pop(), std::numeric_limits<double>::infinity());
   return true;
 }
 
-void Simulator::dispatch(EventHandle handle) {
+void Simulator::count_event(EventHandle handle) {
   if (++events_processed_ > config_.max_events) {
     pool_.release(handle);
     throw std::runtime_error("Simulator: max_events exceeded (runaway execution?)");
   }
+}
+
+void Simulator::nic_arrive(std::int32_t pid, const Message& msg) {
+  Nic& nic = nodes_[idx(pid)].nic;
+  const NicConfig& cfg = *config_.nic;
+  if (nic.pending.size() >= cfg.capacity) {
+    // Section 9.3: "if too many arrive at once, the old ones are
+    // overwritten."
+    nic.pending.pop_front();
+    ++nic_dropped_;
+    for (TraceSink* sink : sinks_) sink->on_nic_drop(pid, current_time_);
+  }
+  nic.pending.push_back(msg);
+  if (!nic.service_scheduled) {
+    schedule_event(std::max(current_time_, nic.next_free), /*tier=*/0, pid,
+                   EngineKind::kNicService, Message{});
+    nic.service_scheduled = true;
+  }
+}
+
+void Simulator::arrive(std::int32_t pid, const Message& msg) {
+  if (config_.nic.has_value()) {
+    nic_arrive(pid, msg);
+  } else {
+    deliver(pid, msg);
+  }
+}
+
+void Simulator::dispatch_fanout(EventHandle handle, double limit) {
+  // Slab storage keeps both references valid while handlers broadcast into
+  // the same pools.
+  net::FanoutRecord& record = fanouts_[pool_[handle].link];
+  for (;;) {
+    const net::FanoutDelivery due = record.next();
+    count_event(handle);
+    current_time_ = due.time;
+    arrive(due.to, record.msg);
+    ++record.cursor;
+    if (record.done()) break;
+
+    const net::FanoutDelivery& next = record.next();
+    bool requeue = next.time > limit;
+    if (!requeue && scheduler_->size() > 0) {
+      // Run extension: deliver the next recipient without a queue
+      // round-trip only while its key still precedes every pending event
+      // (the handler above may have scheduled earlier ones).
+      const EventKey head = EventKeyOf{}(pool_[scheduler_->peek()]);
+      const EventKey ours{next.time, next.seq};  // tier 0: top bits clear
+      requeue = !(ours < head);
+    }
+    if (requeue) {
+      Event& event = pool_[handle];
+      event.time = next.time;
+      event.seq = next.seq;
+      event.to = next.to;
+      push_handle(handle);
+      return;  // the entry stays live, re-armed for the next recipient
+    }
+    ++fanout_direct_;
+  }
+  fanouts_.release(pool_[handle].link);
+  pool_.release(handle);
+}
+
+void Simulator::dispatch(EventHandle handle, double limit) {
   // Slab storage keeps this reference valid while the handler schedules new
   // events into the same pool; the slot is recycled only after dispatch.
   const Event& event = pool_[handle];
@@ -231,32 +377,21 @@ void Simulator::dispatch(EventHandle handle) {
     pool_.release(handle);
     throw std::logic_error("Simulator: event scheduled in the past");
   }
+  if (event.engine_kind == EngineKind::kFanout) {
+    dispatch_fanout(handle, limit);
+    return;
+  }
+  count_event(handle);
   current_time_ = event.time;
-  Node& node = nodes_[idx(event.to)];
   switch (event.engine_kind) {
     case EngineKind::kDeliver:
       deliver(event.to, event.msg);
       break;
-    case EngineKind::kNicArrive: {
-      Nic& nic = node.nic;
-      const NicConfig& cfg = *config_.nic;
-      if (nic.pending.size() >= cfg.capacity) {
-        // Section 9.3: "if too many arrive at once, the old ones are
-        // overwritten."
-        nic.pending.pop_front();
-        ++nic_dropped_;
-        for (TraceSink* sink : sinks_) sink->on_nic_drop(event.to, current_time_);
-      }
-      nic.pending.push_back(event.msg);
-      if (!nic.service_scheduled) {
-        schedule_event(std::max(current_time_, nic.next_free), /*tier=*/0,
-                       event.to, EngineKind::kNicService, Message{});
-        nic.service_scheduled = true;
-      }
+    case EngineKind::kNicArrive:
+      nic_arrive(event.to, event.msg);
       break;
-    }
     case EngineKind::kNicService: {
-      Nic& nic = node.nic;
+      Nic& nic = nodes_[idx(event.to)].nic;
       nic.service_scheduled = false;
       if (nic.pending.empty()) break;
       const Message msg = std::move(nic.pending.front());
@@ -270,6 +405,8 @@ void Simulator::dispatch(EventHandle handle) {
       }
       break;
     }
+    case EngineKind::kFanout:
+      break;  // handled above
   }
   pool_.release(handle);
 }
@@ -278,7 +415,8 @@ void Simulator::run_until(double real_time) {
   for (;;) {
     const EventHandle handle = scheduler_->pop_if_not_after(real_time);
     if (handle == EventPool::kInvalidHandle) break;
-    dispatch(handle);
+    ++queue_pops_;
+    dispatch(handle, real_time);
   }
   if (real_time > current_time_) current_time_ = real_time;
 }

@@ -2,9 +2,11 @@
 // The execution engine of Section 2.3.
 //
 // A Simulator owns the processes, their physical clocks, the message buffer
-// (a slab-pooled EventPool ordered by a pluggable engine::SchedulerPolicy)
-// and the network delay model, and produces executions that satisfy the six
-// execution properties of the model:
+// (a slab-pooled EventPool ordered by a pluggable engine::SchedulerPolicy),
+// the network layer (an optional net::Topology exchange graph plus batched
+// fan-out delivery — one scheduler entry per in-flight broadcast instead of
+// one per recipient) and the delay model, and produces executions that
+// satisfy the six execution properties of the model:
 //   1/5. events fire exactly at their buffered delivery times, finitely many
 //        before any fixed time (the priority queue);
 //   2/3. configurations chain by construction (single-threaded dispatch);
@@ -23,10 +25,13 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "clock/physical_clock.h"
 #include "engine/scheduler.h"
+#include "net/fanout.h"
+#include "net/topology.h"
 #include "proc/process.h"
 #include "sim/corr_log.h"
 #include "sim/delay.h"
@@ -49,8 +54,20 @@ struct SimConfig {
   std::optional<NicConfig> nic;       ///< engaged only for Section 9.3 studies
   std::uint64_t max_events = 50'000'000;  ///< runaway guard
   /// Event-scheduling policy; a pure performance knob — every policy
-  /// dispatches the identical deterministic (time, tier, seq) order.
-  engine::SchedulerKind scheduler = engine::SchedulerKind::kDaryHeap;
+  /// dispatches the identical deterministic (time, tier, seq) order.  The
+  /// kAuto default selects by observed queue depth; set an explicit kind
+  /// to override.
+  engine::SchedulerKind scheduler = engine::SchedulerKind::kAuto;
+  /// Exchange graph broadcasts route through.  Unset = the paper's fully
+  /// connected model (recipients 0..n-1), with no adjacency materialized.
+  /// When set, its node count must equal the registered process count.
+  std::optional<net::Topology> topology;
+  /// Batched fan-out: a broadcast occupies ONE scheduler entry that re-arms
+  /// per recipient (per-link delays still drawn independently, in the same
+  /// order, so executions are bit-identical either way — pinned by
+  /// tests/topology_test.cpp).  false = the seed's per-recipient
+  /// scheduling, kept as the measured/reference baseline.
+  bool batch_fanout = true;
 };
 
 class Simulator {
@@ -104,6 +121,10 @@ class Simulator {
     return node.clock->now(real_time) + node.corr.displayed_at(real_time);
   }
 
+  /// Closed out-neighborhood of `id` in the exchange graph (sorted, self
+  /// included); all of 0..n-1 when no topology is configured.
+  [[nodiscard]] std::span<const std::int32_t> neighbors_of(std::int32_t id) const;
+
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
   [[nodiscard]] std::uint64_t events_processed() const noexcept {
     return events_processed_;
@@ -111,6 +132,17 @@ class Simulator {
   [[nodiscard]] std::uint64_t nic_dropped() const noexcept { return nic_dropped_; }
   [[nodiscard]] double delta() const noexcept { return config_.delta; }
   [[nodiscard]] double eps() const noexcept { return config_.eps; }
+
+  // Engine pressure counters (bench_micro / bench_topology):
+  /// Scheduler push + pop operations performed so far.
+  [[nodiscard]] std::uint64_t queue_ops() const noexcept {
+    return queue_pushes_ + queue_pops_;
+  }
+  /// High-water mark of pending scheduler entries.
+  [[nodiscard]] std::size_t peak_pending() const noexcept { return peak_pending_; }
+  /// Fan-out deliveries made directly (no queue round-trip) because the
+  /// next recipient still preceded every pending event.
+  [[nodiscard]] std::uint64_t fanout_direct() const noexcept { return fanout_direct_; }
 
  private:
   friend class SimContext;
@@ -135,18 +167,39 @@ class Simulator {
   /// handle to the scheduler — the one entry point for all scheduling.
   void schedule_event(double time, std::int32_t tier, std::int32_t to,
                       EngineKind engine_kind, const Message& msg);
+  /// Wraps scheduler_->push with the pressure counters.
+  void push_handle(EventHandle handle);
 
   /// Executes one popped event: advances the clock, routes by engine kind,
-  /// recycles the slot.  The handle must have just been popped.
-  void dispatch(EventHandle handle);
+  /// recycles the slot.  The handle must have just been popped.  Events
+  /// after `limit` must not execute: a fan-out whose next delivery lies
+  /// beyond it is re-armed instead (run_until passes its horizon; step
+  /// passes +infinity).
+  void dispatch(EventHandle handle, double limit);
+  /// Batched fan-out dispatch (EngineKind::kFanout).
+  void dispatch_fanout(EventHandle handle, double limit);
+
+  /// Per-delivery slice of the max_events runaway guard.
+  void count_event(EventHandle handle);
 
   void do_send(std::int32_t from, std::int32_t to, std::int32_t tag, double value,
                std::int32_t aux);
+  /// Fan-out to the sender's exchange-graph neighborhood — batched into a
+  /// single scheduler entry unless config_.batch_fanout is off.
+  void do_broadcast(std::int32_t from, std::int32_t tag, double value,
+                    std::int32_t aux);
+  /// Draws the A3-validated per-link delay for a message sent now.
+  [[nodiscard]] double draw_delay(std::int32_t from, std::int32_t to);
   void do_set_timer_logical(std::int32_t pid, double logical_time, std::int32_t tag);
   void do_set_timer_physical(std::int32_t pid, double physical_time,
                              std::int32_t tag);
   void do_set_timer_real(std::int32_t pid, double real_time, std::int32_t tag);
   void do_add_corr(std::int32_t pid, double adj, double amortize_duration);
+  /// Message reaches `pid` at current_time_: NIC buffering when configured,
+  /// direct delivery otherwise (the shared arrival path of the per-recipient
+  /// and batched engines).
+  void arrive(std::int32_t pid, const Message& msg);
+  void nic_arrive(std::int32_t pid, const Message& msg);
   void deliver(std::int32_t pid, const Message& msg);
 
   SimConfig config_;
@@ -154,13 +207,20 @@ class Simulator {
   util::Rng rng_;
   EventPool pool_;
   std::unique_ptr<engine::SchedulerPolicy> scheduler_;
+  net::FanoutPool fanouts_;
   std::uint64_t next_seq_ = 0;
   std::vector<Node> nodes_;
   std::vector<TraceSink*> sinks_;
+  /// Identity neighbor list for the implicit full mesh, grown on demand.
+  mutable std::vector<std::int32_t> all_ids_;
   double current_time_ = 0.0;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t nic_dropped_ = 0;
+  std::uint64_t queue_pushes_ = 0;
+  std::uint64_t queue_pops_ = 0;
+  std::uint64_t fanout_direct_ = 0;
+  std::size_t peak_pending_ = 0;
 };
 
 }  // namespace wlsync::sim

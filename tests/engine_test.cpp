@@ -156,6 +156,37 @@ TEST(SchedulerPolicy, LegacyHeapMatchesReference) {
   check_policy_against_reference(SchedulerKind::kLegacyHeap, 11);
 }
 
+TEST(SchedulerPolicy, AutoMatchesReference) {
+  // The random stream hovers around a few thousand pending entries, so the
+  // adaptive policy crosses its migration thresholds repeatedly.
+  check_policy_against_reference(SchedulerKind::kAuto, 11);
+  check_policy_against_reference(SchedulerKind::kAuto, 99);
+}
+
+TEST(SchedulerPolicy, AutoSurvivesDepthSwings) {
+  // Force full migrations both ways: fill far past the calendar threshold,
+  // drain far below the heap threshold, repeat — pops must stay sorted.
+  EventPool pool;
+  const auto policy = engine::make_scheduler(SchedulerKind::kAuto, pool);
+  util::Rng rng(5);
+  std::uint64_t next_seq = 0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    while (policy->size() < 3000) {
+      const EventHandle handle = pool.acquire();
+      pool[handle] = Event{rng.uniform(0.0, 100.0), 0, next_seq++, 0,
+                           sim::EngineKind::kDeliver, {}, {}};
+      policy->push(handle);
+    }
+    double last = -1.0;
+    while (policy->size() > 50) {
+      const EventHandle handle = policy->pop();
+      EXPECT_GE(pool[handle].time, last);
+      last = pool[handle].time;
+      pool.release(handle);
+    }
+  }
+}
+
 TEST(SchedulerPolicy, CalendarHandlesSparseTimes) {
   // Events separated by huge gaps force the direct-search fallback.
   EventPool pool;
@@ -163,7 +194,7 @@ TEST(SchedulerPolicy, CalendarHandlesSparseTimes) {
   std::vector<double> times{0.0, 5000.0, 5000.0, 12000.0, 0.5};
   for (std::size_t i = 0; i < times.size(); ++i) {
     const EventHandle handle = pool.acquire();
-    pool[handle] = Event{times[i], 0, i, 0, sim::EngineKind::kDeliver, {}};
+    pool[handle] = Event{times[i], 0, i, 0, sim::EngineKind::kDeliver, {}, {}};
     policy->push(handle);
   }
   std::vector<double> sorted = times;
@@ -214,18 +245,24 @@ TEST(SchedulerDeterminism, PoliciesProduceIdenticalExecutions) {
 
   analysis::RunSpec legacy_spec = base_spec();
   legacy_spec.scheduler = SchedulerKind::kLegacyHeap;
+  analysis::RunSpec auto_spec = base_spec();
+  auto_spec.scheduler = SchedulerKind::kAuto;
 
   analysis::Experiment heap_run(heap_spec);
   analysis::Experiment calendar_run(calendar_spec);
   analysis::Experiment legacy_run(legacy_spec);
+  analysis::Experiment auto_run(auto_spec);
   const analysis::RunResult heap_result = heap_run.run();
   const analysis::RunResult calendar_result = calendar_run.run();
   const analysis::RunResult legacy_result = legacy_run.run();
+  const analysis::RunResult auto_result = auto_run.run();
 
   EXPECT_TRUE(analysis::results_identical(heap_result, calendar_result));
   EXPECT_TRUE(analysis::results_identical(heap_result, legacy_result));
+  EXPECT_TRUE(analysis::results_identical(heap_result, auto_result));
   EXPECT_TRUE(traces_identical(heap_run.trace(), calendar_run.trace()));
   EXPECT_TRUE(traces_identical(heap_run.trace(), legacy_run.trace()));
+  EXPECT_TRUE(traces_identical(heap_run.trace(), auto_run.trace()));
   EXPECT_GT(heap_run.trace().begins().size(), 0u);
 }
 

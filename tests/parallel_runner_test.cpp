@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "analysis/parallel_runner.h"
@@ -51,6 +53,43 @@ TEST(ParallelRunner, RunIndexedCoversEveryIndexExactlyOnce) {
   for (auto& hit : hits) hit = 0;
   ParallelRunner(8).run_indexed(kCount, [&](std::size_t i) { ++hits[i]; });
   for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ParallelRunner, WorkStealingCoversSkewedCosts) {
+  // One chunk holds all the expensive work; the other workers must steal
+  // it rather than idle, and every index still runs exactly once.
+  constexpr std::size_t kCount = 64;
+  std::vector<std::atomic<int>> hits(kCount);
+  for (auto& hit : hits) hit = 0;
+  ParallelRunner(4).run_indexed(kCount, [&](std::size_t i) {
+    if (i < kCount / 4) {
+      // The first worker's own chunk is pathologically slow.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ++hits[i];
+  });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ParallelRunner, StreamingDeliversEveryResultOnceAndMatchesRun) {
+  const std::vector<RunSpec> specs = seed_sweep(cheap_spec(), 300, 9);
+  const std::vector<RunResult> plain = ParallelRunner(3).run(specs);
+
+  std::vector<int> delivered(specs.size(), 0);
+  std::vector<RunResult> streamed_copies(specs.size());
+  const std::vector<RunResult> streamed = ParallelRunner(3).run_streaming(
+      specs, [&](std::size_t i, const RunResult& result) {
+        // Serialized by the runner: plain writes are safe here.
+        ++delivered[i];
+        streamed_copies[i] = result;
+      });
+
+  ASSERT_EQ(streamed.size(), plain.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(delivered[i], 1) << i;
+    EXPECT_TRUE(results_identical(plain[i], streamed[i])) << i;
+    EXPECT_TRUE(results_identical(plain[i], streamed_copies[i])) << i;
+  }
 }
 
 TEST(ParallelRunner, PropagatesWorkerExceptions) {
