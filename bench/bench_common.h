@@ -4,10 +4,16 @@
 // experiment index and EXPERIMENTS.md for paper-vs-measured records).
 
 #include <iostream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/experiment.h"
 #include "core/params.h"
+#include "net/topology.h"
+#include "proc/placement.h"
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -71,5 +77,104 @@ inline const char* algo_name(analysis::Algo algo) {
 
 /// Prints PASS/note column entries uniformly.
 inline std::string verdict(bool ok) { return ok ? "yes" : "NO"; }
+
+// ------------------------------------------------------ CSV grid axes ---
+//
+// The sweep drivers (bench_sweep, bench_gradient) share one flag
+// vocabulary: comma-separated axis lists mapped through these tables.
+// Adding an enum value means extending exactly one table here.
+
+inline std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> items;
+  std::stringstream stream(value);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+inline std::vector<std::int64_t> split_ints(const std::string& value) {
+  std::vector<std::int64_t> items;
+  for (const std::string& item : split_list(value)) {
+    items.push_back(std::stoll(item));
+  }
+  return items;
+}
+
+template <typename T>
+T parse_name(const std::string& name,
+             const std::vector<std::pair<std::string, T>>& table,
+             const char* axis) {
+  for (const auto& [key, value] : table) {
+    if (key == name) return value;
+  }
+  throw std::invalid_argument(std::string("unknown ") + axis + " '" + name + "'");
+}
+
+inline analysis::Algo parse_algo(const std::string& name) {
+  return parse_name<analysis::Algo>(
+      name,
+      {{"wl", analysis::Algo::kWelchLynch},
+       {"lm", analysis::Algo::kLM},
+       {"st", analysis::Algo::kST},
+       {"ms", analysis::Algo::kMS},
+       {"mean", analysis::Algo::kPlainMean},
+       {"hssd", analysis::Algo::kHSSD}},
+      "algo");
+}
+
+inline analysis::DelayKind parse_delay(const std::string& name) {
+  return parse_name<analysis::DelayKind>(
+      name,
+      {{"uniform", analysis::DelayKind::kUniform},
+       {"fast", analysis::DelayKind::kFast},
+       {"slow", analysis::DelayKind::kSlow},
+       {"perlink", analysis::DelayKind::kPerLink},
+       {"split", analysis::DelayKind::kSplit}},
+      "delay");
+}
+
+inline analysis::DriftKind parse_drift(const std::string& name) {
+  return parse_name<analysis::DriftKind>(
+      name,
+      {{"none", analysis::DriftKind::kNone},
+       {"extremal", analysis::DriftKind::kExtremal},
+       {"piecewise", analysis::DriftKind::kPiecewise},
+       {"randomwalk", analysis::DriftKind::kRandomWalk}},
+      "drift");
+}
+
+inline analysis::FaultKind parse_fault(const std::string& name) {
+  return parse_name<analysis::FaultKind>(
+      name,
+      {{"none", analysis::FaultKind::kNone},
+       {"silent", analysis::FaultKind::kSilent},
+       {"spam", analysis::FaultKind::kSpam},
+       {"twofaced", analysis::FaultKind::kTwoFaced},
+       {"liar", analysis::FaultKind::kLiar}},
+      "fault");
+}
+
+inline net::TopologyKind parse_topology(const std::string& name) {
+  return parse_name<net::TopologyKind>(
+      name,
+      {{"mesh", net::TopologyKind::kFullMesh},
+       {"cliques", net::TopologyKind::kRingOfCliques},
+       {"kregular", net::TopologyKind::kKRegular}},
+      "topology");
+}
+
+inline proc::PlacementKind parse_placement(const std::string& name) {
+  return parse_name<proc::PlacementKind>(
+      name,
+      {{"trailing", proc::PlacementKind::kTrailing},
+       {"random", proc::PlacementKind::kRandom},
+       {"maxdeg", proc::PlacementKind::kMaxDegree},
+       {"articulation", proc::PlacementKind::kArticulation},
+       {"bridge", proc::PlacementKind::kBridge},
+       {"antipodal", proc::PlacementKind::kAntipodal}},
+      "placement");
+}
 
 }  // namespace wlsync::bench

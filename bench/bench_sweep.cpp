@@ -17,8 +17,17 @@
 //   --fault     none, silent, spam, twofaced, liar   (with --faults=count;
 //               count < 0 means f, the tolerated maximum)
 //   --topology  mesh, cliques, kregular   (--degree, --clique as needed)
+//   --placement trailing, random, maxdeg, articulation, bridge, antipodal —
+//               which topology positions the faulty roster occupies
+//               (proc/placement.h; non-trailing switches the two-faced
+//               attack to its neighbor-scoped per-victim mode).  Echoed in
+//               the `placement` CSV column so rows are self-describing.
 //   --f         explicit list, or auto = (n-1)/3 per cell
 //   --P         round length; --trials seeds per cell from --seed0
+//   --gradient  also measure skew-vs-distance (analysis/gradient.h); fills
+//               the gradient_slope / gradient_diameter / gradient_far_skew
+//               columns (blank-zero when off)
+//   --smoke     tiny fixed grid for CI driver smoke tests
 
 #include <fstream>
 #include <iostream>
@@ -30,100 +39,25 @@
 #include "analysis/parallel_runner.h"
 #include "bench_common.h"
 #include "net/topology.h"
+#include "proc/placement.h"
 
 namespace wlsync {
 namespace {
 
-std::vector<std::string> split_list(const std::string& value) {
-  std::vector<std::string> items;
-  std::stringstream stream(value);
-  std::string item;
-  while (std::getline(stream, item, ',')) {
-    if (!item.empty()) items.push_back(item);
-  }
-  return items;
-}
-
-std::vector<std::int64_t> split_ints(const std::string& value) {
-  std::vector<std::int64_t> items;
-  for (const std::string& item : split_list(value)) {
-    items.push_back(std::stoll(item));
-  }
-  return items;
-}
-
-template <typename T>
-T parse_name(const std::string& name,
-             const std::vector<std::pair<std::string, T>>& table,
-             const char* axis) {
-  for (const auto& [key, value] : table) {
-    if (key == name) return value;
-  }
-  throw std::invalid_argument(std::string("bench_sweep: unknown ") + axis +
-                              " '" + name + "'");
-}
-
-analysis::Algo parse_algo(const std::string& name) {
-  return parse_name<analysis::Algo>(
-      name,
-      {{"wl", analysis::Algo::kWelchLynch},
-       {"lm", analysis::Algo::kLM},
-       {"st", analysis::Algo::kST},
-       {"ms", analysis::Algo::kMS},
-       {"mean", analysis::Algo::kPlainMean},
-       {"hssd", analysis::Algo::kHSSD}},
-      "algo");
-}
-
-analysis::DelayKind parse_delay(const std::string& name) {
-  return parse_name<analysis::DelayKind>(
-      name,
-      {{"uniform", analysis::DelayKind::kUniform},
-       {"fast", analysis::DelayKind::kFast},
-       {"slow", analysis::DelayKind::kSlow},
-       {"perlink", analysis::DelayKind::kPerLink},
-       {"split", analysis::DelayKind::kSplit}},
-      "delay");
-}
-
-analysis::DriftKind parse_drift(const std::string& name) {
-  return parse_name<analysis::DriftKind>(
-      name,
-      {{"none", analysis::DriftKind::kNone},
-       {"extremal", analysis::DriftKind::kExtremal},
-       {"piecewise", analysis::DriftKind::kPiecewise},
-       {"randomwalk", analysis::DriftKind::kRandomWalk}},
-      "drift");
-}
-
-analysis::FaultKind parse_fault(const std::string& name) {
-  return parse_name<analysis::FaultKind>(
-      name,
-      {{"none", analysis::FaultKind::kNone},
-       {"silent", analysis::FaultKind::kSilent},
-       {"spam", analysis::FaultKind::kSpam},
-       {"twofaced", analysis::FaultKind::kTwoFaced},
-       {"liar", analysis::FaultKind::kLiar}},
-      "fault");
-}
-
-net::TopologyKind parse_topology(const std::string& name) {
-  return parse_name<net::TopologyKind>(
-      name,
-      {{"mesh", net::TopologyKind::kFullMesh},
-       {"cliques", net::TopologyKind::kRingOfCliques},
-       {"kregular", net::TopologyKind::kKRegular}},
-      "topology");
-}
-
-const char* topology_label(net::TopologyKind kind) {
-  return net::topology_name(kind);
-}
+using bench::parse_algo;
+using bench::parse_delay;
+using bench::parse_drift;
+using bench::parse_fault;
+using bench::parse_placement;
+using bench::parse_topology;
+using bench::split_ints;
+using bench::split_list;
 
 void write_csv_header(std::ostream& out) {
-  out << "spec,n,f,algo,delay,drift,fault,faults,topology,rounds,seed,"
-         "completed_rounds,messages,gamma_bound,gamma_measured,adj_bound,"
-         "max_abs_adj,final_skew,validity_holds,diverged\n";
+  out << "spec,n,f,algo,delay,drift,fault,faults,topology,placement,rounds,"
+         "seed,completed_rounds,messages,gamma_bound,gamma_measured,adj_bound,"
+         "max_abs_adj,final_skew,validity_holds,diverged,gradient_slope,"
+         "gradient_diameter,gradient_far_skew\n";
 }
 
 }  // namespace
@@ -132,8 +66,10 @@ void write_csv_header(std::ostream& out) {
 int main(int argc, char** argv) {
   using namespace wlsync;
   const util::Flags flags(argc, argv);
+  const bool smoke = flags.get_bool("smoke", false);
 
-  const std::vector<std::int64_t> ns = split_ints(flags.get_string("n", "7"));
+  const std::vector<std::int64_t> ns =
+      split_ints(flags.get_string("n", smoke ? "16" : "7"));
   const std::string f_flag = flags.get_string("f", "auto");
   const std::vector<std::string> algos =
       split_list(flags.get_string("algo", "wl"));
@@ -142,12 +78,17 @@ int main(int argc, char** argv) {
   const std::vector<std::string> drifts =
       split_list(flags.get_string("drift", "extremal"));
   const std::vector<std::string> faults =
-      split_list(flags.get_string("fault", "none"));
+      split_list(flags.get_string("fault", smoke ? "none,twofaced" : "none"));
   const std::vector<std::string> topologies =
-      split_list(flags.get_string("topology", "mesh"));
+      split_list(flags.get_string("topology", smoke ? "mesh,cliques" : "mesh"));
+  const std::vector<std::string> placements =
+      split_list(flags.get_string("placement", "trailing"));
+  const bool gradient = flags.get_bool("gradient", smoke);
   const auto fault_count = flags.get_int("faults", -1);
-  const auto trials = static_cast<std::int32_t>(flags.get_int("trials", 5));
-  const auto rounds = static_cast<std::int32_t>(flags.get_int("rounds", 12));
+  const auto trials =
+      static_cast<std::int32_t>(flags.get_int("trials", smoke ? 2 : 5));
+  const auto rounds =
+      static_cast<std::int32_t>(flags.get_int("rounds", smoke ? 4 : 12));
   const double P = flags.get_double("P", 10.0);
   const auto seed0 = static_cast<std::uint64_t>(flags.get_int("seed0", 1));
   const auto threads = static_cast<int>(flags.get_int("threads", 0));
@@ -165,28 +106,32 @@ int main(int argc, char** argv) {
           for (const std::string& drift : drifts) {
             for (const std::string& fault : faults) {
               for (const std::string& topology : topologies) {
-                analysis::RunSpec base;
-                base.params = core::make_params(
-                    static_cast<std::int32_t>(n), static_cast<std::int32_t>(f),
-                    1e-5, 0.01, 1e-3, P);
-                base.algo = parse_algo(algo);
-                base.delay = parse_delay(delay);
-                base.drift = parse_drift(drift);
-                base.fault = parse_fault(fault);
-                base.fault_count =
-                    base.fault == analysis::FaultKind::kNone
-                        ? 0
-                        : static_cast<std::int32_t>(
-                              fault_count < 0 ? f : fault_count);
-                base.topology.kind = parse_topology(topology);
-                base.topology.degree =
-                    static_cast<std::int32_t>(flags.get_int("degree", 8));
-                base.topology.clique_size =
-                    static_cast<std::int32_t>(flags.get_int("clique", 8));
-                base.rounds = rounds;
-                const std::vector<analysis::RunSpec> seeded =
-                    analysis::seed_sweep(base, seed0, trials);
-                specs.insert(specs.end(), seeded.begin(), seeded.end());
+                for (const std::string& placement : placements) {
+                  analysis::RunSpec base;
+                  base.params = core::make_params(
+                      static_cast<std::int32_t>(n), static_cast<std::int32_t>(f),
+                      1e-5, 0.01, 1e-3, P);
+                  base.algo = parse_algo(algo);
+                  base.delay = parse_delay(delay);
+                  base.drift = parse_drift(drift);
+                  base.fault = parse_fault(fault);
+                  base.fault_count =
+                      base.fault == analysis::FaultKind::kNone
+                          ? 0
+                          : static_cast<std::int32_t>(
+                                fault_count < 0 ? f : fault_count);
+                  base.topology.kind = parse_topology(topology);
+                  base.topology.degree =
+                      static_cast<std::int32_t>(flags.get_int("degree", 8));
+                  base.topology.clique_size =
+                      static_cast<std::int32_t>(flags.get_int("clique", 8));
+                  base.placement = parse_placement(placement);
+                  base.measure_gradient = gradient;
+                  base.rounds = rounds;
+                  const std::vector<analysis::RunSpec> seeded =
+                      analysis::seed_sweep(base, seed0, trials);
+                  specs.insert(specs.end(), seeded.begin(), seeded.end());
+                }
               }
             }
           }
@@ -218,12 +163,14 @@ int main(int argc, char** argv) {
             << bench::algo_name(s.algo) << ',' << bench::delay_name(s.delay)
             << ',' << bench::drift_name(s.drift) << ','
             << bench::fault_name(s.fault) << ',' << s.fault_count << ','
-            << topology_label(s.topology.kind) << ',' << s.rounds << ','
+            << net::topology_name(s.topology.kind) << ','
+            << proc::placement_name(s.placement) << ',' << s.rounds << ','
             << s.seed << ',' << r.completed_rounds << ',' << r.messages << ','
             << r.gamma_bound << ',' << r.gamma_measured << ',' << r.adj_bound
             << ',' << r.max_abs_adj << ',' << r.final_skew << ','
-            << (r.validity.holds ? 1 : 0) << ',' << (r.diverged ? 1 : 0)
-            << '\n';
+            << (r.validity.holds ? 1 : 0) << ',' << (r.diverged ? 1 : 0) << ','
+            << r.gradient.slope << ',' << r.gradient.diameter << ','
+            << r.gradient.far_skew() << '\n';
         if (++done % 50 == 0) {
           std::cerr << "  " << done << "/" << specs.size() << " trials\n";
         }

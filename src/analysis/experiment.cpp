@@ -95,6 +95,14 @@ proc::ProcessPtr build_algorithm(const RunSpec& spec) {
 Experiment::Experiment(RunSpec spec) : spec_(std::move(spec)) { build(); }
 Experiment::~Experiment() = default;
 
+const net::Topology& Experiment::topology() {
+  if (!topo_built_) {
+    topo_ = net::build_topology(spec_.topology, spec_.params.n);
+    topo_built_ = true;
+  }
+  return topo_;
+}
+
 void Experiment::build() {
   const core::Params& p = spec_.params;
   util::Rng rng(spec_.seed);
@@ -108,7 +116,9 @@ void Experiment::build() {
   sim_config.batch_fanout = spec_.batch_fanout;
   if (spec_.topology.kind != net::TopologyKind::kFullMesh) {
     // Full mesh stays on the implicit fast path (no adjacency storage).
-    sim_config.topology = net::build_topology(spec_.topology, p.n);
+    // Construction runs once, through topology(); the simulator gets its
+    // own copy (distance-cache state is not shared with topo_).
+    sim_config.topology = topology();
   }
   util::Rng delay_rng = rng.fork(2);
   sim_ = std::make_unique<sim::Simulator>(sim_config,
@@ -129,6 +139,24 @@ void Experiment::build() {
   const std::int32_t honest_count = p.n - fault_count;
   if (honest_count < 1) throw std::invalid_argument("no honest processes");
 
+  // Which positions the roster occupies.  kTrailing reproduces the
+  // historical highest-ids layout exactly (it must: every pre-placement
+  // regression pin depends on it); positional kinds map the roster onto the
+  // exchange graph (proc/placement.h), seeded from the spec seed alone so
+  // placement is as reproducible as the trial itself.
+  std::vector<std::int32_t> fault_ordinal(static_cast<std::size_t>(p.n), -1);
+  if (spec_.placement == proc::PlacementKind::kTrailing) {
+    for (std::int32_t k = 0; k < fault_count; ++k) {
+      fault_ordinal[static_cast<std::size_t>(honest_count + k)] = k;
+    }
+  } else {
+    const std::vector<std::int32_t> placed =
+        proc::place_faults(topology(), spec_.placement, fault_count, spec_.seed);
+    for (std::int32_t k = 0; k < fault_count; ++k) {
+      fault_ordinal[static_cast<std::size_t>(placed[static_cast<std::size_t>(k)])] = k;
+    }
+  }
+
   // Nonfaulty STARTs spread over [0, S] along the real-time axis (A4);
   // the extremes are pinned so the configured spread is exact.
   const double spread =
@@ -145,14 +173,15 @@ void Experiment::build() {
   tmin0_ = 1e300;
   tmax0_ = -1e300;
   honest_.clear();
+  std::int32_t honest_ordinal = 0;
   for (std::int32_t id = 0; id < p.n; ++id) {
-    const bool faulty = id >= honest_count;
+    const std::int32_t ordinal = fault_ordinal[static_cast<std::size_t>(id)];
     auto clock = std::make_unique<clk::PhysicalClock>(
         build_drift(spec_.drift, p, spec_.drift_period, id, clock_rng),
         /*offset=*/clock_rng.uniform(0.0, 100.0), p.rho);
 
-    if (!faulty) {
-      const double s = starts[static_cast<std::size_t>(id)];
+    if (ordinal < 0) {
+      const double s = starts[static_cast<std::size_t>(honest_ordinal++)];
       // Choose CORR so the initial logical clock reads T0 exactly at the
       // START time: c0_p(T0) = s, i.e. the A4 wake-up condition.
       const double corr0 = p.T0 - clock->now(s);
@@ -165,7 +194,7 @@ void Experiment::build() {
     }
 
     // Byzantine processes.
-    switch (roster[static_cast<std::size_t>(id - honest_count)]) {
+    switch (roster[static_cast<std::size_t>(ordinal)]) {
       case FaultKind::kSilent:
         sim_->add_process(std::make_unique<proc::SilentAdversary>(),
                           std::move(clock), 0.0, true, /*start=*/-1.0);
@@ -194,9 +223,35 @@ void Experiment::build() {
         config.first_label = p.T0;
         // Co-conspirators bracket different in-span positions so reduce()
         // cannot clip them all from one end.
-        const std::int32_t k = id - honest_count;
-        config.early_frac = 0.08 + 0.10 * static_cast<double>(k);
-        config.late_frac = 0.92 - 0.10 * static_cast<double>(k);
+        config.early_frac = 0.08 + 0.10 * static_cast<double>(ordinal);
+        config.late_frac = 0.92 - 0.10 * static_cast<double>(ordinal);
+        if (spec_.placement != proc::PlacementKind::kTrailing) {
+          // Positional mode: lie only to the honest closed neighborhood,
+          // one forged face per neighbor (proc/adversaries.h).  The id
+          // ranges above assume the trailing layout and are ignored once
+          // the target lists are set.
+          std::vector<std::int32_t> victims;
+          for (std::int32_t q : topology().neighbors(id)) {
+            if (q != id && fault_ordinal[static_cast<std::size_t>(q)] < 0) {
+              victims.push_back(q);
+            }
+          }
+          if (victims.empty()) {
+            // Every neighbor is a fellow fault: there is no one to lie to,
+            // and empty target lists would silently re-enable the
+            // full-mesh pivot attack.  A positional adversary with no
+            // honest neighborhood is behaviourally silent.
+            sim_->add_process(std::make_unique<proc::SilentAdversary>(),
+                              std::move(clock), 0.0, true, /*start=*/-1.0);
+            break;
+          }
+          const std::size_t half = victims.size() / 2;
+          config.early_targets.assign(victims.begin(),
+                                      victims.begin() + static_cast<std::ptrdiff_t>(half));
+          config.late_targets.assign(victims.begin() + static_cast<std::ptrdiff_t>(half),
+                                     victims.end());
+          config.per_target_spread = true;
+        }
         sim_->add_process(std::make_unique<proc::TwoFacedAdversary>(config),
                           std::move(clock), 0.0, true, /*start=*/0.0);
         break;
@@ -258,9 +313,20 @@ RunResult Experiment::run() {
       t_steady = *std::max_element(mid_times.begin(), mid_times.end());
     }
   }
-  const SkewSeries series =
-      skew_series(*sim_, honest_, t_steady, result.t_end, p.P / 25.0);
-  result.gamma_measured = series.max_skew;
+  if (spec_.measure_gradient) {
+    // One grid walk serves both reductions: the gradient buckets every
+    // honest pair over the same (t_steady, t_end, P/25) window skew_series
+    // would sample, and its far frontier IS the global skew — the max
+    // pairwise |L_i - L_j| is attained by the (max, min) pair, so the
+    // values coincide exactly.  The summary drops the per-sample matrix so
+    // RunResults stay cheap to copy across ParallelRunner sweeps.
+    result.gradient = summarize_gradient(gradient_series(
+        *sim_, honest_, topology(), t_steady, result.t_end, p.P / 25.0));
+    result.gamma_measured = result.gradient.far_skew();
+  } else {
+    result.gamma_measured =
+        skew_series(*sim_, honest_, t_steady, result.t_end, p.P / 25.0).max_skew;
+  }
   result.final_skew = skew_at(*sim_, honest_, result.t_end);
   result.diverged = !(result.gamma_measured <
                       std::max(100.0 * d.gamma, 1.0)) ||

@@ -15,11 +15,13 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/gradient.h"
 #include "analysis/round_trace.h"
 #include "analysis/skew.h"
 #include "core/params.h"
 #include "core/welch_lynch.h"
 #include "net/topology.h"
+#include "proc/placement.h"
 #include "sim/simulator.h"
 
 namespace wlsync::analysis {
@@ -79,6 +81,13 @@ struct RunSpec {
   /// kLiar: how late (real seconds) the liar's schedule runs.  Kept off the
   /// round period so its broadcasts alias into mid-round times.
   double liar_offset = 7.5;
+  /// Which topology positions the faulty roster occupies (proc/placement.h).
+  /// kTrailing is the historical highest-ids layout and keeps every
+  /// pre-placement spec byte-identical; any other kind places faults
+  /// positionally AND switches TwoFacedAdversary to its neighbor-scoped
+  /// mode (victims = the adversary's honest neighborhood, per-neighbor
+  /// faces) instead of the full-mesh id-range attack.
+  proc::PlacementKind placement = proc::PlacementKind::kTrailing;
 
   DelayKind delay = DelayKind::kUniform;
   DriftKind drift = DriftKind::kExtremal;
@@ -105,6 +114,11 @@ struct RunSpec {
 
   double lm_delta_max = 0.0;  ///< 0 = auto
   double ms_tau = 0.0;        ///< 0 = auto
+
+  /// Measure skew-vs-distance (analysis/gradient.h) over the steady-state
+  /// window and fill RunResult::gradient.  Works on any topology (on the
+  /// full mesh every pair sits at distance 1).
+  bool measure_gradient = false;
 };
 
 struct RunResult {
@@ -116,6 +130,8 @@ struct RunResult {
   std::vector<double> begin_spread;   ///< per-round real-time begin spread
   std::vector<double> skew_at_round;  ///< skew at each round's last begin
   ValidityReport validity;
+  /// Skew-vs-distance curves; empty unless RunSpec::measure_gradient.
+  GradientSummary gradient;
   double final_skew = 0.0;
   bool diverged = false;
   std::uint64_t messages = 0;
@@ -140,6 +156,9 @@ class Experiment {
   [[nodiscard]] RunResult run();
 
   [[nodiscard]] sim::Simulator& simulator() noexcept { return *sim_; }
+  /// The materialized exchange graph (built on demand; full mesh when the
+  /// spec leaves the topology at its default).
+  [[nodiscard]] const net::Topology& topology();
   [[nodiscard]] RoundTrace& trace() noexcept { return trace_; }
   [[nodiscard]] const std::vector<std::int32_t>& honest() const noexcept {
     return honest_;
@@ -154,6 +173,8 @@ class Experiment {
   std::unique_ptr<sim::Simulator> sim_;
   RoundTrace trace_;
   std::vector<std::int32_t> honest_;
+  net::Topology topo_;  ///< valid iff topo_built_
+  bool topo_built_ = false;
   double tmin0_ = 0.0;
   double tmax0_ = 0.0;
 };

@@ -6,15 +6,6 @@
 
 namespace wlsync::analysis {
 
-namespace {
-
-/// Below this many (process, sample) evaluations a serial pass wins — and
-/// trials running under an outer ParallelRunner sweep should not be
-/// spawning inner pools for small windows anyway.
-constexpr std::size_t kShardThreshold = std::size_t{1} << 16;
-
-}  // namespace
-
 std::vector<double> sample_times_with_endpoint(double t0, double t1,
                                                double dt) {
   std::vector<double> times;
@@ -54,7 +45,7 @@ LocalTimeGrid sample_local_times(const sim::Simulator& sim,
     // Auto mode: shard big grids — but never from inside an outer
     // ParallelRunner sweep, where the cores are already claimed by trials
     // and a nested pool per measurement window would oversubscribe them.
-    parallel = grid.rows >= 2 && grid.rows * grid.cols >= kShardThreshold &&
+    parallel = grid.rows >= 2 && grid.rows * grid.cols >= kMeasureShardThreshold &&
                std::thread::hardware_concurrency() > 1 &&
                !ParallelRunner::in_worker();
   }

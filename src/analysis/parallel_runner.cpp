@@ -137,7 +137,8 @@ bool results_identical(const RunResult& a, const RunResult& b) {
          a.final_skew == b.final_skew && a.diverged == b.diverged &&
          a.messages == b.messages && a.nic_dropped == b.nic_dropped &&
          a.tmin0 == b.tmin0 && a.tmax0 == b.tmax0 && a.t_end == b.t_end &&
-         a.completed_rounds == b.completed_rounds;
+         a.completed_rounds == b.completed_rounds &&
+         gradient_summaries_identical(a.gradient, b.gradient);
 }
 
 }  // namespace wlsync::analysis

@@ -148,6 +148,139 @@ Topology Topology::from_adjacency(
   return topo;
 }
 
+void Topology::ensure_distance_row(std::int32_t p) const {
+  if (dist_cache_.empty()) {
+    dist_cache_.resize(static_cast<std::size_t>(n()));
+  }
+  std::vector<std::int32_t>& row = dist_cache_[static_cast<std::size_t>(p)];
+  if (!row.empty()) return;
+  row.assign(static_cast<std::size_t>(n()), -1);
+  row[static_cast<std::size_t>(p)] = 0;
+  std::vector<std::int32_t> frontier{p};
+  std::vector<std::int32_t> next;
+  for (std::int32_t d = 1; !frontier.empty(); ++d) {
+    next.clear();
+    for (std::int32_t u : frontier) {
+      for (std::int32_t v : neighbors(u)) {
+        if (row[static_cast<std::size_t>(v)] < 0) {
+          row[static_cast<std::size_t>(v)] = d;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+const std::vector<std::int32_t>& Topology::distances_from(std::int32_t p) const {
+  if (p < 0 || p >= n()) {
+    throw std::invalid_argument("Topology::distances_from: id out of range");
+  }
+  ensure_distance_row(p);
+  return dist_cache_[static_cast<std::size_t>(p)];
+}
+
+std::int32_t Topology::eccentricity(std::int32_t p) const {
+  std::int32_t ecc = 0;
+  for (std::int32_t d : distances_from(p)) {
+    if (d < 0) return -1;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::int32_t Topology::diameter() const {
+  std::int32_t diam = 0;
+  for (std::int32_t p = 0; p < n(); ++p) {
+    const std::int32_t ecc = eccentricity(p);
+    if (ecc < 0) return -1;
+    diam = std::max(diam, ecc);
+  }
+  return diam;
+}
+
+Topology::CutStructure Topology::cut_structure() const {
+  // Iterative Tarjan over the explicit DFS stack (graphs can be path-like,
+  // so recursion depth could reach n).  Self-loops are skipped; the lists
+  // are duplicate-free, so "skip the parent once by id" is a faithful
+  // parent-edge test.
+  const std::int32_t count = n();
+  std::vector<std::int32_t> disc(static_cast<std::size_t>(count), -1);
+  std::vector<std::int32_t> low(static_cast<std::size_t>(count), 0);
+  std::vector<std::int32_t> parent(static_cast<std::size_t>(count), -1);
+  std::vector<char> is_cut(static_cast<std::size_t>(count), 0);
+  std::set<std::int32_t> bridge_ends;
+  std::int32_t timer = 0;
+
+  struct Frame {
+    std::int32_t v;
+    std::size_t next;  ///< index into neighbors(v) to resume from
+  };
+  std::vector<Frame> stack;
+  for (std::int32_t root = 0; root < count; ++root) {
+    if (disc[static_cast<std::size_t>(root)] >= 0) continue;
+    std::int32_t root_children = 0;
+    disc[static_cast<std::size_t>(root)] = low[static_cast<std::size_t>(root)] = timer++;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const std::int32_t v = frame.v;
+      const auto peers = neighbors(v);
+      if (frame.next < peers.size()) {
+        const std::int32_t w = peers[frame.next++];
+        if (w == v || w == parent[static_cast<std::size_t>(v)]) continue;
+        if (disc[static_cast<std::size_t>(w)] < 0) {
+          parent[static_cast<std::size_t>(w)] = v;
+          if (v == root) ++root_children;
+          disc[static_cast<std::size_t>(w)] = low[static_cast<std::size_t>(w)] = timer++;
+          stack.push_back({w, 0});
+        } else {
+          low[static_cast<std::size_t>(v)] =
+              std::min(low[static_cast<std::size_t>(v)], disc[static_cast<std::size_t>(w)]);
+        }
+        continue;
+      }
+      stack.pop_back();
+      const std::int32_t p = parent[static_cast<std::size_t>(v)];
+      if (p < 0) continue;
+      low[static_cast<std::size_t>(p)] =
+          std::min(low[static_cast<std::size_t>(p)], low[static_cast<std::size_t>(v)]);
+      if (low[static_cast<std::size_t>(v)] > disc[static_cast<std::size_t>(p)]) {
+        bridge_ends.insert(p);
+        bridge_ends.insert(v);
+      }
+      if (p != root && low[static_cast<std::size_t>(v)] >= disc[static_cast<std::size_t>(p)]) {
+        is_cut[static_cast<std::size_t>(p)] = 1;
+      }
+    }
+    if (root_children >= 2) is_cut[static_cast<std::size_t>(root)] = 1;
+  }
+
+  CutStructure result;
+  for (std::int32_t v = 0; v < count; ++v) {
+    if (is_cut[static_cast<std::size_t>(v)]) result.articulation.push_back(v);
+  }
+  result.bridge_ends.assign(bridge_ends.begin(), bridge_ends.end());
+  return result;
+}
+
+std::vector<std::int32_t> Topology::articulation_points() const {
+  return cut_structure().articulation;
+}
+
+std::vector<std::int32_t> Topology::bridge_endpoints() const {
+  return cut_structure().bridge_ends;
+}
+
+std::vector<std::int32_t> Topology::degree_ranking() const {
+  std::vector<std::int32_t> ids(static_cast<std::size_t>(n()));
+  for (std::int32_t p = 0; p < n(); ++p) ids[static_cast<std::size_t>(p)] = p;
+  std::stable_sort(ids.begin(), ids.end(), [&](std::int32_t a, std::int32_t b) {
+    return degree(a) > degree(b);
+  });
+  return ids;
+}
+
 bool Topology::connected() const {
   const std::int32_t count = n();
   if (count <= 1) return true;

@@ -87,10 +87,61 @@ class Topology {
   /// experiment harness validates this up front.
   [[nodiscard]] bool connected() const;
 
+  // --- distance queries (the gradient-skew subsystem's graph metric) ---
+  //
+  // Gradient clock synchronization (Bund/Lenzen/Rosenbaum) bounds skew as a
+  // function of hop distance d(i, j), so the analysis layer needs BFS rows
+  // and the diameter.  Rows are computed lazily and cached per source;
+  // first computation mutates the cache, so warm every row you need (or
+  // call diameter(), which warms all of them) BEFORE sharing one Topology
+  // across measurement threads.  Reads of warmed rows are const and safe.
+
+  /// BFS hop distances from p to every node (self-loops ignored; d(p,p) =
+  /// 0).  Unreachable nodes hold -1.  The reference stays valid for the
+  /// lifetime of this Topology (cache row, never evicted).
+  [[nodiscard]] const std::vector<std::int32_t>& distances_from(std::int32_t p) const;
+
+  /// max_q d(p, q); -1 when some node is unreachable from p.
+  [[nodiscard]] std::int32_t eccentricity(std::int32_t p) const;
+
+  /// max_p eccentricity(p); -1 when disconnected.  Warms every cache row.
+  [[nodiscard]] std::int32_t diameter() const;
+
+  // --- structural queries (positional adversary placement) ---
+
+  /// Both cut-structure lists from ONE iterative Tarjan DFS (callers that
+  /// need articulation points AND bridges — proc/placement.cpp — should use
+  /// this instead of the two single-list accessors below, which each run
+  /// the full pass).  Self-loops ignored; both lists ascending.
+  struct CutStructure {
+    std::vector<std::int32_t> articulation;  ///< cut vertices
+    std::vector<std::int32_t> bridge_ends;   ///< bridge endpoints, deduped
+  };
+  [[nodiscard]] CutStructure cut_structure() const;
+
+  /// Cut vertices (Tarjan), ascending ids.  Self-loops ignored.  A closed
+  /// ring of cliques is 2-connected and has none; a path of cliques has
+  /// one per inter-clique joint.
+  [[nodiscard]] std::vector<std::int32_t> articulation_points() const;
+
+  /// Endpoints of bridge edges (edges whose removal disconnects), ascending
+  /// and deduplicated.  Self-loops ignored.
+  [[nodiscard]] std::vector<std::int32_t> bridge_endpoints() const;
+
+  /// Ids sorted by degree descending, ties broken by ascending id.  On a
+  /// ring of cliques this leads with the bridge endpoints (degree
+  /// clique_size + 1 vs clique_size inside).
+  [[nodiscard]] std::vector<std::int32_t> degree_ranking() const;
+
  private:
+  void ensure_distance_row(std::int32_t p) const;
+
   /// CSR: neighbors of p are targets_[offsets_[p] .. offsets_[p+1]).
   std::vector<std::int32_t> offsets_;  // size n + 1
   std::vector<std::int32_t> targets_;
+  /// Lazy per-source BFS rows; an empty row means "not yet computed".
+  /// Purely derived data, so copies carrying it stay consistent.
+  mutable std::vector<std::vector<std::int32_t>> dist_cache_;
 };
 
 // ---------------------------------------------------------------------------

@@ -62,10 +62,32 @@ void SpamAdversary::on_timer(Context& ctx, std::int32_t tag) {
 void TwoFacedAdversary::schedule_attack(AdversaryContext& ctx, double tmin,
                                         double value) {
   const double span = config_.beta;
+  if (scoped() && config_.per_target_spread) {
+    // One face per victim, arrival fractions interpolated across the
+    // in-span window in concatenated early+late list order.
+    const std::size_t total =
+        config_.early_targets.size() + config_.late_targets.size();
+    const double step =
+        total > 1 ? (config_.late_frac - config_.early_frac) /
+                        static_cast<double>(total - 1)
+                  : 0.0;
+    std::size_t k = 0;
+    for (const std::vector<std::int32_t>* group :
+         {&config_.early_targets, &config_.late_targets}) {
+      for (std::int32_t to : *group) {
+        const double frac = config_.early_frac + static_cast<double>(k) * step;
+        const double t = tmin + frac * span;
+        pending_.emplace(t, Face{value, /*early=*/true, to});
+        ctx.set_timer_real(t, kFaceTimerTag);
+        ++k;
+      }
+    }
+    return;
+  }
   const double t_early = tmin + config_.early_frac * span;
   const double t_late = tmin + config_.late_frac * span;
-  pending_.emplace(t_early, Face{value, /*early=*/true});
-  pending_.emplace(t_late, Face{value, /*early=*/false});
+  pending_.emplace(t_early, Face{value, /*early=*/true, /*victim=*/-1});
+  pending_.emplace(t_late, Face{value, /*early=*/false, /*victim=*/-1});
   ctx.set_timer_real(t_early, kFaceTimerTag);
   ctx.set_timer_real(t_late, kFaceTimerTag);
 }
@@ -76,7 +98,15 @@ void TwoFacedAdversary::fire_due_faces(Context& ctx) {
   while (!pending_.empty() && pending_.begin()->first <= now + 1e-12) {
     const Face face = pending_.begin()->second;
     pending_.erase(pending_.begin());
-    if (face.early) {
+    if (face.victim >= 0) {
+      ctx.send(face.victim, config_.tag, face.value, /*aux=*/0);
+    } else if (scoped()) {
+      const std::vector<std::int32_t>& group =
+          face.early ? config_.early_targets : config_.late_targets;
+      for (std::int32_t to : group) {
+        ctx.send(to, config_.tag, face.value, /*aux=*/0);
+      }
+    } else if (face.early) {
       for (std::int32_t to = 0; to < config_.pivot && to < ctx.process_count();
            ++to) {
         ctx.send(to, config_.tag, face.value, /*aux=*/0);

@@ -27,6 +27,8 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "proc/process.h"
 #include "util/rng.h"
@@ -95,12 +97,35 @@ class SpamAdversary final : public Process {
 /// only clips values outside the nonfaulty range) and pull the two groups'
 /// averages in opposite directions — the worst case Lemma 9 bounds, and the
 /// attack that separates n = 3f+1 from n = 3f.
+///
+/// Two victim-selection modes:
+///   * id ranges (the historical full-mesh layout): ids < pivot get the
+///     early face, ids in [pivot, honest_end) the late face;
+///   * explicit target lists (`early_targets` / `late_targets`), the
+///     neighbor-scoped mode for sparse exchange graphs — a positional
+///     adversary lies only to its actual neighborhood instead of assuming
+///     full-mesh visibility.  With `per_target_spread` each victim gets its
+///     OWN arrival instant interpolated across the in-span window (the
+///     inferred clock value differs per neighbor), not one global
+///     early/late pair.
+/// With targets empty and per_target_spread off, the send schedule is
+/// byte-identical to the historical pivot-mode adversary
+/// (tests/placement_test.cpp pins an equivalent-list configuration to it).
 class TwoFacedAdversary final : public Process {
  public:
   struct Config {
     std::int32_t pivot = 0;      ///< ids < pivot get the early face
     std::int32_t honest_end = 0; ///< ids in [pivot, honest_end) get the late
                                  ///< face (avoid confusing fellow adversaries)
+    /// Neighbor-scoped mode: when either list is non-empty the id ranges
+    /// above are ignored and faces go to exactly these ids (in list order).
+    std::vector<std::int32_t> early_targets;
+    std::vector<std::int32_t> late_targets;
+    /// Per-neighbor faces: victim k of the concatenated early+late lists
+    /// fires at tmin + frac_k * beta with frac_k interpolated linearly from
+    /// early_frac to late_frac — every neighbor sees a different forged
+    /// clock, the strongest per-neighborhood split.
+    bool per_target_spread = false;
     std::int32_t tag = 0;        ///< tag honest processes broadcast with
     double P = 1.0;              ///< round period (local ~ real time)
     double delta = 0.0;          ///< median network delay
@@ -114,7 +139,7 @@ class TwoFacedAdversary final : public Process {
     double first_label = 0.0;
   };
 
-  explicit TwoFacedAdversary(Config config) : config_(config) {}
+  explicit TwoFacedAdversary(Config config) : config_(std::move(config)) {}
 
   void on_start(Context& ctx) override;
   void on_timer(Context& ctx, std::int32_t tag) override;
@@ -124,7 +149,14 @@ class TwoFacedAdversary final : public Process {
   struct Face {
     double value;  ///< label to forge
     bool early;    ///< early face (group A) or late face (group B)
+    /// Per-target face: send to exactly this id (per_target_spread mode);
+    /// -1 = the whole face group.
+    std::int32_t victim = -1;
   };
+
+  [[nodiscard]] bool scoped() const noexcept {
+    return !config_.early_targets.empty() || !config_.late_targets.empty();
+  }
 
   void schedule_attack(AdversaryContext& ctx, double tmin, double value);
   void fire_due_faces(Context& ctx);

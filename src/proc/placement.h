@@ -1,0 +1,51 @@
+#pragma once
+// Positional fault placement (the sparse-graph fault model).
+//
+// On the paper's full mesh every process sees every other, so *which* f
+// processes are Byzantine is irrelevant by symmetry and the harness has
+// always put them at the highest ids.  On a sparse exchange graph position
+// is the whole game: an adversary at a cut vertex or bridge endpoint sits
+// on every cross-cluster path and can split the network's halves, while
+// the same adversary buried inside a clique is clipped by a dense honest
+// quorum.  PlacementPolicy maps a fault budget onto topology positions so
+// experiments can compare those regimes.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace wlsync::proc {
+
+enum class PlacementKind : std::uint8_t {
+  /// The historical layout: the `count` highest ids.  Keeps every
+  /// pre-placement experiment byte-identical.
+  kTrailing = 0,
+  /// Uniform random distinct positions (deterministic in the seed).
+  kRandom = 1,
+  /// Highest-degree nodes first (ties by ascending id).
+  kMaxDegree = 2,
+  /// Articulation points first; a 2-connected graph (e.g. a *closed* ring
+  /// of cliques) has none, so the shortfall falls back to bridge endpoints,
+  /// then to degree rank — the structurally critical positions in order.
+  kArticulation = 3,
+  /// Bridge endpoints first, then degree rank.
+  kBridge = 4,
+  /// Greedy farthest-point set: a diameter endpoint first, then nodes
+  /// maximizing the minimum distance to everything already chosen (ties by
+  /// ascending id) — adversaries spread as far apart as the graph allows.
+  kAntipodal = 5,
+};
+
+[[nodiscard]] const char* placement_name(PlacementKind kind) noexcept;
+
+/// Picks `count` distinct node ids of `topo` for the faulty roster.
+/// Deterministic: the same (topology, kind, count, seed) always returns the
+/// same ids, in the same order (seed only matters for kRandom).  Throws
+/// std::invalid_argument when count < 0 or count > n.
+[[nodiscard]] std::vector<std::int32_t> place_faults(const net::Topology& topo,
+                                                     PlacementKind kind,
+                                                     std::int32_t count,
+                                                     std::uint64_t seed);
+
+}  // namespace wlsync::proc

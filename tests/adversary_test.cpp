@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/experiment.h"
 #include "clock/drift.h"
 #include "proc/adversaries.h"
+#include "proc/placement.h"
 #include "sim/simulator.h"
 
 namespace wlsync::proc {
@@ -118,6 +120,63 @@ TEST(TwoFacedAdversary, PredictsNextRoundAndSendsTwoFaces) {
   sim.run_until(0.75);
   EXPECT_EQ(late.count, 2);   // late face landed
   EXPECT_EQ(early.count, 2);  // and only the chosen group got each face
+}
+
+// --------------------------------------------------------- sparse graphs ---
+//
+// The suite above exercises adversaries on the full mesh only.  These cases
+// run the same fault kinds through the experiment harness on sparse
+// exchange graphs, where honest processes clamp their clipping budget to
+// the local neighbor view (f_local = (deg - 1) / 3): the two-faced attack
+// must stay survivable even when every adversary sits at a structurally
+// critical position and lies per-neighbor.
+
+analysis::RunSpec sparse_fault_spec(net::TopologyKind kind) {
+  analysis::RunSpec spec;
+  spec.params = core::make_params(24, 1, 1e-5, 0.01, 1e-3, 10.0);
+  spec.fault = analysis::FaultKind::kTwoFaced;
+  spec.fault_count = 1;  // clique size 6 -> f_local = (6 - 1) / 3 = 1
+  spec.rounds = 10;
+  spec.seed = 808;
+  spec.topology.kind = kind;
+  spec.topology.clique_size = 6;
+  spec.topology.degree = 6;
+  return spec;
+}
+
+TEST(SparseFaults, TwoFacedAtJointsOfRingOfCliques) {
+  analysis::RunSpec spec = sparse_fault_spec(net::TopologyKind::kRingOfCliques);
+  spec.placement = PlacementKind::kArticulation;  // joints via degree fallback
+  const analysis::RunResult result = analysis::run_experiment(spec);
+  EXPECT_FALSE(result.diverged);
+  EXPECT_GE(result.completed_rounds, spec.rounds);
+  EXPECT_LT(result.gamma_measured, 10.0 * result.gamma_bound);
+}
+
+TEST(SparseFaults, TwoFacedOnExpanderEveryPlacement) {
+  for (const PlacementKind placement :
+       {PlacementKind::kTrailing, PlacementKind::kRandom,
+        PlacementKind::kMaxDegree, PlacementKind::kAntipodal}) {
+    analysis::RunSpec spec = sparse_fault_spec(net::TopologyKind::kKRegular);
+    spec.placement = placement;
+    const analysis::RunResult result = analysis::run_experiment(spec);
+    EXPECT_FALSE(result.diverged) << placement_name(placement);
+    EXPECT_GE(result.completed_rounds, spec.rounds) << placement_name(placement);
+    EXPECT_LT(result.gamma_measured, 10.0 * result.gamma_bound)
+        << placement_name(placement);
+  }
+}
+
+TEST(SparseFaults, SilentAndSpamRespectLocalQuorums) {
+  for (const analysis::FaultKind fault :
+       {analysis::FaultKind::kSilent, analysis::FaultKind::kSpam}) {
+    analysis::RunSpec spec = sparse_fault_spec(net::TopologyKind::kRingOfCliques);
+    spec.fault = fault;
+    spec.placement = PlacementKind::kRandom;
+    const analysis::RunResult result = analysis::run_experiment(spec);
+    EXPECT_FALSE(result.diverged) << static_cast<int>(fault);
+    EXPECT_GE(result.completed_rounds, spec.rounds);
+  }
 }
 
 TEST(CrashAdversary, StopsAtCrashTime) {

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "analysis/experiment.h"
 
 namespace wlsync::analysis {
@@ -71,6 +74,78 @@ TEST(MixedFaults, MixOverridesHomogeneousFields) {
   EXPECT_EQ(result.honest.size(), 6u);
   EXPECT_FALSE(result.diverged);
 }
+
+// ------------------------------------------------------- sparse graphs ---
+//
+// The original suite runs every mix on the full mesh only; these cases put
+// mixed faults on the PR 2 sparse exchange graphs, where the honest
+// processes clamp their clipping budget to the *local* view
+// (f_local = (deg - 1) / 3, welch_lynch.cpp) instead of the global f.  The
+// paper's gamma bound assumes the mesh, so the assertions here are the
+// sparse-regime contract: every round completes, clocks stay together, and
+// nothing diverges.
+
+struct SparseMixCase {
+  const char* name;
+  std::uint64_t seed;
+  net::TopologySpec topology;
+  proc::PlacementKind placement;
+  std::vector<RunSpec::FaultSpec> mix;
+};
+
+class SparseMixedFaults : public ::testing::TestWithParam<SparseMixCase> {};
+
+TEST_P(SparseMixedFaults, StaysTogetherUnderLocalQuorumClamp) {
+  const SparseMixCase& c = GetParam();
+  RunSpec spec;
+  std::int32_t f = 0;
+  for (const auto& entry : c.mix) f += entry.count;
+  // n = 32 keeps the global A2 ratio comfortable; the binding constraint is
+  // the local one — clique size 8 / degree 8 puts deg at 8..9 incl. self,
+  // so f_local = (8 - 1) / 3 = 2 and the mixes below stay within it.
+  spec.params = core::make_params(32, f, 1e-5, 0.01, 1e-3, 10.0);
+  spec.topology = c.topology;
+  spec.placement = c.placement;
+  spec.fault_mix = c.mix;
+  spec.rounds = 10;
+  spec.seed = c.seed;
+  spec.measure_gradient = true;
+  const RunResult result = run_experiment(spec);
+  ASSERT_FALSE(result.diverged) << c.name;
+  EXPECT_GE(result.completed_rounds, spec.rounds) << c.name;
+  // Loose sparse-regime envelope: an order of magnitude over the mesh
+  // bound, far below divergence.  (Measured values sit well inside it.)
+  EXPECT_LT(result.gamma_measured, 10.0 * result.gamma_bound) << c.name;
+  ASSERT_TRUE(result.gradient.measured()) << c.name;
+  EXPECT_GT(result.gradient.diameter, 1) << c.name;
+}
+
+std::vector<SparseMixCase> sparse_mix_cases() {
+  using FS = RunSpec::FaultSpec;
+  net::TopologySpec cliques;
+  cliques.kind = net::TopologyKind::kRingOfCliques;
+  cliques.clique_size = 8;
+  net::TopologySpec expander;
+  expander.kind = net::TopologyKind::kKRegular;
+  expander.degree = 8;
+  return {
+      {"cliques_trailing_mixed", 600, cliques, proc::PlacementKind::kTrailing,
+       {FS{FaultKind::kSilent, 1}, FS{FaultKind::kTwoFaced, 1}}},
+      {"cliques_joint_twofaced", 601, cliques, proc::PlacementKind::kArticulation,
+       {FS{FaultKind::kTwoFaced, 2}}},
+      {"cliques_random_mixed", 602, cliques, proc::PlacementKind::kRandom,
+       {FS{FaultKind::kSpam, 1}, FS{FaultKind::kTwoFaced, 1}}},
+      {"expander_maxdeg_mixed", 603, expander, proc::PlacementKind::kMaxDegree,
+       {FS{FaultKind::kSilent, 1}, FS{FaultKind::kSpam, 1},
+        FS{FaultKind::kTwoFaced, 1}}},
+      {"expander_antipodal_liar", 604, expander, proc::PlacementKind::kAntipodal,
+       {FS{FaultKind::kLiar, 1}, FS{FaultKind::kTwoFaced, 1}}},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(SparseMixes, SparseMixedFaults,
+                         ::testing::ValuesIn(sparse_mix_cases()),
+                         [](const auto& info) { return std::string(info.param.name); });
 
 TEST(MixedFaults, RejectsAllFaulty) {
   RunSpec spec;

@@ -16,6 +16,7 @@
 #include "analysis/parallel_runner.h"
 #include "analysis/round_trace.h"
 #include "net/topology.h"
+#include "util/rng.h"
 
 namespace wlsync {
 namespace {
@@ -104,6 +105,105 @@ TEST(Topology, BuildValidatesConnectivityAndSize) {
   spec.custom = {{0, 1}, {1, 0}};
   EXPECT_NO_THROW(net::build_topology(spec, 2));
   EXPECT_THROW(net::build_topology(spec, 3), std::invalid_argument);
+}
+
+// --------------------------------------------- randomized property tests ---
+
+/// Connected random graph as raw adjacency lists: a random attachment tree
+/// (guarantees connectivity) plus `extra` random edges.  Lists are left
+/// asymmetric, unsorted, and self-loop-free on purpose — from_adjacency
+/// must repair all of that.
+std::vector<std::vector<std::int32_t>> random_adjacency(util::Rng& rng,
+                                                        std::int32_t n,
+                                                        std::int32_t extra) {
+  std::vector<std::vector<std::int32_t>> lists(static_cast<std::size_t>(n));
+  for (std::int32_t v = 1; v < n; ++v) {
+    lists[static_cast<std::size_t>(v)].push_back(
+        static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(v))));
+  }
+  for (std::int32_t e = 0; e < extra; ++e) {
+    const auto a = static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(n)));
+    const auto b = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n)));
+    lists[a].push_back(b);
+  }
+  return lists;
+}
+
+TEST(TopologyProperties, RandomGraphsNormalizedConnectedRoundTrip) {
+  util::Rng rng(20260727);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto n = static_cast<std::int32_t>(2 + rng.below(40));
+    const auto extra = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(2 * n)));
+    const Topology topo = Topology::from_adjacency(random_adjacency(rng, n, extra));
+    ASSERT_EQ(topo.n(), n);
+    expect_invariants(topo);  // symmetry, self-loops, sorted, duplicate-free
+
+    // connected() agrees with BFS reachability (the tree construction makes
+    // every one of these graphs connected).
+    EXPECT_TRUE(topo.connected());
+    const std::vector<std::int32_t>& from0 = topo.distances_from(0);
+    for (std::int32_t v = 0; v < n; ++v) {
+      EXPECT_GE(from0[static_cast<std::size_t>(v)], 0) << "trial " << trial;
+    }
+
+    // CSR round-trip: feeding neighbors() back through from_adjacency must
+    // reproduce the structure exactly.
+    std::vector<std::vector<std::int32_t>> lists(static_cast<std::size_t>(n));
+    for (std::int32_t p = 0; p < n; ++p) {
+      const auto peers = topo.neighbors(p);
+      lists[static_cast<std::size_t>(p)].assign(peers.begin(), peers.end());
+    }
+    const Topology rebuilt = Topology::from_adjacency(lists);
+    ASSERT_EQ(rebuilt.n(), n);
+    ASSERT_EQ(rebuilt.edge_count(), topo.edge_count());
+    for (std::int32_t p = 0; p < n; ++p) {
+      const auto a = topo.neighbors(p);
+      const auto b = rebuilt.neighbors(p);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << "trial " << trial << " node " << p;
+    }
+  }
+}
+
+TEST(TopologyProperties, RandomDisconnectedGraphsDetected) {
+  util::Rng rng(71);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Two random connected components with no cross edges.
+    const auto n1 = static_cast<std::int32_t>(2 + rng.below(10));
+    const auto n2 = static_cast<std::int32_t>(2 + rng.below(10));
+    std::vector<std::vector<std::int32_t>> lists(static_cast<std::size_t>(n1 + n2));
+    for (std::int32_t v = 1; v < n1; ++v) {
+      lists[static_cast<std::size_t>(v)].push_back(
+          static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(v))));
+    }
+    for (std::int32_t v = 1; v < n2; ++v) {
+      lists[static_cast<std::size_t>(n1 + v)].push_back(
+          n1 + static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(v))));
+    }
+    const Topology topo = Topology::from_adjacency(lists);
+    expect_invariants(topo);
+    EXPECT_FALSE(topo.connected());
+    EXPECT_EQ(topo.diameter(), -1);
+    EXPECT_EQ(topo.distances_from(0)[static_cast<std::size_t>(n1)], -1);
+  }
+}
+
+TEST(TopologyProperties, RandomExpandersSeededAndSane) {
+  util::Rng rng(5150);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto n = static_cast<std::int32_t>(16 + rng.below(100));
+    const std::uint64_t seed = rng();
+    const Topology topo = Topology::k_regular(n, 8, seed);
+    expect_invariants(topo);
+    EXPECT_TRUE(topo.connected());
+    // Distances are symmetric (spot-checked along a random row).
+    const auto i = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n)));
+    const std::vector<std::int32_t>& row = topo.distances_from(i);
+    for (std::int32_t j = 0; j < n; ++j) {
+      EXPECT_EQ(row[static_cast<std::size_t>(j)],
+                topo.distances_from(j)[static_cast<std::size_t>(i)]);
+    }
+  }
 }
 
 // ------------------------------------------------- fan-out bit-identity ---
