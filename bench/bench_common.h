@@ -4,6 +4,7 @@
 // experiment index and EXPERIMENTS.md for paper-vs-measured records).
 
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -163,6 +164,50 @@ inline net::TopologyKind parse_topology(const std::string& name) {
        {"cliques", net::TopologyKind::kRingOfCliques},
        {"kregular", net::TopologyKind::kKRegular}},
       "topology");
+}
+
+inline proc::IngestMode parse_ingest(const std::string& name) {
+  return parse_name<proc::IngestMode>(
+      name,
+      {{"arena", proc::IngestMode::kArena},
+       {"legacy", proc::IngestMode::kLegacy}},
+      "ingest");
+}
+
+/// NIC axis values: "off" (no ingress model), "inf" (unbounded queue), or a
+/// capacity in datagrams (> 0).  Returns the std::optional the RunSpec
+/// wants; malformed tokens fail with the axis named, like parse_name.
+inline std::optional<sim::NicConfig> parse_nic(const std::string& name,
+                                               double service_time) {
+  if (name == "off") return std::nullopt;
+  sim::NicConfig config;
+  config.service_time = service_time;
+  if (name == "inf") {
+    config.capacity = 0;  // NicConfig's "never overflows" encoding
+    return config;
+  }
+  if (name.empty() || name.size() > 9 ||
+      name.find_first_not_of("0123456789") != std::string::npos) {
+    // The length cap keeps std::stoull from throwing out_of_range past
+    // 64 bits; a 9-digit NIC queue is already physically absurd.
+    throw std::invalid_argument("unknown nic '" + name +
+                                "' (use off, inf, or a capacity > 0)");
+  }
+  config.capacity = static_cast<std::size_t>(std::stoull(name));
+  if (config.capacity == 0) {
+    // A literal 0 would silently mean unbounded (the NicConfig encoding);
+    // make the sweep author say "inf" when that is what they want.
+    throw std::invalid_argument("nic capacity must be > 0 (use inf for an "
+                                "unbounded queue, off to disable)");
+  }
+  return config;
+}
+
+/// CSV echo of a NIC axis cell: "off", "inf", or the capacity.
+inline std::string nic_name(const std::optional<sim::NicConfig>& nic) {
+  if (!nic.has_value()) return "off";
+  if (nic->capacity == 0) return "inf";
+  return std::to_string(nic->capacity);
 }
 
 inline proc::PlacementKind parse_placement(const std::string& name) {

@@ -23,11 +23,20 @@
 //               attack to its neighbor-scoped per-victim mode).  Echoed in
 //               the `placement` CSV column so rows are self-describing.
 //   --f         explicit list, or auto = (n-1)/3 per cell
+//   --nic       Section 9.3 ingress-queue axis: off, inf (unbounded), or a
+//               capacity in datagrams (--nic-service seconds per datagram).
+//               Fills the nic_* overflow columns; "off" rows stay zero.
+//   --ingest    arena (dense neighbor-slot ARR arena), legacy (the seed's
+//               id-indexed path) — results are bit-identical, only wall_s
+//               moves; the axis exists for perf A/Bs
 //   --P         round length; --trials seeds per cell from --seed0
 //   --gradient  also measure skew-vs-distance (analysis/gradient.h); fills
 //               the gradient_slope / gradient_diameter / gradient_far_skew
 //               columns (blank-zero when off)
 //   --smoke     tiny fixed grid for CI driver smoke tests
+//
+// Every row also carries wall_s, the trial's wall-clock seconds as measured
+// inside run_experiment (per-trial telemetry from the streaming runner).
 
 #include <fstream>
 #include <iostream>
@@ -54,10 +63,11 @@ using bench::split_ints;
 using bench::split_list;
 
 void write_csv_header(std::ostream& out) {
-  out << "spec,n,f,algo,delay,drift,fault,faults,topology,placement,rounds,"
-         "seed,completed_rounds,messages,gamma_bound,gamma_measured,adj_bound,"
-         "max_abs_adj,final_skew,validity_holds,diverged,gradient_slope,"
-         "gradient_diameter,gradient_far_skew\n";
+  out << "spec,n,f,algo,delay,drift,fault,faults,topology,placement,ingest,"
+         "nic,rounds,seed,completed_rounds,messages,gamma_bound,"
+         "gamma_measured,adj_bound,max_abs_adj,final_skew,validity_holds,"
+         "diverged,gradient_slope,gradient_diameter,gradient_far_skew,"
+         "nic_dropped,nic_drop_rate,nic_peak_queue,nic_max_burst,wall_s\n";
 }
 
 }  // namespace
@@ -83,6 +93,11 @@ int main(int argc, char** argv) {
       split_list(flags.get_string("topology", smoke ? "mesh,cliques" : "mesh"));
   const std::vector<std::string> placements =
       split_list(flags.get_string("placement", "trailing"));
+  const std::vector<std::string> nics =
+      split_list(flags.get_string("nic", smoke ? "off,8" : "off"));
+  const double nic_service = flags.get_double("nic-service", 50e-6);
+  const std::vector<std::string> ingests =
+      split_list(flags.get_string("ingest", "arena"));
   const bool gradient = flags.get_bool("gradient", smoke);
   const auto fault_count = flags.get_int("faults", -1);
   const auto trials =
@@ -107,6 +122,8 @@ int main(int argc, char** argv) {
             for (const std::string& fault : faults) {
               for (const std::string& topology : topologies) {
                 for (const std::string& placement : placements) {
+                 for (const std::string& nic : nics) {
+                  for (const std::string& ingest : ingests) {
                   analysis::RunSpec base;
                   base.params = core::make_params(
                       static_cast<std::int32_t>(n), static_cast<std::int32_t>(f),
@@ -126,11 +143,15 @@ int main(int argc, char** argv) {
                   base.topology.clique_size =
                       static_cast<std::int32_t>(flags.get_int("clique", 8));
                   base.placement = parse_placement(placement);
+                  base.nic = bench::parse_nic(nic, nic_service);
+                  base.ingest = bench::parse_ingest(ingest);
                   base.measure_gradient = gradient;
                   base.rounds = rounds;
                   const std::vector<analysis::RunSpec> seeded =
                       analysis::seed_sweep(base, seed0, trials);
                   specs.insert(specs.end(), seeded.begin(), seeded.end());
+                  }
+                 }
                 }
               }
             }
@@ -164,13 +185,17 @@ int main(int argc, char** argv) {
             << ',' << bench::drift_name(s.drift) << ','
             << bench::fault_name(s.fault) << ',' << s.fault_count << ','
             << net::topology_name(s.topology.kind) << ','
-            << proc::placement_name(s.placement) << ',' << s.rounds << ','
+            << proc::placement_name(s.placement) << ','
+            << proc::ingest_name(s.ingest) << ',' << bench::nic_name(s.nic)
+            << ',' << s.rounds << ','
             << s.seed << ',' << r.completed_rounds << ',' << r.messages << ','
             << r.gamma_bound << ',' << r.gamma_measured << ',' << r.adj_bound
             << ',' << r.max_abs_adj << ',' << r.final_skew << ','
             << (r.validity.holds ? 1 : 0) << ',' << (r.diverged ? 1 : 0) << ','
             << r.gradient.slope << ',' << r.gradient.diameter << ','
-            << r.gradient.far_skew() << '\n';
+            << r.gradient.far_skew() << ',' << r.nic.dropped << ','
+            << r.nic.drop_rate() << ',' << r.nic.peak_queue << ','
+            << r.nic.max_burst << ',' << r.wall_seconds << '\n';
         if (++done % 50 == 0) {
           std::cerr << "  " << done << "/" << specs.size() << " trials\n";
         }

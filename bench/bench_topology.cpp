@@ -11,6 +11,13 @@
 // --batch=0 reruns everything through the seed's per-recipient scheduling
 // for an A/B of the fan-out engine on identical executions (results are
 // bit-identical; only the engine counters and wall time move).
+//
+// --nic=off|inf|<capacity> engages the Section 9.3 datagram-ingress model
+// (--nic-service seconds per datagram): the table gains drops/round and the
+// largest same-instant arrival burst, making overflow at n >= 128 — the
+// regime the paper's small-n study leaves open — a measured axis.
+// --ingest=arena|legacy A/Bs the dense ARR-arena ingestion path the same
+// way --batch A/Bs the fan-out engine.
 
 #include <chrono>
 #include <cstdint>
@@ -37,7 +44,9 @@ struct Row {
 
 Row run_case(const std::string& label, std::int32_t n,
              const net::TopologySpec& topology, bool batch,
-             std::int32_t rounds) {
+             std::int32_t rounds,
+             const std::optional<sim::NicConfig>& nic,
+             proc::IngestMode ingest) {
   analysis::RunSpec spec;
   const std::int32_t f = (n - 1) / 3;
   spec.params = core::make_params(n, f, 1e-5, 0.01, 1e-3, 10.0);
@@ -45,6 +54,8 @@ Row run_case(const std::string& label, std::int32_t n,
   spec.seed = 1;
   spec.topology = topology;
   spec.batch_fanout = batch;
+  spec.nic = nic;
+  spec.ingest = ingest;
 
   Row row;
   row.label = label;
@@ -72,6 +83,10 @@ int main(int argc, char** argv) {
   const bool batch = flags.get_bool("batch", true);
   const auto degree = static_cast<std::int32_t>(flags.get_int("degree", 16));
   const auto clique = static_cast<std::int32_t>(flags.get_int("clique", 16));
+  const std::optional<sim::NicConfig> nic = bench::parse_nic(
+      flags.get_string("nic", "off"), flags.get_double("nic-service", 50e-6));
+  const proc::IngestMode ingest =
+      bench::parse_ingest(flags.get_string("ingest", "arena"));
 
   bench::print_header(
       "EXP-TOPOLOGY",
@@ -83,10 +98,12 @@ int main(int argc, char** argv) {
   std::cout << "fan-out engine: "
             << (batch ? "batched (one entry per broadcast)"
                       : "per-recipient (seed baseline)")
-            << "\n\n";
+            << "; ingestion: " << proc::ingest_name(ingest)
+            << "; nic: " << bench::nic_name(nic) << "\n\n";
 
   util::Table table({"topology", "n", "msgs/round", "q-ops/round",
-                     "peak-pend", "direct/round", "ms/round", "skew"});
+                     "peak-pend", "direct/round", "drop/round", "burst",
+                     "ms/round", "skew"});
   for (std::int32_t n = 64; n <= max_n; n *= 2) {
     std::vector<std::pair<std::string, net::TopologySpec>> cases;
     cases.emplace_back("full-mesh", net::TopologySpec{});
@@ -100,7 +117,7 @@ int main(int argc, char** argv) {
     cases.emplace_back("cliques/" + std::to_string(clique), cliques);
 
     for (const auto& [label, topology] : cases) {
-      const Row row = run_case(label, n, topology, batch, rounds);
+      const Row row = run_case(label, n, topology, batch, rounds, nic, ingest);
       const double per_round =
           row.result.completed_rounds > 0
               ? static_cast<double>(row.result.completed_rounds)
@@ -114,6 +131,9 @@ int main(int argc, char** argv) {
            std::to_string(row.peak_pending),
            std::to_string(static_cast<std::uint64_t>(
                static_cast<double>(row.fanout_direct) / per_round)),
+           std::to_string(static_cast<std::uint64_t>(
+               static_cast<double>(row.result.nic.dropped) / per_round)),
+           std::to_string(row.result.nic.max_burst),
            util::fmt(row.wall_ms / per_round, 4),
            util::fmt_sci(row.result.gamma_measured)});
     }

@@ -1,6 +1,7 @@
 #include "analysis/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -62,6 +63,7 @@ proc::ProcessPtr build_algorithm(const RunSpec& spec) {
       config.k_exchanges = spec.k_exchanges;
       config.stagger = spec.stagger;
       config.amortize = spec.amortize;
+      config.ingest = spec.ingest;
       return std::make_unique<core::WelchLynchProcess>(config);
     }
     case Algo::kLM: {
@@ -71,19 +73,21 @@ proc::ProcessPtr build_algorithm(const RunSpec& spec) {
               : 4.0 * (spec.params.beta +
                        static_cast<double>(spec.params.n) * spec.params.eps);
       return std::make_unique<baselines::InteractiveConvergenceProcess>(
-          spec.params, delta_max);
+          spec.params, delta_max, spec.ingest);
     }
     case Algo::kST:
-      return std::make_unique<baselines::SrikanthTouegProcess>(spec.params);
+      return std::make_unique<baselines::SrikanthTouegProcess>(spec.params,
+                                                               spec.ingest);
     case Algo::kMS: {
       const double tau = spec.ms_tau > 0.0
                              ? spec.ms_tau
                              : 4.0 * (spec.params.beta + 2.0 * spec.params.eps);
-      return std::make_unique<baselines::MahaneySchneiderProcess>(spec.params,
-                                                                  tau);
+      return std::make_unique<baselines::MahaneySchneiderProcess>(
+          spec.params, tau, spec.ingest);
     }
     case Algo::kPlainMean:
-      return std::make_unique<baselines::PlainMeanProcess>(spec.params);
+      return std::make_unique<baselines::PlainMeanProcess>(spec.params,
+                                                           spec.ingest);
     case Algo::kHSSD:
       return std::make_unique<baselines::HssdProcess>(spec.params);
   }
@@ -292,6 +296,7 @@ RunResult Experiment::run() {
   result.t_end = sim_->current_time();
   result.messages = sim_->messages_sent();
   result.nic_dropped = sim_->nic_dropped();
+  result.nic = summarize_nic(*sim_);
 
   // Per-round begin spreads and skews at round begins.
   const std::int32_t last_round = trace_.last_complete_round(honest_);
@@ -339,8 +344,13 @@ RunResult Experiment::run() {
 }
 
 RunResult run_experiment(const RunSpec& spec) {
+  const auto start = std::chrono::steady_clock::now();
   Experiment experiment(spec);
-  return experiment.run();
+  RunResult result = experiment.run();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
 }
 
 // ------------------------------------------------------------- start-up ---

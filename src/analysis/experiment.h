@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "analysis/gradient.h"
+#include "analysis/measure.h"
 #include "analysis/round_trace.h"
 #include "analysis/skew.h"
 #include "core/params.h"
@@ -66,6 +67,13 @@ struct RunSpec {
   std::int32_t k_exchanges = 1;
   double stagger = 0.0;
   double amortize = 0.0;
+  /// Arrival-ingestion engine for the averaging algorithms (WL, LM, MS,
+  /// plain mean, ST): the dense neighbor-slot arena (default) or the
+  /// seed's sparse id-indexed path.  Executions are bit-identical either
+  /// way (tests/ingest_pin_test.cpp); kLegacy is the measured reference,
+  /// like batch_fanout = false.  HSSD keeps no per-sender state at all,
+  /// so the knob is a no-op there — don't sweep the ingest axis for it.
+  proc::IngestMode ingest = proc::IngestMode::kArena;
 
   FaultKind fault = FaultKind::kNone;
   std::int32_t fault_count = 0;  ///< how many processes misbehave
@@ -136,10 +144,16 @@ struct RunResult {
   bool diverged = false;
   std::uint64_t messages = 0;
   std::uint64_t nic_dropped = 0;
+  /// Section 9.3 ingress accounting (all zeros when RunSpec::nic is unset).
+  NicSummary nic;
   double tmin0 = 0.0;
   double tmax0 = 0.0;
   double t_end = 0.0;
   std::int32_t completed_rounds = 0;
+  /// Wall-clock seconds this trial took (run_experiment measures it; the
+  /// ParallelRunner streams it to sweep CSVs).  Telemetry only — it is NOT
+  /// part of results_identical, which compares measured physics.
+  double wall_seconds = 0.0;
 };
 
 /// A constructed system ready to run; exposes the simulator for tests that

@@ -59,4 +59,27 @@ LocalTimeGrid sample_local_times(const sim::Simulator& sim,
   return grid;
 }
 
+NicSummary summarize_nic(const sim::Simulator& sim) {
+  NicSummary summary;
+  if (!sim.nic_enabled()) return summary;
+  for (std::int32_t id = 0; id < sim.process_count(); ++id) {
+    const sim::NicStats& stats = sim.nic_stats(id);
+    summary.arrivals += stats.arrivals;
+    summary.served += stats.served;
+    summary.dropped += stats.dropped;
+    summary.service_events += stats.service_events;
+    summary.worst_dropped = std::max(summary.worst_dropped, stats.dropped);
+    summary.peak_queue = std::max(summary.peak_queue, stats.peak_queue);
+    summary.max_burst = std::max(summary.max_burst, stats.max_burst);
+  }
+  return summary;
+}
+
+bool nic_summaries_identical(const NicSummary& a, const NicSummary& b) {
+  return a.arrivals == b.arrivals && a.served == b.served &&
+         a.dropped == b.dropped && a.service_events == b.service_events &&
+         a.worst_dropped == b.worst_dropped && a.peak_queue == b.peak_queue &&
+         a.max_burst == b.max_burst;
+}
+
 }  // namespace wlsync::analysis

@@ -60,4 +60,30 @@ struct LocalTimeGrid {
                                                std::vector<double> times,
                                                int threads = 0);
 
+/// Aggregated Section 9.3 ingress accounting for a finished run: the
+/// per-process sim::NicStats summed, plus the worst single process on each
+/// axis.  All zeros when the NIC model is off; every field is a
+/// deterministic function of the run (results_identical compares them).
+struct NicSummary {
+  std::uint64_t arrivals = 0;
+  std::uint64_t served = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t service_events = 0;     ///< service-loop arms (re-arm count)
+  std::uint64_t worst_dropped = 0;      ///< max dropped at one process
+  std::size_t peak_queue = 0;           ///< deepest ingress queue anywhere
+  std::size_t max_burst = 0;            ///< largest same-instant burst
+
+  /// Fraction of arrivals lost to overflow.
+  [[nodiscard]] double drop_rate() const noexcept {
+    return arrivals == 0
+               ? 0.0
+               : static_cast<double>(dropped) / static_cast<double>(arrivals);
+  }
+};
+
+[[nodiscard]] NicSummary summarize_nic(const sim::Simulator& sim);
+
+[[nodiscard]] bool nic_summaries_identical(const NicSummary& a,
+                                           const NicSummary& b);
+
 }  // namespace wlsync::analysis

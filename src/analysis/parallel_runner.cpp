@@ -136,9 +136,11 @@ bool results_identical(const RunResult& a, const RunResult& b) {
          a.validity.measured_lo_slope == b.validity.measured_lo_slope &&
          a.final_skew == b.final_skew && a.diverged == b.diverged &&
          a.messages == b.messages && a.nic_dropped == b.nic_dropped &&
+         nic_summaries_identical(a.nic, b.nic) &&
          a.tmin0 == b.tmin0 && a.tmax0 == b.tmax0 && a.t_end == b.t_end &&
          a.completed_rounds == b.completed_rounds &&
          gradient_summaries_identical(a.gradient, b.gradient);
+  // wall_seconds is telemetry, deliberately excluded.
 }
 
 }  // namespace wlsync::analysis

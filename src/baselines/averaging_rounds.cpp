@@ -9,10 +9,54 @@ constexpr std::int32_t kBcastTimer = 1;
 constexpr std::int32_t kUpdateTimer = 2;
 }  // namespace
 
-RoundExchangeProcess::RoundExchangeProcess(core::Params params)
-    : params_(params), derived_(core::derive(params)) {
-  diff_.assign(static_cast<std::size_t>(params_.n), core::kNeverArrived);
+RoundExchangeProcess::RoundExchangeProcess(core::Params params,
+                                           proc::IngestMode ingest)
+    : params_(params), derived_(core::derive(params)), ingest_(ingest) {
+  if (ingest_ == proc::IngestMode::kLegacy) {
+    diff_.assign(static_cast<std::size_t>(params_.n), core::kNeverArrived);
+  }
   label_ = params_.T0;
+}
+
+void RoundExchangeProcess::ensure_arena(const proc::Context& ctx) {
+  if (!arena_.bound()) {
+    arena_.bind(ctx.neighbors(), ctx.process_count(), core::kNeverArrived);
+  }
+}
+
+const std::vector<double>& RoundExchangeProcess::round_values(
+    const proc::Context& ctx) {
+  if (ingest_ == proc::IngestMode::kLegacy) {
+    // Project the per-id estimates onto the neighbor view: one slot per
+    // exchange-graph neighbor, own slot pinned to 0 (our clock is 0 away
+    // from itself).  On the full mesh this is the historical all-n vector,
+    // bit for bit.
+    const std::span<const std::int32_t> peers = ctx.neighbors();
+    values_.clear();
+    values_.reserve(peers.size());
+    for (std::int32_t q : peers) {
+      values_.push_back(q == ctx.id() ? 0.0
+                                      : diff_[static_cast<std::size_t>(q)]);
+    }
+    return values_;
+  }
+  // Dense mode: the arena already IS the neighbor view; force the own slot
+  // to 0.0 (a self-delivered broadcast wrote an estimate there, which the
+  // legacy gather also discarded) and hand the adjustment rule the arena's
+  // storage directly — no per-round gather.
+  ensure_arena(ctx);
+  const std::int32_t own = arena_.slot_of(ctx.id());
+  if (own >= 0) arena_.set_slot(static_cast<std::size_t>(own), 0.0);
+  return arena_.values();
+}
+
+void RoundExchangeProcess::reset_round(const proc::Context& ctx) {
+  if (ingest_ == proc::IngestMode::kLegacy) {
+    diff_.assign(static_cast<std::size_t>(params_.n), core::kNeverArrived);
+    return;
+  }
+  ensure_arena(ctx);
+  arena_.fill(core::kNeverArrived);  // O(degree), not O(n)
 }
 
 void RoundExchangeProcess::begin_round(proc::Context& ctx) {
@@ -30,8 +74,13 @@ void RoundExchangeProcess::on_start(proc::Context& ctx) {
 void RoundExchangeProcess::on_message(proc::Context& ctx, const sim::Message& m) {
   if (m.tag != core::kTimeTag) return;
   // Estimate of how far ahead q's clock is, assuming the delay was delta.
-  diff_[static_cast<std::size_t>(m.from)] =
-      m.value + params_.delta - ctx.local_time();
+  const double estimate = m.value + params_.delta - ctx.local_time();
+  if (ingest_ == proc::IngestMode::kLegacy) {
+    diff_[static_cast<std::size_t>(m.from)] = estimate;
+  } else {
+    if (!arena_.bound()) ensure_arena(ctx);
+    arena_.record(m.from, estimate);
+  }
 }
 
 void RoundExchangeProcess::on_timer(proc::Context& ctx, std::int32_t tag) {
@@ -40,22 +89,11 @@ void RoundExchangeProcess::on_timer(proc::Context& ctx, std::int32_t tag) {
       begin_round(ctx);
       break;
     case kUpdateTimer: {
-      // Project the per-id estimates onto the neighbor view: one slot per
-      // exchange-graph neighbor, own slot pinned to 0 (our clock is 0 away
-      // from itself).  On the full mesh this is the historical all-n
-      // vector, bit for bit.
-      const std::span<const std::int32_t> peers = ctx.neighbors();
-      values_.clear();
-      values_.reserve(peers.size());
-      for (std::int32_t q : peers) {
-        values_.push_back(q == ctx.id() ? 0.0
-                                        : diff_[static_cast<std::size_t>(q)]);
-      }
-      const double adj = compute_adjustment(values_);
+      const double adj = compute_adjustment(round_values(ctx));
       last_adj_ = adj;
       ctx.add_corr(adj);
       ctx.annotate({proc::Annotation::Type::kUpdate, round_, adj, 0.0});
-      diff_.assign(static_cast<std::size_t>(params_.n), core::kNeverArrived);
+      reset_round(ctx);
       ++round_;
       label_ += params_.P;
       ctx.set_timer(label_, kBcastTimer);

@@ -1,5 +1,7 @@
 #include "baselines/srikanth_toueg.h"
 
+#include <algorithm>
+
 namespace wlsync::baselines {
 
 namespace {
@@ -29,13 +31,72 @@ void SrikanthTouegProcess::on_timer(proc::Context& ctx, std::int32_t) {
   maybe_broadcast(ctx, k);
 }
 
+SrikanthTouegProcess::RoundTally& SrikanthTouegProcess::tally_for(
+    std::int32_t k) {
+  // Pending rounds stay ascending; in steady state there are one or two, so
+  // the scan is a couple of comparisons.
+  auto it = std::lower_bound(
+      active_.begin(), active_.end(), k,
+      [](const RoundTally& t, std::int32_t round) { return t.round < round; });
+  if (it != active_.end() && it->round == k) return *it;
+  RoundTally fresh;
+  if (!free_.empty()) {
+    fresh = std::move(free_.back());  // retains seen/extras capacity
+    free_.pop_back();
+  }
+  fresh.round = k;
+  fresh.count = 0;
+  fresh.seen.assign((index_.size() + 63) / 64, 0);
+  fresh.extras.clear();
+  return *active_.insert(it, std::move(fresh));
+}
+
+std::int32_t SrikanthTouegProcess::note_sender(proc::Context& ctx,
+                                               std::int32_t k,
+                                               std::int32_t from) {
+  if (ingest_ == proc::IngestMode::kLegacy) {
+    auto& senders = heard_[k];
+    senders.insert(from);
+    return static_cast<std::int32_t>(senders.size());
+  }
+  if (!index_.bound()) index_.bind(ctx.neighbors(), ctx.process_count());
+  RoundTally& tally = tally_for(k);
+  const std::int32_t slot = index_.slot_of(from);
+  if (slot >= 0) {
+    const auto word = static_cast<std::size_t>(slot) / 64;
+    const std::uint64_t bit = std::uint64_t{1}
+                              << (static_cast<std::size_t>(slot) % 64);
+    if ((tally.seen[word] & bit) == 0) {
+      tally.seen[word] |= bit;
+      ++tally.count;
+    }
+  } else if (std::find(tally.extras.begin(), tally.extras.end(), from) ==
+             tally.extras.end()) {
+    // Point-to-point send from outside the neighborhood (an adversary
+    // power); the legacy set counted it, so the flat path must too.
+    tally.extras.push_back(from);
+    ++tally.count;
+  }
+  return tally.count;
+}
+
+void SrikanthTouegProcess::drop_through(std::int32_t k) {
+  if (ingest_ == proc::IngestMode::kLegacy) {
+    heard_.erase(heard_.begin(), heard_.upper_bound(k));
+    return;
+  }
+  auto it = active_.begin();
+  while (it != active_.end() && it->round <= k) {
+    free_.push_back(std::move(*it));  // recycle the bitset storage
+    it = active_.erase(it);
+  }
+}
+
 void SrikanthTouegProcess::on_message(proc::Context& ctx, const sim::Message& m) {
   if (m.tag != kTickTag) return;
   const std::int32_t k = m.aux;
   if (k <= accepted_) return;  // stale round
-  auto& senders = heard_[k];
-  senders.insert(m.from);
-  const auto count = static_cast<std::int32_t>(senders.size());
+  const std::int32_t count = note_sender(ctx, k, m.from);
   // Quorums are f-based, but a process can only ever hear its exchange-graph
   // neighbors: clamp so sparse topologies (neighbor view < 2f+1) degrade to
   // neighborhood-unanimity instead of deadlocking.  On the paper's full
@@ -59,7 +120,7 @@ void SrikanthTouegProcess::accept(proc::Context& ctx, std::int32_t k) {
   last_adj_ = adj;
   ctx.add_corr(adj);
   accepted_ = k;
-  heard_.erase(heard_.begin(), heard_.upper_bound(k));
+  drop_through(k);
   ctx.annotate({proc::Annotation::Type::kUpdate, k - 1, adj, 0.0});
   // Schedule the next round on the new clock.
   ctx.set_timer(params_.round_label(k + 1), kRoundTimer);

@@ -13,12 +13,23 @@
 // worse than Welch-Lynch's ~4 eps depending on the relative sizes), the
 // adjustment is about 3(delta + eps), and validity is optimal.  EXP-COMPARE
 // checks those shapes on the shared substrate.
+//
+// Ingestion: the distinct-sender tallies are the [ST] hot path — one set
+// insertion per delivery.  In IngestMode::kArena the per-round sender sets
+// are flat bitsets over dense neighbor slots (proc::NeighborIndex), pooled
+// and recycled across rounds so steady-state deliveries allocate nothing;
+// senders outside the bound neighborhood (possible only for point-to-point
+// adversary sends) fall back to a small per-round overflow list.  kLegacy
+// keeps the seed's std::map<round, std::set<sender>> as the pinned
+// reference (tests/ingest_pin_test.cpp).
 
 #include <cstdint>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "core/params.h"
+#include "proc/arrival.h"
 #include "proc/process.h"
 
 namespace wlsync::baselines {
@@ -27,7 +38,9 @@ inline constexpr std::int32_t kTickTag = 3;
 
 class SrikanthTouegProcess final : public proc::Process {
  public:
-  explicit SrikanthTouegProcess(core::Params params) : params_(params) {}
+  explicit SrikanthTouegProcess(
+      core::Params params, proc::IngestMode ingest = proc::IngestMode::kArena)
+      : params_(params), ingest_(ingest) {}
 
   void on_start(proc::Context& ctx) override;
   void on_timer(proc::Context& ctx, std::int32_t tag) override;
@@ -37,10 +50,31 @@ class SrikanthTouegProcess final : public proc::Process {
   [[nodiscard]] double last_adjustment() const noexcept { return last_adj_; }
 
  private:
+  /// Distinct senders heard for a pending (not yet accepted) round.
+  struct RoundTally {
+    std::int32_t round = 0;
+    std::int32_t count = 0;                 ///< distinct senders so far
+    std::vector<std::uint64_t> seen;        ///< bitset over dense slots
+    std::vector<std::int32_t> extras;       ///< non-neighbor senders (rare)
+  };
+
   void maybe_broadcast(proc::Context& ctx, std::int32_t k);
   void accept(proc::Context& ctx, std::int32_t k);
+  /// Registers `from` as a sender for round k and returns the number of
+  /// distinct senders heard for k (identical in both ingestion modes).
+  [[nodiscard]] std::int32_t note_sender(proc::Context& ctx, std::int32_t k,
+                                         std::int32_t from);
+  /// Drops tallies for every round <= k (post-acceptance cleanup).
+  void drop_through(std::int32_t k);
+  [[nodiscard]] RoundTally& tally_for(std::int32_t k);
 
   core::Params params_;
+  proc::IngestMode ingest_;
+  // --- arena mode ---
+  proc::NeighborIndex index_;
+  std::vector<RoundTally> active_;  ///< pending rounds, ascending by round
+  std::vector<RoundTally> free_;    ///< recycled tallies (capacity retained)
+  // --- legacy mode ---
   std::map<std::int32_t, std::set<std::int32_t>> heard_;  ///< senders per round
   std::set<std::int32_t> sent_;                           ///< rounds broadcast
   std::int32_t accepted_ = 0;  ///< highest accepted round

@@ -1,5 +1,6 @@
 #include "core/welch_lynch.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "multiset/multiset_ops.h"
@@ -7,8 +8,8 @@
 namespace wlsync::core {
 
 namespace {
-constexpr std::int32_t kBcastTimer = 1;
-constexpr std::int32_t kUpdateTimer = 2;
+constexpr std::int32_t kBcastTimer = WelchLynchProcess::kBcastTimerTag;
+constexpr std::int32_t kUpdateTimer = WelchLynchProcess::kUpdateTimerTag;
 }  // namespace
 
 WelchLynchProcess::WelchLynchProcess(WelchLynchConfig config)
@@ -22,8 +23,16 @@ WelchLynchProcess::WelchLynchProcess(WelchLynchConfig config)
     // like n = 3f on purpose.)
     throw std::invalid_argument("WelchLynch: need n >= 2f+1 for reduce()");
   }
-  arr_.assign(static_cast<std::size_t>(config_.params.n), kNeverArrived);
+  if (config_.ingest == proc::IngestMode::kLegacy) {
+    arr_.assign(static_cast<std::size_t>(config_.params.n), kNeverArrived);
+  }
   label_ = config_.params.T0;
+}
+
+void WelchLynchProcess::ensure_arena(const proc::Context& ctx) {
+  if (!arena_.bound()) {
+    arena_.bind(ctx.neighbors(), ctx.process_count(), kNeverArrived);
+  }
 }
 
 // In staggered mode (Section 9.3) process p broadcasts at base + p*sigma and
@@ -111,12 +120,16 @@ void WelchLynchProcess::on_message(proc::Context& ctx, const sim::Message& m) {
   if (config_.stagger > 0.0 && m.tag == kTimeTag) {
     arrival -= static_cast<double>(m.from) * config_.stagger;
   }
-  arr_[static_cast<std::size_t>(m.from)] = arrival;
+  if (config_.ingest == proc::IngestMode::kLegacy) {
+    arr_[static_cast<std::size_t>(m.from)] = arrival;
+  } else {
+    // The bound() probe is inline; the out-of-line bind happens once.
+    if (!arena_.bound()) ensure_arena(ctx);
+    arena_.record(m.from, arrival);
+  }
 }
 
-void WelchLynchProcess::do_update(proc::Context& ctx) {
-  const double base = label_ + static_cast<double>(exchange_) * sub_period(ctx);
-  // AV := mid(reduce(ARR)); ADJ := T + delta - AV; CORR := CORR + ADJ.
+double WelchLynchProcess::update_legacy(const proc::Context& ctx) {
   // The multiset is the neighbor view: on the paper's full mesh that is all
   // of ARR; on a sparse exchange graph only neighbors can have arrived, so
   // the non-neighbor slots (permanently kNeverArrived) must not be allowed
@@ -136,9 +149,35 @@ void WelchLynchProcess::do_update(proc::Context& ctx) {
     // at (deg - 1) / 3 locally (deg >= 3 f_local + 1, as n >= 3f + 1).
     f = std::min(f, (scratch_.size() - 1) / 3);
   }
-  const double av = config_.averaging == Averaging::kMidpoint
-                        ? ms::fault_tolerant_midpoint(*values, f)
-                        : ms::fault_tolerant_mean(*values, f);
+  return config_.averaging == Averaging::kMidpoint
+             ? ms::fault_tolerant_midpoint(*values, f)
+             : ms::fault_tolerant_mean(*values, f);
+}
+
+double WelchLynchProcess::update_arena(const proc::Context& ctx) {
+  // Same multiset and same local-f clamp as the legacy path, read straight
+  // out of the dense arena (no gather) and reduced over its scratch (no
+  // allocations).  On the full mesh the neighbor order is id order, so the
+  // multiset is the historical one element for element.
+  auto f = static_cast<std::size_t>(config_.params.f);
+  if (static_cast<std::int32_t>(arena_.size()) != ctx.process_count()) {
+    f = std::min(f, (arena_.size() - 1) / 3);
+  }
+  return config_.averaging == Averaging::kMidpoint
+             ? arena_.midpoint_reduced(f)
+             : arena_.mean_reduced(f);
+}
+
+void WelchLynchProcess::do_update(proc::Context& ctx) {
+  const double base = label_ + static_cast<double>(exchange_) * sub_period(ctx);
+  // AV := mid(reduce(ARR)); ADJ := T + delta - AV; CORR := CORR + ADJ.
+  double av;
+  if (config_.ingest == proc::IngestMode::kLegacy) {
+    av = update_legacy(ctx);
+  } else {
+    ensure_arena(ctx);  // a process that heard nobody still reduces
+    av = update_arena(ctx);
+  }
   const double adj = base + config_.params.delta - av;
   last_av_ = av;
   last_adj_ = adj;

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/params.h"
+#include "proc/arrival.h"
 #include "proc/process.h"
 
 namespace wlsync::core {
@@ -60,10 +61,20 @@ struct WelchLynchConfig {
   std::int32_t k_exchanges = 1;  ///< Section 7 variant; 1 = paper's algorithm
   double stagger = 0.0;          ///< sigma of Section 9.3; 0 = simultaneous
   double amortize = 0.0;         ///< slew duration for displayed time; 0 = step
+  /// Arrival-ingestion engine: the dense neighbor-slot arena (default) or
+  /// the seed's sparse id-indexed path.  Executions are bit-identical either
+  /// way (tests/ingest_pin_test.cpp); kLegacy is the measured baseline.
+  proc::IngestMode ingest = proc::IngestMode::kArena;
 };
 
 class WelchLynchProcess final : public proc::Process {
  public:
+  /// Timer tags (FLAG's two cases realized as timers — see header comment).
+  /// Public so ingestion harnesses (bench_micro) can drive the update step
+  /// directly without a simulator.
+  static constexpr std::int32_t kBcastTimerTag = 1;
+  static constexpr std::int32_t kUpdateTimerTag = 2;
+
   explicit WelchLynchProcess(WelchLynchConfig config);
 
   void on_start(proc::Context& ctx) override;
@@ -95,11 +106,16 @@ class WelchLynchProcess final : public proc::Process {
   void begin_exchange(proc::Context& ctx);
   void do_broadcast(proc::Context& ctx);
   void do_update(proc::Context& ctx);
+  /// Binds the arena to the neighbor view on the first Context-bearing step.
+  void ensure_arena(const proc::Context& ctx);
+  [[nodiscard]] double update_legacy(const proc::Context& ctx);
+  [[nodiscard]] double update_arena(const proc::Context& ctx);
 
   WelchLynchConfig config_;
   Derived derived_;
-  std::vector<double> arr_;
-  std::vector<double> scratch_;  ///< neighbor-view multiset (sparse graphs)
+  proc::ArrivalArena arena_;     ///< dense ingestion path (kArena)
+  std::vector<double> arr_;      ///< legacy id-indexed ARR (kLegacy)
+  std::vector<double> scratch_;  ///< legacy neighbor-view gather (kLegacy)
   double label_ = 0.0;        ///< T: start label of the current round
   std::int32_t round_ = 0;    ///< i
   std::int32_t exchange_ = 0; ///< sub-exchange j in [0, k)

@@ -1,0 +1,162 @@
+#pragma once
+// Dense per-neighbor arrival arena — the ingestion hot path.
+//
+// Every averaging algorithm in this repository keeps one datum per peer
+// ("ARR[q] := local-time()" in Section 4.2, DIFF[q] for the Section 10
+// comparison algorithms) and reduces that multiset once per round.  The
+// seed stored those slots indexed by *sender id* (a length-n array even on
+// a degree-d exchange graph) and reduced them through ms::reduce(), which
+// sorts an allocated copy and returns a second allocated slice — two heap
+// allocations and an O(n log n) sort per process per round, plus a sparse
+// gather that touches n slots to find d live ones.
+//
+// ArrivalArena replaces both halves:
+//   * storage is a flat array indexed by dense neighbor slot (the position
+//     of the sender in the process' sorted closed neighborhood), so a
+//     degree-d process touches d contiguous doubles, not n sparse ones, and
+//     the reduction reads the multiset straight out of the arena with no
+//     gather;
+//   * reductions run over a reusable scratch buffer owned by the arena —
+//     mid(reduce(.)) needs only the f-th smallest and f-th largest
+//     surviving elements, found with two std::nth_element passes (O(m)
+//     instead of O(m log m)), and mean(reduce(.)) sorts the scratch in
+//     place.  Steady-state rounds perform zero heap allocations; the
+//     counters below let benchmarks and the CI perf-smoke gate pin that.
+//
+// Bit-identity: the reductions produce exactly the doubles
+// ms::fault_tolerant_midpoint / ms::fault_tolerant_mean produce on the same
+// multiset (order statistics are value-exact, and the mean accumulates in
+// the same ascending order) — tests/arrival_test.cpp holds them to ==, and
+// tests/ingest_pin_test.cpp pins whole-system traces against the legacy
+// ingestion path (IngestMode::kLegacy) at results_identical strictness.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wlsync::proc {
+
+/// Which ingestion engine an algorithm instance runs.  kLegacy keeps the
+/// seed's id-indexed arrays + allocating ms::reduce() as the measured and
+/// pinned reference, exactly as SimConfig::batch_fanout = false keeps the
+/// per-recipient scheduler.
+enum class IngestMode : std::uint8_t {
+  kArena = 0,   ///< dense neighbor-slot arena, allocation-free reductions
+  kLegacy = 1,  ///< the seed's sparse id-indexed path (reference baseline)
+};
+
+[[nodiscard]] const char* ingest_name(IngestMode mode);
+
+/// Sender-id -> dense-slot map over a process' closed neighborhood.  The
+/// slot of a sender is its position in the sorted neighbor list; non-
+/// neighbors map to -1.  Shared by ArrivalArena (value slots) and the
+/// quorum-counting algorithms ([ST]'s per-round sender bitsets).
+class NeighborIndex {
+ public:
+  void bind(std::span<const std::int32_t> neighbors, std::int32_t n);
+
+  [[nodiscard]] bool bound() const noexcept { return bound_; }
+  /// Number of dense slots (the closed-neighborhood size).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  [[nodiscard]] std::int32_t slot_of(std::int32_t sender) const {
+    if (sender < 0 || static_cast<std::size_t>(sender) >= slot_of_.size()) {
+      return -1;
+    }
+    return slot_of_[static_cast<std::size_t>(sender)];
+  }
+
+  /// slot_of without the range check, for callers that already know the id
+  /// is a registered process (the simulator validates every delivery).
+  [[nodiscard]] std::int32_t slot_of_valid(std::int32_t sender) const {
+    return slot_of_[static_cast<std::size_t>(sender)];
+  }
+
+  /// True when the slot map is the identity (the paper's full mesh, where
+  /// the closed neighborhood is 0..n-1): sender id IS the dense slot, so
+  /// the per-delivery lookup can skip the table entirely.
+  [[nodiscard]] bool identity() const noexcept { return identity_; }
+
+ private:
+  std::vector<std::int32_t> slot_of_;  ///< sender id -> dense slot, -1 = none
+  std::size_t size_ = 0;
+  bool bound_ = false;
+  bool identity_ = false;
+};
+
+class ArrivalArena {
+ public:
+  /// Binds the arena to a closed neighborhood (sorted ids, self included)
+  /// over processes 0..n-1 and fills every slot with `initial`.  Binding
+  /// always resets the slots — callers guard with bound() and bind exactly
+  /// once, from their first Context-bearing step (the neighborhood is not
+  /// known at construction time; the exchange graph never changes mid-run).
+  void bind(std::span<const std::int32_t> neighbors, std::int32_t n,
+            double initial);
+
+  [[nodiscard]] bool bound() const noexcept { return bound_; }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+  /// Dense slot of `sender` in the bound neighborhood; -1 if the sender is
+  /// not a neighbor (its messages cannot contribute to the reduction).
+  [[nodiscard]] std::int32_t slot_of(std::int32_t sender) const {
+    return index_.slot_of(sender);
+  }
+
+  /// Records `value` for `sender`; non-neighbor senders are dropped (the
+  /// legacy path wrote them into the id-indexed array, but the reduction
+  /// only ever read neighbor slots, so the observable behaviour is equal).
+  /// Precondition: sender is a registered process id in [0, n) — the
+  /// per-delivery hot path trusts the simulator's id validation and spends
+  /// exactly one load + one predicate on the slot lookup.
+  void record(std::int32_t sender, double value) {
+    if (index_.identity()) {  // full mesh: sender id IS the slot
+      values_[static_cast<std::size_t>(sender)] = value;
+      return;
+    }
+    const std::int32_t slot = index_.slot_of_valid(sender);
+    if (slot >= 0) values_[static_cast<std::size_t>(slot)] = value;
+  }
+
+  void set_slot(std::size_t slot, double value) { values_[slot] = value; }
+  [[nodiscard]] double slot_value(std::size_t slot) const {
+    return values_[slot];
+  }
+
+  /// Per-round reset for the algorithms whose estimates expire (the
+  /// Section 10 round-exchange family).  O(degree), not O(n).
+  void fill(double value);
+
+  /// The dense multiset, in neighbor order — ready to be reduced directly.
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+  /// == ms::fault_tolerant_midpoint(values(), f), allocation-free: two
+  /// nth_element passes over the reusable scratch find the f-th smallest
+  /// and f-th largest survivors.  Precondition: size() >= 2f + 1.
+  [[nodiscard]] double midpoint_reduced(std::size_t f);
+
+  /// == ms::fault_tolerant_mean(values(), f), allocation-free: sorts the
+  /// scratch in place and accumulates the survivors in the same ascending
+  /// order as the legacy reduce() slice.  Precondition: size() >= 2f + 1.
+  [[nodiscard]] double mean_reduced(std::size_t f);
+
+  // --- counters for the CI perf-smoke gate (bench_micro --smoke) ---
+  /// Times bind() rebuilt the slot table (should be 1 per run).
+  [[nodiscard]] std::uint64_t rebinds() const noexcept { return rebinds_; }
+  /// Reductions performed since bind.
+  [[nodiscard]] std::uint64_t reductions() const noexcept { return reductions_; }
+
+ private:
+  void load_scratch();
+
+  NeighborIndex index_;
+  std::vector<double> values_;   ///< dense, neighbor order
+  std::vector<double> scratch_;  ///< reusable reduction workspace
+  bool bound_ = false;
+  std::uint64_t rebinds_ = 0;
+  std::uint64_t reductions_ = 0;
+};
+
+}  // namespace wlsync::proc

@@ -310,18 +310,38 @@ void Simulator::count_event(EventHandle handle) {
 void Simulator::nic_arrive(std::int32_t pid, const Message& msg) {
   Nic& nic = nodes_[idx(pid)].nic;
   const NicConfig& cfg = *config_.nic;
-  if (nic.pending.size() >= cfg.capacity) {
+  ++nic.stats.arrivals;
+  // Burst clustering: under batched fan-out a broadcast's whole delivery
+  // list can land on one recipient set at a single instant (extremal
+  // delays), the Section 9.3 "punished for behaving well" regime.
+  if (current_time_ == nic.last_arrival) {
+    ++nic.burst;
+  } else {
+    nic.last_arrival = current_time_;
+    nic.burst = 1;
+  }
+  nic.stats.max_burst = std::max(nic.stats.max_burst, nic.burst);
+
+  if (cfg.capacity > 0 && nic.pending.size() >= cfg.capacity) {
+    ++nic.stats.dropped;
+    ++nic_dropped_;
+    for (TraceSink* sink : sinks_) sink->on_nic_drop(pid, current_time_);
+    if (cfg.drop == NicDropPolicy::kDropNewest) {
+      // Tail drop: the arriving datagram is lost.  The queue is non-empty,
+      // so a service event is already in flight.
+      return;
+    }
     // Section 9.3: "if too many arrive at once, the old ones are
     // overwritten."
     nic.pending.pop_front();
-    ++nic_dropped_;
-    for (TraceSink* sink : sinks_) sink->on_nic_drop(pid, current_time_);
   }
   nic.pending.push_back(msg);
+  nic.stats.peak_queue = std::max(nic.stats.peak_queue, nic.pending.size());
   if (!nic.service_scheduled) {
     schedule_event(std::max(current_time_, nic.next_free), /*tier=*/0, pid,
                    EngineKind::kNicService, Message{});
     nic.service_scheduled = true;
+    ++nic.stats.service_events;
   }
 }
 
@@ -394,14 +414,15 @@ void Simulator::dispatch(EventHandle handle, double limit) {
       Nic& nic = nodes_[idx(event.to)].nic;
       nic.service_scheduled = false;
       if (nic.pending.empty()) break;
-      const Message msg = std::move(nic.pending.front());
-      nic.pending.pop_front();
+      const Message msg = nic.pending.pop_front();
       nic.next_free = current_time_ + config_.nic->service_time;
+      ++nic.stats.served;
       deliver(event.to, msg);
       if (!nic.pending.empty()) {
         schedule_event(nic.next_free, /*tier=*/0, event.to,
                        EngineKind::kNicService, Message{});
         nic.service_scheduled = true;
+        ++nic.stats.service_events;
       }
       break;
     }

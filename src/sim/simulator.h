@@ -22,7 +22,6 @@
 // are overwritten").
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <span>
@@ -36,16 +35,11 @@
 #include "sim/corr_log.h"
 #include "sim/delay.h"
 #include "sim/event.h"
+#include "sim/nic.h"
 #include "sim/trace.h"
 #include "util/rng.h"
 
 namespace wlsync::sim {
-
-/// Bounded receive buffer emulating the Section 9.3 datagram NIC.
-struct NicConfig {
-  std::size_t capacity = 8;     ///< pending messages held per recipient
-  double service_time = 50e-6;  ///< time to hand one message to the process
-};
 
 struct SimConfig {
   double delta = 0.01;  ///< median message delay (A3)
@@ -130,6 +124,14 @@ class Simulator {
     return events_processed_;
   }
   [[nodiscard]] std::uint64_t nic_dropped() const noexcept { return nic_dropped_; }
+  /// Whether the Section 9.3 NIC ingress model is engaged.
+  [[nodiscard]] bool nic_enabled() const noexcept {
+    return config_.nic.has_value();
+  }
+  /// Per-process ingress accounting (all zeros when the NIC is off).
+  [[nodiscard]] const NicStats& nic_stats(std::int32_t id) const {
+    return nodes_[idx(id)].nic.stats;
+  }
   [[nodiscard]] double delta() const noexcept { return config_.delta; }
   [[nodiscard]] double eps() const noexcept { return config_.eps; }
 
@@ -148,8 +150,11 @@ class Simulator {
   friend class SimContext;
 
   struct Nic {
-    std::deque<Message> pending;
+    NicQueue pending;
+    NicStats stats;
     double next_free = -1e300;
+    double last_arrival = -1e300;  ///< burst tracking: previous arrival time
+    std::size_t burst = 0;         ///< arrivals at exactly last_arrival
     bool service_scheduled = false;
   };
 

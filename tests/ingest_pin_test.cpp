@@ -1,0 +1,143 @@
+// Bit-identity pin for the ingestion overhaul (ISSUE 4): every averaging
+// algorithm run with the dense ARR arena (IngestMode::kArena) must produce
+// results_identical output — bitwise-equal skews, CORR-derived series,
+// message counts, NIC accounting — to the seed's sparse id-indexed path
+// (kLegacy), across topologies, fault mixes, paper variants, and NIC
+// configurations.  This is the same standard PR 2 held the batched fan-out
+// engine to: the refactor may only move nanoseconds, never a double.
+
+#include <gtest/gtest.h>
+
+#include "analysis/parallel_runner.h"
+
+namespace wlsync::analysis {
+namespace {
+
+RunResult run_with(RunSpec spec, proc::IngestMode mode) {
+  spec.ingest = mode;
+  return run_experiment(spec);
+}
+
+void expect_modes_identical(const RunSpec& spec, const char* what) {
+  const RunResult arena = run_with(spec, proc::IngestMode::kArena);
+  const RunResult legacy = run_with(spec, proc::IngestMode::kLegacy);
+  EXPECT_TRUE(results_identical(arena, legacy)) << what;
+}
+
+RunSpec base_spec(std::int32_t n, std::int32_t f) {
+  RunSpec spec;
+  spec.params = core::make_params(n, f, 1e-5, 0.01, 1e-3, 10.0);
+  spec.rounds = 6;
+  spec.seed = 11;
+  return spec;
+}
+
+TEST(IngestPin, WelchLynchFullMesh) {
+  expect_modes_identical(base_spec(13, 4), "plain WL, full mesh");
+}
+
+TEST(IngestPin, WelchLynchVariants) {
+  RunSpec mean = base_spec(13, 4);
+  mean.averaging = core::Averaging::kReducedMean;
+  expect_modes_identical(mean, "reduced-mean averaging");
+
+  RunSpec k2 = base_spec(10, 3);
+  k2.k_exchanges = 2;
+  expect_modes_identical(k2, "k = 2 exchanges");
+
+  RunSpec staggered = base_spec(10, 3);
+  staggered.stagger = 0.004;
+  expect_modes_identical(staggered, "staggered broadcasts");
+
+  RunSpec amortized = base_spec(10, 3);
+  amortized.amortize = 1.5;
+  expect_modes_identical(amortized, "amortized corrections");
+}
+
+TEST(IngestPin, WelchLynchSparseTopologies) {
+  RunSpec cliques = base_spec(24, 7);
+  cliques.topology.kind = net::TopologyKind::kRingOfCliques;
+  cliques.topology.clique_size = 6;
+  expect_modes_identical(cliques, "WL on ring of cliques");
+
+  RunSpec kreg = base_spec(24, 7);
+  kreg.topology.kind = net::TopologyKind::kKRegular;
+  kreg.topology.degree = 8;
+  expect_modes_identical(kreg, "WL on k-regular expander");
+}
+
+TEST(IngestPin, RoundExchangeFamily) {
+  for (const Algo algo : {Algo::kLM, Algo::kMS, Algo::kPlainMean}) {
+    RunSpec spec = base_spec(13, 4);
+    spec.algo = algo;
+    expect_modes_identical(spec, "round-exchange algorithm (mesh)");
+
+    RunSpec sparse = base_spec(24, 7);
+    sparse.algo = algo;
+    sparse.topology.kind = net::TopologyKind::kRingOfCliques;
+    sparse.topology.clique_size = 6;
+    expect_modes_identical(sparse, "round-exchange algorithm (cliques)");
+  }
+}
+
+TEST(IngestPin, SrikanthToueg) {
+  RunSpec st = base_spec(13, 4);
+  st.algo = Algo::kST;
+  expect_modes_identical(st, "ST, full mesh");
+
+  RunSpec sparse = base_spec(24, 7);
+  sparse.algo = Algo::kST;
+  sparse.topology.kind = net::TopologyKind::kKRegular;
+  sparse.topology.degree = 10;
+  expect_modes_identical(sparse, "ST on k-regular expander");
+}
+
+TEST(IngestPin, UnderFaults) {
+  RunSpec twofaced = base_spec(13, 4);
+  twofaced.fault = FaultKind::kTwoFaced;
+  twofaced.fault_count = 2;
+  expect_modes_identical(twofaced, "WL with two-faced faults");
+
+  RunSpec mixed = base_spec(16, 5);
+  mixed.fault_mix = {{FaultKind::kSilent, 1},
+                     {FaultKind::kSpam, 1},
+                     {FaultKind::kTwoFaced, 1}};
+  expect_modes_identical(mixed, "WL with a heterogeneous fault mix");
+
+  RunSpec st_spam = base_spec(13, 4);
+  st_spam.algo = Algo::kST;
+  st_spam.fault = FaultKind::kSpam;
+  st_spam.fault_count = 2;
+  expect_modes_identical(st_spam, "ST under spam faults");
+}
+
+TEST(IngestPin, UnboundedNicIsBitIdenticalAcrossIngestModes) {
+  // The ISSUE 4 acceptance pin: with the NIC engaged but unbounded
+  // (capacity = 0, pure serialization), the refactored ingestion produces
+  // the pre-refactor traces exactly.
+  RunSpec spec = base_spec(12, 3);
+  spec.nic = sim::NicConfig{/*capacity=*/0, /*service_time=*/50e-6};
+  expect_modes_identical(spec, "WL, unbounded NIC");
+
+  RunSpec st = spec;
+  st.algo = Algo::kST;
+  expect_modes_identical(st, "ST, unbounded NIC");
+}
+
+TEST(IngestPin, OverflowingNicIsBitIdenticalAcrossIngestModes) {
+  // Drops change WHICH arrivals land, identically for both ingest paths.
+  RunSpec spec = base_spec(12, 3);
+  spec.nic = sim::NicConfig{/*capacity=*/4, /*service_time=*/1e-3};
+  expect_modes_identical(spec, "WL, overflowing NIC");
+}
+
+TEST(IngestPin, UnbatchedFanoutStillPins) {
+  // The ingest axis is orthogonal to the fan-out engine: pin the arena
+  // against legacy on the per-recipient scheduler too.
+  RunSpec spec = base_spec(12, 3);
+  spec.batch_fanout = false;
+  expect_modes_identical(spec, "WL, per-recipient fan-out");
+}
+
+}  // namespace
+}  // namespace wlsync::analysis

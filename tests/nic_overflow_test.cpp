@@ -1,0 +1,192 @@
+// The scaled NIC/datagram-overflow model (Section 9.3 at n >= 16):
+// deterministic drop traces on hand-built scenarios, the unbounded-queue
+// bit-identity pin, drop-policy semantics, per-process accounting, and a
+// mixed-faults run under overflow.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/parallel_runner.h"
+#include "clock/drift.h"
+#include "clock/physical_clock.h"
+#include "proc/process.h"
+#include "sim/simulator.h"
+
+namespace wlsync::analysis {
+namespace {
+
+/// All broadcasts land on every receiver at one instant: zero start spread,
+/// driftless clocks, constant (all-slow) delays.  Every NIC number below is
+/// an exact consequence.
+RunSpec clustered_spec(std::int32_t n, std::size_t capacity) {
+  RunSpec spec;
+  spec.params = core::make_params(n, (n - 1) / 3, 1e-5, 0.01, 1e-3, 10.0);
+  spec.delay = DelayKind::kSlow;
+  spec.drift = DriftKind::kNone;
+  spec.initial_spread = 0.0;
+  spec.rounds = 3;
+  spec.seed = 5;
+  spec.nic = sim::NicConfig{capacity, /*service_time=*/50e-6};
+  return spec;
+}
+
+TEST(NicOverflow, DeterministicDropTraceOnClusteredMesh) {
+  // Round 1: all 16 processes broadcast at the same real instant; each
+  // receiver's NIC sees a burst of exactly 16 datagrams and, at capacity 4,
+  // drops exactly 12 of them — per process, not just in aggregate.
+  const std::int32_t n = 16;
+  Experiment experiment(clustered_spec(n, 4));
+  sim::Simulator& sim = experiment.simulator();
+  sim.run_until(0.1);  // well past the delta + eps delivery instant
+  for (std::int32_t id = 0; id < n; ++id) {
+    const sim::NicStats& stats = sim.nic_stats(id);
+    EXPECT_EQ(stats.arrivals, 16u) << "process " << id;
+    EXPECT_EQ(stats.dropped, 12u) << "process " << id;
+    EXPECT_EQ(stats.max_burst, 16u) << "process " << id;
+    EXPECT_EQ(stats.peak_queue, 4u) << "process " << id;
+  }
+  EXPECT_EQ(sim.nic_dropped(), 16u * 12u);
+}
+
+TEST(NicOverflow, SummaryAggregatesAndConservation) {
+  const RunResult result = run_experiment(clustered_spec(16, 4));
+  EXPECT_GT(result.nic.dropped, 0u);
+  EXPECT_EQ(result.nic.dropped, result.nic_dropped);  // legacy counter agrees
+  EXPECT_EQ(result.nic.max_burst, 16u);
+  EXPECT_EQ(result.nic.peak_queue, 4u);
+  // Conservation: every arrival is served, dropped, or still queued (the
+  // residual is bounded by total queue capacity).
+  ASSERT_GE(result.nic.arrivals, result.nic.served + result.nic.dropped);
+  EXPECT_LE(result.nic.arrivals - result.nic.served - result.nic.dropped,
+            16u * 4u);
+  EXPECT_NEAR(result.nic.drop_rate(),
+              static_cast<double>(result.nic.dropped) /
+                  static_cast<double>(result.nic.arrivals),
+              1e-15);
+}
+
+TEST(NicOverflow, UnboundedQueueNeverDrops) {
+  const RunResult result = run_experiment(clustered_spec(16, 0));
+  EXPECT_EQ(result.nic.dropped, 0u);
+  EXPECT_EQ(result.nic.max_burst, 16u);   // bursts still observed
+  EXPECT_GE(result.nic.peak_queue, 16u);  // the whole burst queues
+  EXPECT_EQ(result.nic.arrivals, result.nic.served);
+}
+
+TEST(NicOverflow, UnboundedQueueBitIdenticalToHugeCapacity) {
+  // capacity = 0 (unbounded) is semantically "a queue that never
+  // overflows": pinned bitwise against a finite queue too large to drop.
+  RunSpec unbounded = clustered_spec(16, 0);
+  RunSpec huge = clustered_spec(16, 1u << 20);
+  const RunResult a = run_experiment(unbounded);
+  const RunResult b = run_experiment(huge);
+  EXPECT_TRUE(results_identical(a, b));
+}
+
+// ------------------------------------------------------------------------
+// Drop-policy semantics on a hand-built trace: four senders fire one
+// datagram each at the same instant into a capacity-2 NIC.  kDropOldest
+// (Section 9.3's "old ones are overwritten") delivers the LAST two;
+// kDropNewest delivers the FIRST two.
+
+class OneShotSender final : public proc::Process {
+ public:
+  explicit OneShotSender(std::int32_t to) : to_(to) {}
+  void on_start(proc::Context& ctx) override { ctx.send(to_, 7, 0.0, 0); }
+  void on_timer(proc::Context&, std::int32_t) override {}
+  void on_message(proc::Context&, const sim::Message&) override {}
+
+ private:
+  std::int32_t to_;
+};
+
+class Recorder final : public proc::Process {
+ public:
+  void on_start(proc::Context&) override {}
+  void on_timer(proc::Context&, std::int32_t) override {}
+  void on_message(proc::Context&, const sim::Message& m) override {
+    senders.push_back(m.from);
+  }
+  std::vector<std::int32_t> senders;
+};
+
+std::vector<std::int32_t> delivered_under(sim::NicDropPolicy policy) {
+  sim::SimConfig config;
+  config.delta = 0.01;
+  config.eps = 0.0;  // constant delay: all four datagrams land together
+  config.nic = sim::NicConfig{/*capacity=*/2, /*service_time=*/1e-4, policy};
+  sim::Simulator sim(config, nullptr);
+  auto recorder = std::make_unique<Recorder>();
+  Recorder* tape = recorder.get();
+  sim.add_process(std::move(recorder),
+                  std::make_unique<clk::PhysicalClock>(clk::make_constant(1.0),
+                                                       0.0, 1e-5),
+                  0.0, false, /*start=*/0.0);
+  for (std::int32_t s = 1; s <= 4; ++s) {
+    sim.add_process(std::make_unique<OneShotSender>(0),
+                    std::make_unique<clk::PhysicalClock>(
+                        clk::make_constant(1.0), 0.0, 1e-5),
+                    0.0, false, /*start=*/0.0);
+  }
+  sim.run_until(1.0);
+  EXPECT_EQ(sim.nic_stats(0).dropped, 2u);
+  return tape->senders;
+}
+
+TEST(NicOverflow, DropOldestKeepsTheFreshestDatagrams) {
+  EXPECT_EQ(delivered_under(sim::NicDropPolicy::kDropOldest),
+            (std::vector<std::int32_t>{3, 4}));
+}
+
+TEST(NicOverflow, DropNewestKeepsTheEarliestDatagrams) {
+  EXPECT_EQ(delivered_under(sim::NicDropPolicy::kDropNewest),
+            (std::vector<std::int32_t>{1, 2}));
+}
+
+// ------------------------------------------------------------------------
+
+TEST(NicOverflow, MixedFaultsUnderOverflowStaysMeasurable) {
+  // Byzantine mixture + overflowing NICs on a sparse graph: the system may
+  // degrade, but the run must complete and the accounting must cohere.
+  RunSpec spec;
+  spec.params = core::make_params(18, 5, 1e-5, 0.01, 1e-3, 10.0);
+  spec.topology.kind = net::TopologyKind::kRingOfCliques;
+  spec.topology.clique_size = 6;
+  spec.fault_mix = {{FaultKind::kSilent, 1},
+                    {FaultKind::kSpam, 1},
+                    {FaultKind::kTwoFaced, 1}};
+  spec.delay = DelayKind::kSlow;
+  spec.rounds = 6;
+  spec.seed = 3;
+  spec.nic = sim::NicConfig{/*capacity=*/5, /*service_time=*/5e-4};
+  const RunResult result = run_experiment(spec);
+  EXPECT_GE(result.completed_rounds, 1);
+  EXPECT_GT(result.nic.dropped, 0u);
+  EXPECT_GE(result.nic.arrivals, result.nic.served + result.nic.dropped);
+  EXPECT_GT(result.nic.worst_dropped, 0u);
+  EXPECT_LE(result.nic.worst_dropped, result.nic.dropped);
+  // Determinism under overflow + faults: same spec, same trace.
+  const RunResult again = run_experiment(spec);
+  EXPECT_TRUE(results_identical(result, again));
+}
+
+TEST(NicOverflow, StreamedTrialsCarryWallTelemetry) {
+  // Satellite: per-trial wall-time telemetry surfaces through run_streaming.
+  const std::vector<RunSpec> specs = seed_sweep(clustered_spec(8, 4), 1, 3);
+  std::vector<double> streamed;
+  const std::vector<RunResult> results = ParallelRunner(2).run_streaming(
+      specs, [&](std::size_t, const RunResult& r) {
+        streamed.push_back(r.wall_seconds);
+      });
+  ASSERT_EQ(streamed.size(), 3u);
+  for (const RunResult& r : results) EXPECT_GT(r.wall_seconds, 0.0);
+  // Telemetry must not affect the physics comparison.
+  RunResult a = results[0];
+  RunResult b = results[0];
+  b.wall_seconds = a.wall_seconds + 123.0;
+  EXPECT_TRUE(results_identical(a, b));
+}
+
+}  // namespace
+}  // namespace wlsync::analysis
