@@ -103,6 +103,14 @@ inline std::vector<std::int64_t> split_ints(const std::string& value) {
   return items;
 }
 
+inline std::vector<double> split_doubles(const std::string& value) {
+  std::vector<double> items;
+  for (const std::string& item : split_list(value)) {
+    items.push_back(std::stod(item));
+  }
+  return items;
+}
+
 template <typename T>
 T parse_name(const std::string& name,
              const std::vector<std::pair<std::string, T>>& table,
@@ -208,6 +216,45 @@ inline std::string nic_name(const std::optional<sim::NicConfig>& nic) {
   if (!nic.has_value()) return "off";
   if (nic->capacity == 0) return "inf";
   return std::to_string(nic->capacity);
+}
+
+inline sim::NicDropPolicy parse_nic_drop(const std::string& name) {
+  return parse_name<sim::NicDropPolicy>(
+      name,
+      {{"oldest", sim::NicDropPolicy::kDropOldest},
+       {"newest", sim::NicDropPolicy::kDropNewest}},
+      "nic-drop");
+}
+
+inline const char* nic_drop_name(sim::NicDropPolicy policy) {
+  return policy == sim::NicDropPolicy::kDropOldest ? "oldest" : "newest";
+}
+
+/// The measurement-engine axis: "off" = post-hoc grids (the seed path),
+/// "on" = streaming observation with retained history, "bounded" =
+/// streaming observation with history truncated behind the observation
+/// frontier (analysis/observe.h).  "on" and "bounded" are always
+/// bit-identical to each other, and both match "off" bitwise for runs
+/// that complete their configured rounds (every healthy cell).  A
+/// degraded run that never completes round (rounds+1)/2 measures
+/// observe-mode's own collapsed window instead of the post-hoc anchor —
+/// ObserveStats::t_steady == t_end marks such rows.
+struct ObserveMode {
+  bool observe = false;
+  bool retain = true;
+};
+
+inline ObserveMode parse_observe(const std::string& name) {
+  if (name == "off") return {false, true};
+  if (name == "on") return {true, true};
+  if (name == "bounded") return {true, false};
+  throw std::invalid_argument("unknown observe '" + name +
+                              "' (use off, on, or bounded)");
+}
+
+inline const char* observe_name(const ObserveMode& mode) {
+  if (!mode.observe) return "off";
+  return mode.retain ? "on" : "bounded";
 }
 
 inline proc::PlacementKind parse_placement(const std::string& name) {

@@ -33,8 +33,17 @@
 //   p99_skew    0.99-quantile of the per-sample bucket max
 //   frontier    max_skew folded over all distances <= d (non-decreasing:
 //               the "skew within distance d" curve)
+//   observe     measurement engine: off (post-hoc grids), on (streaming),
+//               bounded (streaming + history truncation) — --observe flag
+//   hist_peak_mb  peak retained clock/CORR history (observe rows; 0 = off)
+//   wall_s      trial wall-clock seconds
 //
-// --smoke shrinks the grid to seconds for CI.
+// Long windows: post-hoc grids must retain the full O(rounds * n) history,
+// so --rounds much beyond the default at n = 512 exhausts memory/wall
+// budget; --observe=bounded streams the same values in bounded memory
+// (analysis/observe.h), and --dt coarsens the sample step when even the
+// per-sample gradient matrix gets large.  --smoke shrinks the grid to
+// seconds for CI.
 
 #include <algorithm>
 #include <fstream>
@@ -103,6 +112,9 @@ int main(int argc, char** argv) {
       static_cast<std::int32_t>(flags.get_int("degree", smoke ? 8 : 16));
   const auto seed0 = static_cast<std::uint64_t>(flags.get_int("seed0", 1));
   const auto threads = static_cast<int>(flags.get_int("threads", 0));
+  const bench::ObserveMode observe =
+      bench::parse_observe(flags.get_string("observe", "off"));
+  const double observe_dt = flags.get_double("dt", 0.0);
   const std::string out_path = flags.get_string("out", "");
 
   // ------------------------------------------------------------- grid ---
@@ -140,6 +152,9 @@ int main(int argc, char** argv) {
           base.fault_count = count;
           base.rounds = rounds;
           base.measure_gradient = true;
+          base.observe = observe.observe;
+          base.retain_history = observe.retain;
+          base.observe_dt = observe_dt;
           const std::vector<analysis::RunSpec> seeded =
               analysis::seed_sweep(base, seed0, trials);
           specs.insert(specs.end(), seeded.begin(), seeded.end());
@@ -159,7 +174,8 @@ int main(int argc, char** argv) {
   }
   std::ostream& csv = out_path.empty() ? std::cout : file;
   csv << "spec,n,topology,topo_param,placement,fault,f,seed,rounds,diameter,"
-         "slope,distance,pairs,max_skew,mean_skew,p99_skew,frontier\n";
+         "slope,distance,pairs,max_skew,mean_skew,p99_skew,frontier,"
+         "observe,hist_peak_mb,wall_s\n";
 
   std::size_t done = 0;
   std::size_t non_monotone = 0;
@@ -179,7 +195,11 @@ int main(int argc, char** argv) {
               << s.seed << ',' << s.rounds << ',' << g.diameter << ','
               << g.slope << ',' << g.distances[b] << ',' << g.pair_count[b]
               << ',' << g.max_skew[b] << ',' << g.mean_skew[b] << ','
-              << g.p99_skew[b] << ',' << g.frontier[b] << '\n';
+              << g.p99_skew[b] << ',' << g.frontier[b] << ','
+              << bench::observe_name(observe) << ','
+              << static_cast<double>(r.observe.peak_history_bytes) /
+                     (1024.0 * 1024.0)
+              << ',' << r.wall_seconds << '\n';
         }
         if (!std::is_sorted(g.max_skew.begin(), g.max_skew.end())) {
           ++non_monotone;

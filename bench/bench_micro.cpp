@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "analysis/experiment.h"
+#include "analysis/observe.h"
+#include "analysis/parallel_runner.h"
 #include "clock/drift.h"
 #include "clock/physical_clock.h"
 #include "core/welch_lynch.h"
@@ -604,11 +606,98 @@ void smoke_nic_overflow(std::vector<SmokeRow>& rows) {
                   0.0, result.nic.dropped > 0});
 }
 
+/// Streaming-observer gates (analysis/observe.h).  The observer is attached
+/// to an execution that is bit-identical with and without it (observation
+/// is passive), so the heap-allocation DELTA between the observed and
+/// unobserved runs is exactly the observer's own in-run allocation count —
+/// pinned at zero in retained mode (every accumulator is preallocated
+/// against the horizon; in bounded mode truncation keeps CorrLog/segment
+/// vectors from ever growing, so the delta goes negative and is gated <= 0).
+void smoke_observer_counters(std::vector<SmokeRow>& rows) {
+  analysis::RunSpec spec;
+  spec.params = core::make_params(24, 7, 1e-5, 0.01, 1e-3, 10.0);
+  spec.fault = analysis::FaultKind::kTwoFaced;
+  spec.fault_count = 2;
+  spec.rounds = 8;
+  spec.seed = 9;
+
+  std::uint64_t adjustments = 0;
+  const auto run_counted = [&](int mode /*0 none, 1 retained, 2 bounded*/) {
+    analysis::Experiment experiment(spec);
+    const double horizon = experiment.horizon();
+    std::unique_ptr<analysis::StreamingObserver> observer;
+    if (mode != 0) {
+      // The exact spec production runs attach (Experiment::make_observe_spec)
+      // with only the gradient/retention knobs flipped for the gate.
+      analysis::ObserveSpec ospec = experiment.make_observe_spec();
+      ospec.gradient = true;
+      ospec.topology = &experiment.topology();
+      ospec.truncate = mode == 2;
+      observer = std::make_unique<analysis::StreamingObserver>(
+          experiment.simulator(), std::move(ospec));
+      experiment.simulator().set_observer(observer.get());
+    }
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    experiment.simulator().run_until(horizon);
+    g_count_allocs.store(false);
+    experiment.simulator().set_observer(nullptr);
+    if (observer) adjustments = observer->stats().adjustments;
+    return g_alloc_count.load();
+  };
+
+  const std::uint64_t base = run_counted(0);
+  const double retained_delta =
+      static_cast<double>(run_counted(1)) - static_cast<double>(base);
+  const double bounded_delta =
+      static_cast<double>(run_counted(2)) - static_cast<double>(base);
+  rows.push_back({"observer_run_alloc_delta_retained", retained_delta, 0.0,
+                  retained_delta <= 0.0});
+  rows.push_back({"observer_run_alloc_delta_bounded", bounded_delta, 0.0,
+                  bounded_delta <= 0.0});
+  rows.push_back({"observer_adjustment_events", static_cast<double>(adjustments),
+                  -1.0, true});
+  // Sanity companion: zero adjustments would mean the hook never fired and
+  // the two deltas above gated nothing.
+  rows.push_back({"observer_no_adjustments_seen", adjustments == 0 ? 1.0 : 0.0,
+                  0.0, adjustments > 0});
+}
+
+/// Bounded-memory ceiling: the n = 64 mesh observe+bounded run must keep
+/// its retained clock/CORR history under a fixed byte ceiling however long
+/// the run is — truncation caps it at the per-round high water, ~64 KiB
+/// here (measured 2026-07: ~40 KiB), while the retained-history run grows
+/// O(rounds * n) past 400 KiB.
+void smoke_observer_history(std::vector<SmokeRow>& rows) {
+  analysis::RunSpec spec;
+  spec.params = core::make_params(64, 21, 1e-5, 0.01, 1e-3, 10.0);
+  spec.rounds = 12;
+  spec.seed = 9;
+  spec.observe = true;
+  spec.retain_history = false;
+  const analysis::RunResult bounded = analysis::run_experiment(spec);
+  spec.retain_history = true;
+  const analysis::RunResult retained = analysis::run_experiment(spec);
+  constexpr double kHistoryCeiling = 64.0 * 1024.0;
+  const auto peak = static_cast<double>(bounded.observe.peak_history_bytes);
+  rows.push_back({"observer_bounded_history_peak_bytes", peak, kHistoryCeiling,
+                  peak <= kHistoryCeiling});
+  rows.push_back(
+      {"observer_retained_history_peak_bytes",
+       static_cast<double>(retained.observe.peak_history_bytes), -1.0, true});
+  // The two modes must measure identical physics.
+  rows.push_back({"observer_bounded_results_differ",
+                  analysis::results_identical(bounded, retained) ? 0.0 : 1.0,
+                  0.0, analysis::results_identical(bounded, retained)});
+}
+
 int run_smoke(const util::Flags& flags) {
   std::vector<SmokeRow> rows;
   smoke_alloc_rounds(rows);
   smoke_queue_ops(rows);
   smoke_nic_overflow(rows);
+  smoke_observer_counters(rows);
+  smoke_observer_history(rows);
 
   const std::string out_path = flags.get_string("out", "micro-smoke.csv");
   std::ofstream csv(out_path);

@@ -26,17 +26,35 @@
 //   --nic       Section 9.3 ingress-queue axis: off, inf (unbounded), or a
 //               capacity in datagrams (--nic-service seconds per datagram).
 //               Fills the nic_* overflow columns; "off" rows stay zero.
+//   --nic-drop  drop policy axis when the queue overflows: oldest (the
+//               paper's "old ones are overwritten"), newest (tail drop).
+//               Irrelevant (but echoed) on nic=off/inf rows — sweep it
+//               only together with a finite capacity.
+//   --stagger   Section 9.3 staggered-broadcast axis (seconds between
+//               successive senders' broadcasts; Welch-Lynch only).  The
+//               stagger x capacity x n grid maps the drop-free frontier.
 //   --ingest    arena (dense neighbor-slot ARR arena), legacy (the seed's
 //               id-indexed path) — results are bit-identical, only wall_s
 //               moves; the axis exists for perf A/Bs
+//   --observe   measurement-engine axis: off (post-hoc grids), on
+//               (streaming in-run observation), bounded (streaming +
+//               history truncation; analysis/observe.h).  on == bounded
+//               always; both == off bitwise on cells that complete their
+//               rounds (degraded cells measure observe-mode's collapsed
+//               window — see bench_common.h).  wall_s and hist_peak_mb
+//               move.
 //   --P         round length; --trials seeds per cell from --seed0
 //   --gradient  also measure skew-vs-distance (analysis/gradient.h); fills
 //               the gradient_slope / gradient_diameter / gradient_far_skew
 //               columns (blank-zero when off)
+//   --balance   adaptive (default: cost-aware chunks + telemetry-guided
+//               stealing, ParallelRunner::run_adaptive) or fixed (equal
+//               chunks).  Scheduling only; rows are bit-identical.
 //   --smoke     tiny fixed grid for CI driver smoke tests
 //
 // Every row also carries wall_s, the trial's wall-clock seconds as measured
-// inside run_experiment (per-trial telemetry from the streaming runner).
+// inside run_experiment (per-trial telemetry from the streaming runner),
+// and hist_peak_mb, the peak retained clock/CORR history on observe rows.
 
 #include <fstream>
 #include <iostream>
@@ -64,10 +82,12 @@ using bench::split_list;
 
 void write_csv_header(std::ostream& out) {
   out << "spec,n,f,algo,delay,drift,fault,faults,topology,placement,ingest,"
-         "nic,rounds,seed,completed_rounds,messages,gamma_bound,"
+         "nic,nic_drop,stagger,observe,rounds,seed,completed_rounds,messages,"
+         "gamma_bound,"
          "gamma_measured,adj_bound,max_abs_adj,final_skew,validity_holds,"
          "diverged,gradient_slope,gradient_diameter,gradient_far_skew,"
-         "nic_dropped,nic_drop_rate,nic_peak_queue,nic_max_burst,wall_s\n";
+         "nic_dropped,nic_drop_rate,nic_peak_queue,nic_max_burst,"
+         "hist_peak_mb,wall_s\n";
 }
 
 }  // namespace
@@ -96,8 +116,16 @@ int main(int argc, char** argv) {
   const std::vector<std::string> nics =
       split_list(flags.get_string("nic", smoke ? "off,8" : "off"));
   const double nic_service = flags.get_double("nic-service", 50e-6);
+  const std::vector<std::string> nic_drops =
+      split_list(flags.get_string("nic-drop", "oldest"));
+  const std::vector<double> staggers =
+      bench::split_doubles(flags.get_string("stagger", "0"));
   const std::vector<std::string> ingests =
       split_list(flags.get_string("ingest", "arena"));
+  const std::vector<std::string> observes =
+      split_list(flags.get_string("observe", smoke ? "off,bounded" : "off"));
+  const bool adaptive =
+      flags.get_string("balance", "adaptive") != "fixed";
   const bool gradient = flags.get_bool("gradient", smoke);
   const auto fault_count = flags.get_int("faults", -1);
   const auto trials =
@@ -123,6 +151,9 @@ int main(int argc, char** argv) {
               for (const std::string& topology : topologies) {
                 for (const std::string& placement : placements) {
                  for (const std::string& nic : nics) {
+                  for (const std::string& nic_drop : nic_drops) {
+                  for (const double stagger : staggers) {
+                  for (const std::string& observe : observes) {
                   for (const std::string& ingest : ingests) {
                   analysis::RunSpec base;
                   base.params = core::make_params(
@@ -144,12 +175,22 @@ int main(int argc, char** argv) {
                       static_cast<std::int32_t>(flags.get_int("clique", 8));
                   base.placement = parse_placement(placement);
                   base.nic = bench::parse_nic(nic, nic_service);
+                  if (base.nic.has_value()) {
+                    base.nic->drop = bench::parse_nic_drop(nic_drop);
+                  }
+                  base.stagger = stagger;
+                  const bench::ObserveMode omode = bench::parse_observe(observe);
+                  base.observe = omode.observe;
+                  base.retain_history = omode.retain;
                   base.ingest = bench::parse_ingest(ingest);
                   base.measure_gradient = gradient;
                   base.rounds = rounds;
                   const std::vector<analysis::RunSpec> seeded =
                       analysis::seed_sweep(base, seed0, trials);
                   specs.insert(specs.end(), seeded.begin(), seeded.end());
+                  }
+                  }
+                  }
                   }
                  }
                 }
@@ -176,30 +217,40 @@ int main(int argc, char** argv) {
   std::size_t done = 0;
   const analysis::ParallelRunner runner(threads);
   std::cerr << "bench_sweep: " << specs.size() << " trials on "
-            << runner.threads() << " threads\n";
-  (void)runner.run_streaming(
-      specs, [&](std::size_t i, const analysis::RunResult& r) {
-        const analysis::RunSpec& s = specs[i];
-        csv << i << ',' << s.params.n << ',' << s.params.f << ','
-            << bench::algo_name(s.algo) << ',' << bench::delay_name(s.delay)
-            << ',' << bench::drift_name(s.drift) << ','
-            << bench::fault_name(s.fault) << ',' << s.fault_count << ','
-            << net::topology_name(s.topology.kind) << ','
-            << proc::placement_name(s.placement) << ','
-            << proc::ingest_name(s.ingest) << ',' << bench::nic_name(s.nic)
-            << ',' << s.rounds << ','
-            << s.seed << ',' << r.completed_rounds << ',' << r.messages << ','
-            << r.gamma_bound << ',' << r.gamma_measured << ',' << r.adj_bound
-            << ',' << r.max_abs_adj << ',' << r.final_skew << ','
-            << (r.validity.holds ? 1 : 0) << ',' << (r.diverged ? 1 : 0) << ','
-            << r.gradient.slope << ',' << r.gradient.diameter << ','
-            << r.gradient.far_skew() << ',' << r.nic.dropped << ','
-            << r.nic.drop_rate() << ',' << r.nic.peak_queue << ','
-            << r.nic.max_burst << ',' << r.wall_seconds << '\n';
-        if (++done % 50 == 0) {
-          std::cerr << "  " << done << "/" << specs.size() << " trials\n";
-        }
-      });
+            << runner.threads() << " threads ("
+            << (adaptive ? "adaptive" : "fixed") << " chunks)\n";
+  const auto write_row = [&](std::size_t i, const analysis::RunResult& r) {
+    const analysis::RunSpec& s = specs[i];
+    const bench::ObserveMode omode{s.observe, s.retain_history};
+    csv << i << ',' << s.params.n << ',' << s.params.f << ','
+        << bench::algo_name(s.algo) << ',' << bench::delay_name(s.delay)
+        << ',' << bench::drift_name(s.drift) << ','
+        << bench::fault_name(s.fault) << ',' << s.fault_count << ','
+        << net::topology_name(s.topology.kind) << ','
+        << proc::placement_name(s.placement) << ','
+        << proc::ingest_name(s.ingest) << ',' << bench::nic_name(s.nic) << ','
+        << (s.nic.has_value() ? bench::nic_drop_name(s.nic->drop) : "-") << ','
+        << s.stagger << ',' << bench::observe_name(omode) << ','
+        << s.rounds << ','
+        << s.seed << ',' << r.completed_rounds << ',' << r.messages << ','
+        << r.gamma_bound << ',' << r.gamma_measured << ',' << r.adj_bound
+        << ',' << r.max_abs_adj << ',' << r.final_skew << ','
+        << (r.validity.holds ? 1 : 0) << ',' << (r.diverged ? 1 : 0) << ','
+        << r.gradient.slope << ',' << r.gradient.diameter << ','
+        << r.gradient.far_skew() << ',' << r.nic.dropped << ','
+        << r.nic.drop_rate() << ',' << r.nic.peak_queue << ','
+        << r.nic.max_burst << ','
+        << static_cast<double>(r.observe.peak_history_bytes) / (1024.0 * 1024.0)
+        << ',' << r.wall_seconds << '\n';
+    if (++done % 50 == 0) {
+      std::cerr << "  " << done << "/" << specs.size() << " trials\n";
+    }
+  };
+  if (adaptive) {
+    (void)runner.run_adaptive(specs, write_row);
+  } else {
+    (void)runner.run_streaming(specs, write_row);
+  }
   csv.flush();
   std::cerr << "bench_sweep: done (" << done << " trials)\n";
   return 0;

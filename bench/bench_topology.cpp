@@ -18,6 +18,13 @@
 // regime the paper's small-n study leaves open — a measured axis.
 // --ingest=arena|legacy A/Bs the dense ARR-arena ingestion path the same
 // way --batch A/Bs the fan-out engine.
+//
+// --observe=off|on|bounded A/Bs the measurement engine: post-hoc grids vs
+// the streaming in-run observer (analysis/observe.h), optionally with
+// history truncated behind the observation frontier.  Measured values are
+// bit-identical on runs that complete their rounds (all of this table);
+// the hist-MB column shows the retained-history high-water mark the
+// bounded mode eliminates.
 
 #include <chrono>
 #include <cstdint>
@@ -39,6 +46,7 @@ struct Row {
   std::uint64_t queue_ops = 0;
   std::size_t peak_pending = 0;
   std::uint64_t fanout_direct = 0;
+  std::size_t hist_bytes = 0;
   double wall_ms = 0.0;
 };
 
@@ -46,7 +54,7 @@ Row run_case(const std::string& label, std::int32_t n,
              const net::TopologySpec& topology, bool batch,
              std::int32_t rounds,
              const std::optional<sim::NicConfig>& nic,
-             proc::IngestMode ingest) {
+             proc::IngestMode ingest, const bench::ObserveMode& observe) {
   analysis::RunSpec spec;
   const std::int32_t f = (n - 1) / 3;
   spec.params = core::make_params(n, f, 1e-5, 0.01, 1e-3, 10.0);
@@ -56,6 +64,8 @@ Row run_case(const std::string& label, std::int32_t n,
   spec.batch_fanout = batch;
   spec.nic = nic;
   spec.ingest = ingest;
+  spec.observe = observe.observe;
+  spec.retain_history = observe.retain;
 
   Row row;
   row.label = label;
@@ -69,6 +79,10 @@ Row run_case(const std::string& label, std::int32_t n,
   row.queue_ops = experiment.simulator().queue_ops();
   row.peak_pending = experiment.simulator().peak_pending();
   row.fanout_direct = experiment.simulator().fanout_direct();
+  // Peak retained clock/CORR history: the observer tracks it in observe
+  // modes; with post-hoc measurement the full history is still resident.
+  row.hist_bytes = spec.observe ? row.result.observe.peak_history_bytes
+                                : experiment.simulator().history_bytes();
   return row;
 }
 
@@ -87,6 +101,8 @@ int main(int argc, char** argv) {
       flags.get_string("nic", "off"), flags.get_double("nic-service", 50e-6));
   const proc::IngestMode ingest =
       bench::parse_ingest(flags.get_string("ingest", "arena"));
+  const bench::ObserveMode observe =
+      bench::parse_observe(flags.get_string("observe", "off"));
 
   bench::print_header(
       "EXP-TOPOLOGY",
@@ -99,11 +115,12 @@ int main(int argc, char** argv) {
             << (batch ? "batched (one entry per broadcast)"
                       : "per-recipient (seed baseline)")
             << "; ingestion: " << proc::ingest_name(ingest)
-            << "; nic: " << bench::nic_name(nic) << "\n\n";
+            << "; nic: " << bench::nic_name(nic)
+            << "; observe: " << bench::observe_name(observe) << "\n\n";
 
   util::Table table({"topology", "n", "msgs/round", "q-ops/round",
                      "peak-pend", "direct/round", "drop/round", "burst",
-                     "ms/round", "skew"});
+                     "hist-MB", "ms/round", "skew"});
   for (std::int32_t n = 64; n <= max_n; n *= 2) {
     std::vector<std::pair<std::string, net::TopologySpec>> cases;
     cases.emplace_back("full-mesh", net::TopologySpec{});
@@ -117,7 +134,8 @@ int main(int argc, char** argv) {
     cases.emplace_back("cliques/" + std::to_string(clique), cliques);
 
     for (const auto& [label, topology] : cases) {
-      const Row row = run_case(label, n, topology, batch, rounds, nic, ingest);
+      const Row row =
+          run_case(label, n, topology, batch, rounds, nic, ingest, observe);
       const double per_round =
           row.result.completed_rounds > 0
               ? static_cast<double>(row.result.completed_rounds)
@@ -134,6 +152,8 @@ int main(int argc, char** argv) {
            std::to_string(static_cast<std::uint64_t>(
                static_cast<double>(row.result.nic.dropped) / per_round)),
            std::to_string(row.result.nic.max_burst),
+           util::fmt(static_cast<double>(row.hist_bytes) / (1024.0 * 1024.0),
+                     3),
            util::fmt(row.wall_ms / per_round, 4),
            util::fmt_sci(row.result.gamma_measured)});
     }

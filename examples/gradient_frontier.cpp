@@ -75,5 +75,22 @@ int main() {
                     ? "\nattacked run DIVERGED (should not happen)\n"
                     : "\nboth runs stay convergent: the local quorums clip "
                       "the joint-placed liars\n");
-  return results[1].diverged ? 1 : 0;
+
+  // Long-window variant: the streaming observer (analysis/observe.h)
+  // measures the identical curves event-driven during the run, truncating
+  // clock/CORR history behind its frontier — 4x the window in bounded
+  // memory, the mode that scales to the n = 512 drift-regime study.
+  analysis::RunSpec longrun = attacked;
+  longrun.rounds = 4 * attacked.rounds;
+  longrun.observe = true;
+  longrun.retain_history = false;
+  const analysis::RunResult streamed = analysis::run_experiment(longrun);
+  std::cout << "\nstreaming bounded-memory run, " << longrun.rounds
+            << " rounds: far skew " << util::fmt_sci(streamed.gradient.far_skew())
+            << " s, slope " << util::fmt_sci(streamed.gradient.slope)
+            << " s/hop\n  peak retained history "
+            << streamed.observe.peak_history_bytes / 1024 << " KiB ("
+            << streamed.observe.truncated_entries
+            << " entries truncated behind the observation frontier)\n";
+  return results[1].diverged || streamed.diverged ? 1 : 0;
 }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "baselines/averaging_rounds.h"
 #include "baselines/hssd.h"
@@ -277,9 +278,48 @@ void Experiment::build() {
   }
 }
 
+double Experiment::horizon() const {
+  const core::Params& p = spec_.params;
+  const core::Derived d = core::derive(p);
+  return tmax0_ +
+         static_cast<double>(spec_.rounds + 1) * p.P * (1.0 + 2.0 * p.rho) +
+         2.0 * d.window + 10.0 * p.delta;
+}
+
+ObserveSpec Experiment::make_observe_spec() {
+  const core::Params& p = spec_.params;
+  const core::Derived d = core::derive(p);
+  ObserveSpec ospec;
+  ospec.ids = honest_;
+  ospec.params = p;
+  ospec.tmin0 = tmin0_;
+  ospec.tmax0 = tmax0_;
+  ospec.horizon = horizon();
+  // The steady-state anchor the post-hoc path lands on when the run
+  // completes its configured rounds: the horizon affords one extra full
+  // round past spec.rounds, so last_complete_round = rounds + 1 and the
+  // post-hoc midpoint is (rounds + 1) / 2.
+  ospec.anchor_round = (spec_.rounds + 1) / 2;
+  ospec.max_rounds = spec_.rounds;
+  ospec.skew_dt = spec_.observe_dt > 0.0 ? spec_.observe_dt : p.P / 25.0;
+  ospec.validity_dt = p.P / 10.0;
+  ospec.validity_t0 = tmax0_ + d.window;
+  ospec.gradient = spec_.measure_gradient;
+  if (spec_.measure_gradient) ospec.topology = &topology();
+  ospec.truncate = !spec_.retain_history;
+  ospec.skew_hist_max = 4.0 * d.gamma;
+  return ospec;
+}
+
 RunResult Experiment::run() {
   const core::Params& p = spec_.params;
   const core::Derived d = core::derive(p);
+  if (!spec_.retain_history && !spec_.observe) {
+    throw std::invalid_argument(
+        "RunSpec: retain_history = false requires observe = true (with "
+        "neither the streaming accumulators nor the post-hoc history, "
+        "nothing could measure the run)");
+  }
 
   RunResult result;
   result.honest = honest_;
@@ -288,58 +328,110 @@ RunResult Experiment::run() {
   result.tmin0 = tmin0_;
   result.tmax0 = tmax0_;
 
-  const double horizon = tmax0_ +
-                         static_cast<double>(spec_.rounds + 1) * p.P *
-                             (1.0 + 2.0 * p.rho) +
-                         2.0 * d.window + 10.0 * p.delta;
+  const double horizon = this->horizon();
+
+  // Streaming mode: attach the in-run observer before any event fires.
+  // The guard detaches on every exit path — the observer dies with this
+  // frame, and a simulator that outlives it (tests drive simulator()
+  // directly) must never hold the stale pointer.
+  std::unique_ptr<StreamingObserver> observer;
+  struct ObserverGuard {
+    sim::Simulator* sim = nullptr;
+    ~ObserverGuard() {
+      if (sim != nullptr) sim->set_observer(nullptr);
+    }
+  } observer_guard;
+  if (spec_.observe) {
+    observer = std::make_unique<StreamingObserver>(*sim_, make_observe_spec());
+    sim_->set_observer(observer.get());
+    observer_guard.sim = sim_.get();
+  }
+
   sim_->run_until(horizon);
   result.t_end = sim_->current_time();
   result.messages = sim_->messages_sent();
   result.nic_dropped = sim_->nic_dropped();
   result.nic = summarize_nic(*sim_);
 
-  // Per-round begin spreads and skews at round begins.
+  StreamingSummary streamed;
+  if (observer) streamed = observer->finalize(result.t_end);
+
+  // Per-round begin spreads and skews at round begins.  Spreads come from
+  // the (always retained) round trace; the skew at each round's last begin
+  // comes from the streaming round-boundary accumulator in observe mode
+  // and from the post-hoc scan otherwise — identical doubles either way.
   const std::int32_t last_round = trace_.last_complete_round(honest_);
   result.completed_rounds = last_round + 1;
   for (std::int32_t r = 0; r <= last_round; ++r) {
     const auto times = trace_.begin_times(r, honest_);
     if (times.empty()) break;
     result.begin_spread.push_back(trace_.begin_spread(r, honest_));
-    const double at = *std::max_element(times.begin(), times.end());
-    result.skew_at_round.push_back(skew_at(*sim_, honest_, at));
+    if (observer) {
+      const auto idx = static_cast<std::size_t>(r);
+      if (idx >= streamed.skew_at_round.size() ||
+          std::isnan(streamed.skew_at_round[idx])) {
+        // The observer and the RoundTrace consume the same kRoundBegin
+        // annotations; a round the trace completed but the observer never
+        // saw means the engines desynchronized — fail loudly rather than
+        // fabricate a measurement.
+        throw std::logic_error(
+            "Experiment: streaming observer missed a round the trace "
+            "completed (round " + std::to_string(r) + ")");
+      }
+      result.skew_at_round.push_back(streamed.skew_at_round[idx]);
+    } else {
+      const double at = *std::max_element(times.begin(), times.end());
+      result.skew_at_round.push_back(skew_at(*sim_, honest_, at));
+    }
   }
   result.max_abs_adj = trace_.max_abs_adjustment(honest_, 0);
 
-  // Steady-state agreement: sample from the midpoint round onward.
-  double t_steady = tmax0_ + d.window;
-  if (last_round >= 0) {
-    const auto mid_times = trace_.begin_times(last_round / 2, honest_);
-    if (!mid_times.empty()) {
-      t_steady = *std::max_element(mid_times.begin(), mid_times.end());
+  if (observer) {
+    // Streaming measurement: the observer drained the same sample grids
+    // the post-hoc calls below walk, event-driven during the run.
+    if (spec_.measure_gradient) {
+      result.gradient = streamed.gradient;
+      result.gamma_measured = result.gradient.far_skew();
+    } else {
+      result.gamma_measured = streamed.skew.max_skew;
     }
-  }
-  if (spec_.measure_gradient) {
-    // One grid walk serves both reductions: the gradient buckets every
-    // honest pair over the same (t_steady, t_end, P/25) window skew_series
-    // would sample, and its far frontier IS the global skew — the max
-    // pairwise |L_i - L_j| is attained by the (max, min) pair, so the
-    // values coincide exactly.  The summary drops the per-sample matrix so
-    // RunResults stay cheap to copy across ParallelRunner sweeps.
-    result.gradient = summarize_gradient(gradient_series(
-        *sim_, honest_, topology(), t_steady, result.t_end, p.P / 25.0));
-    result.gamma_measured = result.gradient.far_skew();
+    result.final_skew = streamed.final_skew;
+    result.validity = streamed.validity;
+    result.observe = streamed.stats;
   } else {
-    result.gamma_measured =
-        skew_series(*sim_, honest_, t_steady, result.t_end, p.P / 25.0).max_skew;
+    // Steady-state agreement: sample from the midpoint round onward.
+    double t_steady = tmax0_ + d.window;
+    if (last_round >= 0) {
+      const auto mid_times = trace_.begin_times(last_round / 2, honest_);
+      if (!mid_times.empty()) {
+        t_steady = *std::max_element(mid_times.begin(), mid_times.end());
+      }
+    }
+    if (spec_.measure_gradient) {
+      // One grid walk serves both reductions: the gradient buckets every
+      // honest pair over the same (t_steady, t_end, P/25) window
+      // skew_series would sample, and its far frontier IS the global skew
+      // — the max pairwise |L_i - L_j| is attained by the (max, min)
+      // pair, so the values coincide exactly.  The summary drops the
+      // per-sample matrix so RunResults stay cheap to copy across
+      // ParallelRunner sweeps.
+      result.gradient = summarize_gradient(gradient_series(
+          *sim_, honest_, topology(), t_steady, result.t_end, p.P / 25.0));
+      result.gamma_measured = result.gradient.far_skew();
+    } else {
+      result.gamma_measured =
+          skew_series(*sim_, honest_, t_steady, result.t_end, p.P / 25.0)
+              .max_skew;
+    }
+    result.final_skew = skew_at(*sim_, honest_, result.t_end);
+    // Validity envelope (Theorem 19) over the settled portion of the run.
+    result.validity = check_validity(*sim_, honest_, p, tmin0_, tmax0_,
+                                     tmax0_ + d.window, result.t_end,
+                                     p.P / 10.0);
   }
-  result.final_skew = skew_at(*sim_, honest_, result.t_end);
   result.diverged = !(result.gamma_measured <
                       std::max(100.0 * d.gamma, 1.0)) ||
                     result.completed_rounds < spec_.rounds / 2;
-
-  // Validity envelope (Theorem 19) over the settled portion of the run.
-  result.validity = check_validity(*sim_, honest_, p, tmin0_, tmax0_,
-                                   tmax0_ + d.window, result.t_end, p.P / 10.0);
   return result;
 }
 

@@ -17,6 +17,7 @@
 
 #include "analysis/gradient.h"
 #include "analysis/measure.h"
+#include "analysis/observe.h"
 #include "analysis/round_trace.h"
 #include "analysis/skew.h"
 #include "core/params.h"
@@ -127,6 +128,31 @@ struct RunSpec {
   /// window and fill RunResult::gradient.  Works on any topology (on the
   /// full mesh every pair sits at distance 1).
   bool measure_gradient = false;
+
+  /// Streaming in-run observation (analysis/observe.h): attach a
+  /// StreamingObserver for the run and fill the measured RunResult fields
+  /// (gamma_measured, validity, gradient, skew_at_round, final_skew) from
+  /// its event-driven accumulators instead of the post-hoc grids.  Values
+  /// are bit-identical to the post-hoc pipeline on the same windows
+  /// (tests/observer_test.cpp); the steady-state window anchors at the
+  /// last honest begin of round (rounds + 1) / 2 — the post-hoc anchor
+  /// for runs that complete their rounds — so on healthy runs observe
+  /// on/off is a measurement-engine A/B, not a physics change.  A
+  /// degraded run that never completes the anchor round collapses the
+  /// window to the endpoint sample (the post-hoc anchor is
+  /// retrospective and cannot be sampled in one pass);
+  /// ObserveStats::t_steady == t_end marks that case.  RunResult::observe
+  /// carries the telemetry.
+  bool observe = false;
+  /// Bounded-memory mode (requires observe): truncate every clock's
+  /// segment list and CORR log behind the observation frontier while the
+  /// run progresses.  Measured results are bit-identical to the retained
+  /// observe run (pinned by tests/observer_test.cpp); post-hoc probes on
+  /// the simulator afterwards are no longer possible.
+  bool retain_history = true;
+  /// Skew/gradient sample step for observe mode; 0 = P/25, the post-hoc
+  /// grid.  Coarser steps make very long windows cheaper to observe.
+  double observe_dt = 0.0;
 };
 
 struct RunResult {
@@ -154,6 +180,11 @@ struct RunResult {
   /// ParallelRunner streams it to sweep CSVs).  Telemetry only — it is NOT
   /// part of results_identical, which compares measured physics.
   double wall_seconds = 0.0;
+  /// Streaming-observation telemetry (all defaults when RunSpec::observe
+  /// is off).  Like wall_seconds, NOT part of results_identical: the
+  /// history footprint intentionally differs between retained and bounded
+  /// runs of identical physics.
+  ObserveStats observe;
 };
 
 /// A constructed system ready to run; exposes the simulator for tests that
@@ -170,6 +201,13 @@ class Experiment {
   [[nodiscard]] RunResult run();
 
   [[nodiscard]] sim::Simulator& simulator() noexcept { return *sim_; }
+  /// The real-time horizon run() simulates to (the A4 schedule plus one
+  /// extra round and measurement slack).
+  [[nodiscard]] double horizon() const;
+  /// The ObserveSpec run() attaches when RunSpec::observe is set — exposed
+  /// so external harnesses (bench_micro --smoke) gate the exact
+  /// configuration production runs use, not a hand-rolled copy.
+  [[nodiscard]] ObserveSpec make_observe_spec();
   /// The materialized exchange graph (built on demand; full mesh when the
   /// spec leaves the topology at its default).
   [[nodiscard]] const net::Topology& topology();

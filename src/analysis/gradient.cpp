@@ -11,27 +11,21 @@
 
 namespace wlsync::analysis {
 
-GradientSeries gradient_series(const sim::Simulator& sim,
-                               const std::vector<std::int32_t>& ids,
-                               const net::Topology& topo, double t0, double t1,
-                               double dt, int threads) {
-  GradientSeries series;
-  series.diameter = topo.diameter();  // warms every BFS row of the cache
-  if (series.diameter < 0) {
+GradientAxis build_gradient_axis(const net::Topology& topo,
+                                 const std::vector<std::int32_t>& ids) {
+  GradientAxis axis;
+  axis.diameter = topo.diameter();  // warms every BFS row of the cache
+  if (axis.diameter < 0) {
     // Skew across disconnected components is unbounded and the distance
     // buckets below are sized by the diameter; reject rather than measure
     // nonsense (the experiment harness validates connectivity up front).
     throw std::invalid_argument("gradient_series: topology is disconnected");
   }
-  const LocalTimeGrid grid = sample_local_times(
-      sim, ids, sample_times_with_endpoint(t0, t1, dt), threads);
-  series.times = grid.times;
-
   // Bucket axis: the distances that occur between measured pairs.  The
   // serial O(m^2) integer pass also yields the per-bucket pair counts.
   const std::size_t m = ids.size();
   const std::size_t max_d =
-      series.diameter > 0 ? static_cast<std::size_t>(series.diameter) : 0;
+      axis.diameter > 0 ? static_cast<std::size_t>(axis.diameter) : 0;
   std::vector<std::int64_t> count_by_raw(max_d + 1, 0);
   for (std::size_t i = 0; i + 1 < m; ++i) {
     const std::vector<std::int32_t>& row = topo.distances_from(ids[i]);
@@ -40,15 +34,58 @@ GradientSeries gradient_series(const sim::Simulator& sim,
       if (d >= 1) count_by_raw[static_cast<std::size_t>(d)] += 1;
     }
   }
-  std::vector<std::int32_t> bucket_of(max_d + 1, -1);
+  axis.bucket_of.assign(max_d + 1, -1);
   for (std::size_t d = 1; d <= max_d; ++d) {
     if (count_by_raw[d] > 0) {
-      bucket_of[d] = static_cast<std::int32_t>(series.distances.size());
-      series.distances.push_back(static_cast<std::int32_t>(d));
-      series.pair_count.push_back(count_by_raw[d]);
+      axis.bucket_of[d] = static_cast<std::int32_t>(axis.distances.size());
+      axis.distances.push_back(static_cast<std::int32_t>(d));
+      axis.pair_count.push_back(count_by_raw[d]);
     }
   }
+  return axis;
+}
 
+void finish_gradient_window_summaries(GradientSeries& series, std::size_t cols,
+                                      std::size_t stride) {
+  const std::size_t buckets = series.distances.size();
+  if (cols == 0) cols = series.times.size();
+  if (stride == 0) stride = cols;
+  series.max_skew.resize(buckets);
+  series.mean_skew.resize(buckets);
+  series.p99_skew.resize(buckets);
+  series.frontier.resize(buckets);
+  double running = 0.0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double* row = series.skew_by_sample.data() + b * stride;
+    double hi = 0.0;
+    double sum = 0.0;
+    for (std::size_t k = 0; k < cols; ++k) {
+      hi = std::max(hi, row[k]);
+      sum += row[k];
+    }
+    series.max_skew[b] = hi;
+    series.mean_skew[b] = sum / static_cast<double>(cols);
+    series.p99_skew[b] = util::quantile({row, cols}, 0.99);
+    running = std::max(running, hi);
+    series.frontier[b] = running;
+  }
+}
+
+GradientSeries gradient_series(const sim::Simulator& sim,
+                               const std::vector<std::int32_t>& ids,
+                               const net::Topology& topo, double t0, double t1,
+                               double dt, int threads) {
+  GradientSeries series;
+  GradientAxis axis = build_gradient_axis(topo, ids);
+  series.diameter = axis.diameter;
+  series.distances = std::move(axis.distances);
+  series.pair_count = std::move(axis.pair_count);
+  const std::vector<std::int32_t>& bucket_of = axis.bucket_of;
+  const LocalTimeGrid grid = sample_local_times(
+      sim, ids, sample_times_with_endpoint(t0, t1, dt), threads);
+  series.times = grid.times;
+
+  const std::size_t m = ids.size();
   const std::size_t buckets = series.distances.size();
   const std::size_t cols = grid.cols;
   series.skew_by_sample.assign(buckets * cols, 0.0);
@@ -105,26 +142,7 @@ GradientSeries gradient_series(const sim::Simulator& sim,
     scan_rows(series.skew_by_sample.data(), 0, 1);
   }
 
-  // Per-distance summaries over the window.
-  series.max_skew.resize(buckets);
-  series.mean_skew.resize(buckets);
-  series.p99_skew.resize(buckets);
-  series.frontier.resize(buckets);
-  double running = 0.0;
-  for (std::size_t b = 0; b < buckets; ++b) {
-    const double* row = series.skew_by_sample.data() + b * cols;
-    double hi = 0.0;
-    double sum = 0.0;
-    for (std::size_t k = 0; k < cols; ++k) {
-      hi = std::max(hi, row[k]);
-      sum += row[k];
-    }
-    series.max_skew[b] = hi;
-    series.mean_skew[b] = sum / static_cast<double>(cols);
-    series.p99_skew[b] = util::quantile({row, cols}, 0.99);
-    running = std::max(running, hi);
-    series.frontier[b] = running;
-  }
+  finish_gradient_window_summaries(series);
   return series;
 }
 

@@ -55,6 +55,34 @@ struct GradientSeries {
   }
 };
 
+/// The distance-bucket axis shared by the post-hoc scan (gradient_series)
+/// and the streaming observer (analysis/observe.h): the hop distances that
+/// occur between measured pairs, the pair count per bucket, and the
+/// distance -> bucket lookup table.
+struct GradientAxis {
+  std::vector<std::int32_t> distances;   ///< ascending, >= 1
+  std::vector<std::int64_t> pair_count;  ///< measured-id pairs per bucket
+  std::vector<std::int32_t> bucket_of;   ///< distance -> bucket index, -1 = none
+  std::int32_t diameter = 0;             ///< of the whole topology
+};
+
+/// Builds the bucket axis with one O(m^2) integer pass; warms the
+/// topology's BFS distance cache.  Throws std::invalid_argument on a
+/// disconnected topology (cross-component skew has no distance bucket).
+[[nodiscard]] GradientAxis build_gradient_axis(
+    const net::Topology& topo, const std::vector<std::int32_t>& ids);
+
+/// Fills the per-distance window summaries (max / mean / p99 / frontier)
+/// from an already-populated skew_by_sample matrix.  Shared by the
+/// post-hoc and streaming paths so both produce the identical doubles.
+/// `cols` is the number of valid samples per bucket row and `stride` the
+/// allocated row length (>= cols); 0 means times.size() — the tight
+/// post-hoc layout.  The streaming observer passes its capacity-strided
+/// accumulation matrix directly, with no repacking.
+void finish_gradient_window_summaries(GradientSeries& series,
+                                      std::size_t cols = 0,
+                                      std::size_t stride = 0);
+
 /// Buckets every pair of `ids` by hop distance in `topo` and evaluates the
 /// per-bucket max skew at every instant of the grid {t0, t0+dt, ..., t1}
 /// (the same endpoint-closed grid as skew_series).  threads = 0 auto-shards

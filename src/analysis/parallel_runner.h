@@ -19,6 +19,9 @@
 // the end instead of waiting on whichever worker drew the expensive tail.
 // run_streaming additionally surfaces each trial's result the moment it
 // completes, for CSV writers and progress meters over long grids.
+// run_adaptive goes one step further on skewed grids: chunks equalize
+// *estimated* cost instead of trial count, and steal decisions are guided
+// by the per-trial wall_seconds telemetry of already-completed trials.
 
 #include <cstdint>
 #include <functional>
@@ -60,6 +63,26 @@ class ParallelRunner {
       const std::vector<RunSpec>& specs,
       const std::function<void(std::size_t, const RunResult&)>& on_result)
       const;
+
+  /// Self-balancing variant of run_streaming for skewed grids (n mixing 4
+  /// and 512): the initial contiguous chunks equalize *estimated* cost
+  /// (estimate_cost) rather than trial count, and a worker that drains its
+  /// chunk steals from the chunk with the most estimated work remaining —
+  /// with estimates refined online from the per-trial wall_seconds
+  /// telemetry of completed trials (the measured mean wall per distinct n
+  /// replaces the static prior as cells finish).  Purely a scheduling
+  /// change: result[i] still corresponds to specs[i] and is bit-identical
+  /// to run()'s, whatever the thread count (pinned by
+  /// tests/parallel_runner_test.cpp).  on_result may be empty.
+  std::vector<RunResult> run_adaptive(
+      const std::vector<RunSpec>& specs,
+      const std::function<void(std::size_t, const RunResult&)>& on_result = {})
+      const;
+
+  /// Static relative cost prior for one trial (message volume over the
+  /// run, plus the pair-scan term when the gradient is measured).  Units
+  /// are arbitrary; run_adaptive only uses ratios.
+  [[nodiscard]] static double estimate_cost(const RunSpec& spec);
 
  private:
   int threads_;

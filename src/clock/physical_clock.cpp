@@ -12,7 +12,7 @@ constexpr double kRateTolerance = 1e-12;
 
 PhysicalClock::PhysicalClock(std::unique_ptr<DriftModel> drift, double offset,
                              double rho)
-    : drift_(std::move(drift)), rho_(rho) {
+    : drift_(std::move(drift)), rho_(rho), offset0_(offset) {
   if (!drift_) throw std::invalid_argument("PhysicalClock: null drift model");
   const DriftSegment seg = drift_->segment(next_segment_++);
   if (seg.rate < 1.0 / (1.0 + rho_) - kRateTolerance ||
@@ -82,6 +82,24 @@ std::size_t PhysicalClock::locate_clock(double clock_time) const {
           ? 0
           : static_cast<std::size_t>(it - breaks_.begin()) - 1;
   return hint_clock_ = i;
+}
+
+std::size_t PhysicalClock::truncate_before(double real_time) {
+  // Keep the segment containing real_time (the last breakpoint with
+  // break.real <= real_time) and everything after it; the clock stays a
+  // valid piecewise-linear function on [real_time, +inf).  The final
+  // breakpoint is never removed — extension works off breaks_.back().
+  std::size_t keep = breaks_.size() - 1;
+  while (keep > 0 && breaks_[keep].real > real_time) --keep;
+  if (keep == 0) return 0;
+  breaks_.erase(breaks_.begin(),
+                breaks_.begin() + static_cast<std::ptrdiff_t>(keep));
+  trimmed_ += keep;
+  // Hint caches index the vector directly: rebase, clamping positions that
+  // pointed into the discarded prefix onto the first retained segment.
+  hint_real_ = hint_real_ > keep ? hint_real_ - keep : 0;
+  hint_clock_ = hint_clock_ > keep ? hint_clock_ - keep : 0;
+  return keep;
 }
 
 double PhysicalClock::now(double real_time) const {

@@ -43,8 +43,32 @@ class PhysicalClock {
   /// The asserted drift bound rho.
   [[nodiscard]] double rho() const noexcept { return rho_; }
 
-  /// Clock value at real time 0.
-  [[nodiscard]] double offset() const noexcept { return breaks_.front().clock; }
+  /// Clock value at real time 0 (stored at construction; survives
+  /// truncate_before, which may discard the t = 0 breakpoint).
+  [[nodiscard]] double offset() const noexcept { return offset0_; }
+
+  /// Bounded-memory mode (analysis/observe.h): discards every breakpoint
+  /// strictly before the segment containing real time t.  Queries (now,
+  /// to_real, Walker::now) at times >= t are unaffected bit-for-bit;
+  /// queries before t become invalid (they extrapolate backward from the
+  /// first retained segment).  The streaming observer only truncates
+  /// behind its fully-drained sample frontier.  Returns the number of
+  /// breakpoints removed; front-erase, no allocation, capacity retained.
+  std::size_t truncate_before(double real_time);
+
+  /// Breakpoints discarded by truncate_before so far.
+  [[nodiscard]] std::size_t trimmed() const noexcept { return trimmed_; }
+
+  /// Breakpoints currently held (after any truncation).
+  [[nodiscard]] std::size_t retained_breakpoints() const noexcept {
+    return breaks_.size();
+  }
+
+  /// Approximate heap footprint of the retained segment list
+  /// (capacity-based, like CorrLog::approx_bytes).
+  [[nodiscard]] std::size_t approx_bytes() const noexcept {
+    return breaks_.capacity() * sizeof(Breakpoint);
+  }
 
   /// Single-pass sampling cursor for the batched measurement pipeline:
   /// repeated now(t) calls with non-decreasing t walk the segment list once
@@ -52,7 +76,9 @@ class PhysicalClock {
   /// shared hint caches — so Walkers over *distinct* clocks are safe to
   /// drive from different threads.  Queries past the generated horizon
   /// still extend the walked clock lazily; shard by clock, never share one
-  /// clock across threads.  Produces bit-identical values to now().
+  /// clock across threads.  Produces bit-identical values to now().  The
+  /// cursor is an absolute segment ordinal, so the Walker survives
+  /// truncate_before on its clock (like sim::CorrLog::Walker).
   class Walker {
    public:
     explicit Walker(const PhysicalClock& clock) : clock_(clock) {}
@@ -60,16 +86,18 @@ class PhysicalClock {
     [[nodiscard]] double now(double real_time) {
       clock_.extend_real(real_time);
       const std::vector<Breakpoint>& breaks = clock_.breaks_;
-      while (seg_ + 1 < breaks.size() && breaks[seg_ + 1].real <= real_time) {
-        ++seg_;
+      std::size_t i = seg_ >= clock_.trimmed_ ? seg_ - clock_.trimmed_ : 0;
+      while (i + 1 < breaks.size() && breaks[i + 1].real <= real_time) {
+        ++i;
       }
-      const Breakpoint& seg = breaks[seg_];
+      seg_ = clock_.trimmed_ + i;
+      const Breakpoint& seg = breaks[i];
       return seg.clock + (real_time - seg.real) * seg.rate;
     }
 
    private:
     const PhysicalClock& clock_;
-    std::size_t seg_ = 0;
+    std::size_t seg_ = 0;  ///< absolute ordinal (trimmed_ + vector index)
   };
 
  private:
@@ -80,6 +108,8 @@ class PhysicalClock {
 
   std::unique_ptr<DriftModel> drift_;
   double rho_;
+  double offset0_ = 0.0;     ///< clock reading at real time 0
+  std::size_t trimmed_ = 0;  ///< breakpoints dropped from the front so far
   // Lazily extended; mutable because extension does not change the abstract
   // (infinite) function the clock denotes.
   mutable std::vector<Breakpoint> breaks_;

@@ -54,7 +54,43 @@ class CorrLog {
   /// Latest target value (current CORR for the running process).
   [[nodiscard]] double current_target() const { return entries_.back().target; }
 
-  [[nodiscard]] std::size_t changes() const noexcept { return entries_.size() - 1; }
+  [[nodiscard]] std::size_t changes() const noexcept {
+    return trimmed_ + entries_.size() - 1;
+  }
+
+  /// Entries currently held (after any truncation).
+  [[nodiscard]] std::size_t retained_entries() const noexcept {
+    return entries_.size();
+  }
+
+  /// Approximate heap footprint of the retained history (capacity-based:
+  /// truncation keeps capacity, so this is what the allocator really holds).
+  [[nodiscard]] std::size_t approx_bytes() const noexcept {
+    return entries_.capacity() * sizeof(Entry);
+  }
+
+  /// Bounded-memory mode (analysis/observe.h): discards every entry that
+  /// cannot affect a query at time >= t — all entries strictly before the
+  /// governing entry of t.  Queries at earlier times become invalid (they
+  /// would see the governing entry's value); the streaming observer only
+  /// ever truncates behind its fully-drained sample frontier.  Returns the
+  /// number of entries removed; Walkers stay valid across truncation (their
+  /// cursors are absolute, rebased against trimmed()).  Removal is a
+  /// front-erase: no allocation, capacity retained, so steady-state
+  /// truncation is allocation-free and the footprint stays bounded by the
+  /// high-water entry count between truncations.
+  std::size_t truncate_before(double t) {
+    std::size_t keep = entries_.size() - 1;
+    while (keep > 0 && entries_[keep].t > t) --keep;
+    if (keep == 0) return 0;
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + static_cast<std::ptrdiff_t>(keep));
+    trimmed_ += keep;
+    return keep;
+  }
+
+  /// Entries discarded by truncate_before so far.
+  [[nodiscard]] std::size_t trimmed() const noexcept { return trimmed_; }
 
  private:
   struct Entry {
@@ -68,15 +104,20 @@ class CorrLog {
   /// Single-pass sampling cursor: displayed_at(t) for non-decreasing t,
   /// walking the entry list once instead of scanning from the back per
   /// query.  Bit-identical to CorrLog::displayed_at; one Walker per log,
-  /// logs shardable across threads (reads only).
+  /// logs shardable across threads (reads only).  The cursor is held as an
+  /// absolute entry ordinal so it survives truncate_before on its log (a
+  /// truncated-away position clamps to the log's first retained entry,
+  /// which is exactly the governing entry for any still-valid query time).
   class Walker {
    public:
     explicit Walker(const CorrLog& log) : log_(log) {}
 
     [[nodiscard]] double displayed_at(double t) {
       const std::vector<Entry>& entries = log_.entries_;
-      while (idx_ + 1 < entries.size() && entries[idx_ + 1].t <= t) ++idx_;
-      const Entry& e = entries[idx_];
+      std::size_t i = idx_ >= log_.trimmed_ ? idx_ - log_.trimmed_ : 0;
+      while (i + 1 < entries.size() && entries[i + 1].t <= t) ++i;
+      idx_ = log_.trimmed_ + i;
+      const Entry& e = entries[i];
       if (e.duration <= 0.0 || t >= e.t + e.duration) return e.target;
       const double frac = (t - e.t) / e.duration;
       return e.start + (e.target - e.start) * frac;
@@ -84,7 +125,7 @@ class CorrLog {
 
    private:
     const CorrLog& log_;
-    std::size_t idx_ = 0;
+    std::size_t idx_ = 0;  ///< absolute ordinal (trimmed_ + vector index)
   };
 
  private:
@@ -98,6 +139,7 @@ class CorrLog {
   }
 
   std::vector<Entry> entries_;
+  std::size_t trimmed_ = 0;  ///< entries dropped from the front so far
 };
 
 }  // namespace wlsync::sim

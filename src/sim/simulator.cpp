@@ -59,6 +59,14 @@ class SimContext final : public proc::AdversaryContext {
     for (TraceSink* sink : sim_.sinks_) {
       sink->on_annotation(pid_, sim_.current_time_, annotation);
     }
+    if (sim_.observer_ != nullptr &&
+        annotation.type == proc::Annotation::Type::kRoundBegin) {
+      sim_.observer_->on_round_begin(pid_, annotation.round,
+                                     sim_.current_time_);
+      // A round boundary may open a sampling window (the steady-state
+      // anchor); re-read the next instant of interest.
+      sim_.observer_next_ = sim_.observer_->next_interest();
+    }
   }
 
   // --- adversary-only powers ---
@@ -163,6 +171,38 @@ void Simulator::schedule_start(std::int32_t id, double real_time) {
 
 void Simulator::add_trace_sink(TraceSink* sink) {
   if (sink != nullptr) sinks_.push_back(sink);
+}
+
+void Simulator::set_observer(Observer* observer) {
+  observer_ = observer;
+  observer_next_ = observer_ != nullptr
+                       ? observer_->next_interest()
+                       : std::numeric_limits<double>::infinity();
+}
+
+std::size_t Simulator::truncate_history_before(double t) {
+  std::size_t removed = 0;
+  for (Node& node : nodes_) {
+    removed += node.corr.truncate_before(t);
+    removed += node.clock->truncate_before(t);
+  }
+  return removed;
+}
+
+std::size_t Simulator::history_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const Node& node : nodes_) {
+    bytes += node.corr.approx_bytes() + node.clock->approx_bytes();
+  }
+  return bytes;
+}
+
+std::size_t Simulator::history_entries() const noexcept {
+  std::size_t entries = 0;
+  for (const Node& node : nodes_) {
+    entries += node.corr.retained_entries() + node.clock->retained_breakpoints();
+  }
+  return entries;
 }
 
 double Simulator::draw_delay(std::int32_t from, std::int32_t to) {
@@ -274,6 +314,9 @@ void Simulator::do_add_corr(std::int32_t pid, double adj, double amortize_durati
   for (TraceSink* sink : sinks_) {
     sink->on_corr_change(pid, current_time_, old_target, new_target);
   }
+  if (observer_ != nullptr) {
+    observer_->on_adjustment(pid, current_time_, old_target, new_target);
+  }
 }
 
 void Simulator::deliver(std::int32_t pid, const Message& msg) {
@@ -326,6 +369,7 @@ void Simulator::nic_arrive(std::int32_t pid, const Message& msg) {
     ++nic.stats.dropped;
     ++nic_dropped_;
     for (TraceSink* sink : sinks_) sink->on_nic_drop(pid, current_time_);
+    if (observer_ != nullptr) observer_->on_nic_drop(pid, current_time_);
     if (cfg.drop == NicDropPolicy::kDropNewest) {
       // Tail drop: the arriving datagram is lost.  The queue is non-empty,
       // so a service event is already in flight.
@@ -361,6 +405,7 @@ void Simulator::dispatch_fanout(EventHandle handle, double limit) {
     const net::FanoutDelivery due = record.next();
     count_event(handle);
     current_time_ = due.time;
+    observe_advance();
     arrive(due.to, record.msg);
     ++record.cursor;
     if (record.done()) break;
@@ -403,6 +448,7 @@ void Simulator::dispatch(EventHandle handle, double limit) {
   }
   count_event(handle);
   current_time_ = event.time;
+  observe_advance();
   switch (event.engine_kind) {
     case EngineKind::kDeliver:
       deliver(event.to, event.msg);

@@ -22,6 +22,7 @@
 // are overwritten").
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <span>
@@ -36,6 +37,7 @@
 #include "sim/delay.h"
 #include "sim/event.h"
 #include "sim/nic.h"
+#include "sim/observer.h"
 #include "sim/trace.h"
 #include "util/rng.h"
 
@@ -87,6 +89,24 @@ class Simulator {
 
   /// Attaches a passive observer (non-owning; must outlive the run).
   void add_trace_sink(TraceSink* sink);
+
+  /// Attaches (or, with nullptr, detaches) the streaming Observer
+  /// (sim/observer.h; non-owning, must outlive the run).  At most one;
+  /// with none attached the hot path pays a single always-false double
+  /// compare per event and nothing else.
+  void set_observer(Observer* observer);
+
+  /// Bounded-memory mode: truncates every clock's segment list and CORR
+  /// log behind `t` (see CorrLog::truncate_before).  Queries at times >= t
+  /// are unaffected; the caller (the streaming observer) guarantees no
+  /// future query targets an earlier time.  Returns entries removed.
+  std::size_t truncate_history_before(double t);
+
+  /// Approximate heap footprint of all retained measurement history
+  /// (CORR logs + clock segment lists, capacity-based).
+  [[nodiscard]] std::size_t history_bytes() const noexcept;
+  /// Retained history entries (CORR entries + clock breakpoints).
+  [[nodiscard]] std::size_t history_entries() const noexcept;
 
   /// Runs all events with time <= real_time.
   void run_until(double real_time);
@@ -207,6 +227,18 @@ class Simulator {
   void nic_arrive(std::int32_t pid, const Message& msg);
   void deliver(std::int32_t pid, const Message& msg);
 
+  /// Fires Observer::on_advance when simulated time reached the cached
+  /// next-interest instant.  Called right after current_time_ moves and
+  /// BEFORE the event at that time is delivered, so the observer sees
+  /// every instant strictly before current_time_ as final.  observer_next_
+  /// is +inf with no observer attached: the whole idle cost is this one
+  /// compare.
+  void observe_advance() {
+    if (current_time_ >= observer_next_) {
+      observer_next_ = observer_->on_advance(current_time_);
+    }
+  }
+
   SimConfig config_;
   std::unique_ptr<DelayModel> delay_;
   util::Rng rng_;
@@ -216,6 +248,8 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::vector<Node> nodes_;
   std::vector<TraceSink*> sinks_;
+  Observer* observer_ = nullptr;
+  double observer_next_ = std::numeric_limits<double>::infinity();
   /// Identity neighbor list for the implicit full mesh, grown on demand.
   mutable std::vector<std::int32_t> all_ids_;
   double current_time_ = 0.0;

@@ -109,6 +109,88 @@ TEST(ParallelRunner, HandlesEmptyAndDefaults) {
   ParallelRunner(0).run_indexed(0, [](std::size_t) { FAIL(); });
 }
 
+// ------------------------------------------------------------------------
+// Self-balancing (run_adaptive): cost-aware chunks + telemetry-guided
+// stealing are scheduling-only — results stay bit-identical to the
+// fixed-chunk path on skewed grids.
+
+std::vector<RunSpec> skewed_grid() {
+  // A grid deliberately mixing cheap and expensive trials: small and
+  // mid-size n, mesh and sparse graphs, with and without the gradient
+  // pair scan.
+  std::vector<RunSpec> specs;
+  for (const std::int32_t n : {4, 10, 25}) {
+    RunSpec spec;
+    spec.params = core::make_params(n, (n - 1) / 3, 1e-5, 0.01, 1e-3, 10.0);
+    spec.rounds = 5;
+    if (n == 25) {
+      spec.topology.kind = net::TopologyKind::kKRegular;
+      spec.topology.degree = 6;
+      spec.measure_gradient = true;
+    }
+    const std::vector<RunSpec> seeded = seed_sweep(spec, 40, 4);
+    specs.insert(specs.end(), seeded.begin(), seeded.end());
+  }
+  return specs;
+}
+
+TEST(ParallelRunner, AdaptiveMatchesFixedChunksBitForBit) {
+  const std::vector<RunSpec> specs = skewed_grid();
+  const std::vector<RunResult> fixed = ParallelRunner(4).run(specs);
+  const std::vector<RunResult> adaptive = ParallelRunner(4).run_adaptive(specs);
+  ASSERT_EQ(fixed.size(), adaptive.size());
+  for (std::size_t i = 0; i < fixed.size(); ++i) {
+    EXPECT_TRUE(results_identical(fixed[i], adaptive[i])) << "trial " << i;
+  }
+}
+
+TEST(ParallelRunner, AdaptiveIsThreadCountInvariant) {
+  const std::vector<RunSpec> specs = skewed_grid();
+  const std::vector<RunResult> serial = ParallelRunner(1).run_adaptive(specs);
+  const std::vector<RunResult> wide = ParallelRunner(8).run_adaptive(specs);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(results_identical(serial[i], wide[i])) << "trial " << i;
+  }
+}
+
+TEST(ParallelRunner, AdaptiveStreamsEveryResultExactlyOnce) {
+  const std::vector<RunSpec> specs = seed_sweep(cheap_spec(), 9, 10);
+  std::vector<int> seen(specs.size(), 0);
+  const std::vector<RunResult> adaptive = ParallelRunner(4).run_adaptive(
+      specs, [&](std::size_t i, const RunResult& r) {
+        ++seen[i];
+        EXPECT_GT(r.wall_seconds, 0.0);
+      });
+  for (std::size_t i = 0; i < specs.size(); ++i) EXPECT_EQ(seen[i], 1) << i;
+  const std::vector<RunResult> fixed = ParallelRunner(4).run(specs);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_TRUE(results_identical(fixed[i], adaptive[i])) << "trial " << i;
+  }
+}
+
+TEST(ParallelRunner, AdaptivePropagatesWorkerExceptions) {
+  std::vector<RunSpec> specs = seed_sweep(cheap_spec(), 3, 6);
+  specs[4].params.n = -1;  // invalid: Experiment construction throws
+  EXPECT_THROW((void)ParallelRunner(3).run_adaptive(specs), std::exception);
+}
+
+TEST(ParallelRunner, CostPriorOrdersObviousCases) {
+  RunSpec small = cheap_spec();
+  RunSpec large = cheap_spec();
+  large.params = core::make_params(512, 170, 1e-5, 0.01, 1e-3, 10.0);
+  EXPECT_GT(ParallelRunner::estimate_cost(large),
+            ParallelRunner::estimate_cost(small));
+  RunSpec sparse = large;
+  sparse.topology.kind = net::TopologyKind::kKRegular;
+  sparse.topology.degree = 16;
+  EXPECT_LT(ParallelRunner::estimate_cost(sparse),
+            ParallelRunner::estimate_cost(large));
+  RunSpec gradient = sparse;
+  gradient.measure_gradient = true;
+  EXPECT_GT(ParallelRunner::estimate_cost(gradient),
+            ParallelRunner::estimate_cost(sparse));
+}
+
 TEST(SeedSweep, AssignsSequentialSeeds) {
   const std::vector<RunSpec> specs = seed_sweep(cheap_spec(), 40, 3);
   ASSERT_EQ(specs.size(), 3u);
