@@ -257,6 +257,30 @@ inline const char* observe_name(const ObserveMode& mode) {
   return mode.retain ? "on" : "bounded";
 }
 
+/// The execution-engine axis (core/fastpath.h): "event" = the event engine
+/// only (the measured reference), "fastpath" = require the round fast path
+/// (the run aborts if the cell is ineligible — use it to keep a sweep
+/// honest), "auto" = fast path exactly where the spec qualifies.  All three
+/// are bit-identical at results_identical strictness; the axis exists so
+/// the wall_s / rounds-per-sec columns can show the speedup per cell.
+inline analysis::EngineMode parse_engine(const std::string& name) {
+  return parse_name<analysis::EngineMode>(
+      name,
+      {{"event", analysis::EngineMode::kEvent},
+       {"fastpath", analysis::EngineMode::kFastpath},
+       {"auto", analysis::EngineMode::kAuto}},
+      "engine");
+}
+
+inline const char* engine_name(analysis::EngineMode engine) {
+  switch (engine) {
+    case analysis::EngineMode::kEvent: return "event";
+    case analysis::EngineMode::kFastpath: return "fastpath";
+    case analysis::EngineMode::kAuto: return "auto";
+  }
+  return "?";
+}
+
 inline proc::PlacementKind parse_placement(const std::string& name) {
   return parse_name<proc::PlacementKind>(
       name,

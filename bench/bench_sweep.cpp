@@ -36,6 +36,13 @@
 //   --ingest    arena (dense neighbor-slot ARR arena), legacy (the seed's
 //               id-indexed path) — results are bit-identical, only wall_s
 //               moves; the axis exists for perf A/Bs
+//   --engine    execution-engine axis (core/fastpath.h): event (the event
+//               engine, the measured reference), fastpath (require the
+//               round fast path; aborts on ineligible cells), auto (fast
+//               path where the cell qualifies).  Bit-identical like
+//               --ingest; the wall_s / rounds_per_sec columns show the
+//               speedup per cell and the fastpath column records whether
+//               the fast path actually engaged.
 //   --observe   measurement-engine axis: off (post-hoc grids), on
 //               (streaming in-run observation), bounded (streaming +
 //               history truncation; analysis/observe.h).  on == bounded
@@ -82,12 +89,13 @@ using bench::split_list;
 
 void write_csv_header(std::ostream& out) {
   out << "spec,n,f,algo,delay,drift,fault,faults,topology,placement,ingest,"
+         "engine,"
          "nic,nic_drop,stagger,observe,rounds,seed,completed_rounds,messages,"
          "gamma_bound,"
          "gamma_measured,adj_bound,max_abs_adj,final_skew,validity_holds,"
          "diverged,gradient_slope,gradient_diameter,gradient_far_skew,"
          "nic_dropped,nic_drop_rate,nic_peak_queue,nic_max_burst,"
-         "hist_peak_mb,wall_s\n";
+         "hist_peak_mb,fastpath,wall_s,rounds_per_sec\n";
 }
 
 }  // namespace
@@ -122,6 +130,8 @@ int main(int argc, char** argv) {
       bench::split_doubles(flags.get_string("stagger", "0"));
   const std::vector<std::string> ingests =
       split_list(flags.get_string("ingest", "arena"));
+  const std::vector<std::string> engines =
+      split_list(flags.get_string("engine", smoke ? "event,auto" : "auto"));
   const std::vector<std::string> observes =
       split_list(flags.get_string("observe", smoke ? "off,bounded" : "off"));
   const bool adaptive =
@@ -155,6 +165,7 @@ int main(int argc, char** argv) {
                   for (const double stagger : staggers) {
                   for (const std::string& observe : observes) {
                   for (const std::string& ingest : ingests) {
+                  for (const std::string& engine : engines) {
                   analysis::RunSpec base;
                   base.params = core::make_params(
                       static_cast<std::int32_t>(n), static_cast<std::int32_t>(f),
@@ -183,11 +194,13 @@ int main(int argc, char** argv) {
                   base.observe = omode.observe;
                   base.retain_history = omode.retain;
                   base.ingest = bench::parse_ingest(ingest);
+                  base.engine = bench::parse_engine(engine);
                   base.measure_gradient = gradient;
                   base.rounds = rounds;
                   const std::vector<analysis::RunSpec> seeded =
                       analysis::seed_sweep(base, seed0, trials);
                   specs.insert(specs.end(), seeded.begin(), seeded.end());
+                  }
                   }
                   }
                   }
@@ -228,7 +241,8 @@ int main(int argc, char** argv) {
         << bench::fault_name(s.fault) << ',' << s.fault_count << ','
         << net::topology_name(s.topology.kind) << ','
         << proc::placement_name(s.placement) << ','
-        << proc::ingest_name(s.ingest) << ',' << bench::nic_name(s.nic) << ','
+        << proc::ingest_name(s.ingest) << ','
+        << bench::engine_name(s.engine) << ',' << bench::nic_name(s.nic) << ','
         << (s.nic.has_value() ? bench::nic_drop_name(s.nic->drop) : "-") << ','
         << s.stagger << ',' << bench::observe_name(omode) << ','
         << s.rounds << ','
@@ -241,7 +255,9 @@ int main(int argc, char** argv) {
         << r.nic.drop_rate() << ',' << r.nic.peak_queue << ','
         << r.nic.max_burst << ','
         << static_cast<double>(r.observe.peak_history_bytes) / (1024.0 * 1024.0)
-        << ',' << r.wall_seconds << '\n';
+        << ',' << (r.fastpath_engaged ? 1 : 0) << ',' << r.wall_seconds << ','
+        << (r.wall_seconds > 0.0 ? r.completed_rounds / r.wall_seconds : 0.0)
+        << '\n';
     if (++done % 50 == 0) {
       std::cerr << "  " << done << "/" << specs.size() << " trials\n";
     }

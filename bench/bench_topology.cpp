@@ -25,6 +25,12 @@
 // bit-identical on runs that complete their rounds (all of this table);
 // the hist-MB column shows the retained-history high-water mark the
 // bounded mode eliminates.
+//
+// --engine=event|fastpath|auto A/Bs the round fast path (core/fastpath.h)
+// the same way --batch A/Bs the fan-out engine: results are bit-identical,
+// only wall-s/round and rounds/sec move.  The fp column records whether the
+// fast path engaged (fault-free arena cells: yes; NIC/observe-bounded
+// cells: event engine).  --engine=fastpath aborts on ineligible cells.
 
 #include <chrono>
 #include <cstdint>
@@ -54,7 +60,8 @@ Row run_case(const std::string& label, std::int32_t n,
              const net::TopologySpec& topology, bool batch,
              std::int32_t rounds,
              const std::optional<sim::NicConfig>& nic,
-             proc::IngestMode ingest, const bench::ObserveMode& observe) {
+             proc::IngestMode ingest, const bench::ObserveMode& observe,
+             analysis::EngineMode engine) {
   analysis::RunSpec spec;
   const std::int32_t f = (n - 1) / 3;
   spec.params = core::make_params(n, f, 1e-5, 0.01, 1e-3, 10.0);
@@ -66,6 +73,7 @@ Row run_case(const std::string& label, std::int32_t n,
   spec.ingest = ingest;
   spec.observe = observe.observe;
   spec.retain_history = observe.retain;
+  spec.engine = engine;
 
   Row row;
   row.label = label;
@@ -103,6 +111,8 @@ int main(int argc, char** argv) {
       bench::parse_ingest(flags.get_string("ingest", "arena"));
   const bench::ObserveMode observe =
       bench::parse_observe(flags.get_string("observe", "off"));
+  const analysis::EngineMode engine =
+      bench::parse_engine(flags.get_string("engine", "auto"));
 
   bench::print_header(
       "EXP-TOPOLOGY",
@@ -116,11 +126,13 @@ int main(int argc, char** argv) {
                       : "per-recipient (seed baseline)")
             << "; ingestion: " << proc::ingest_name(ingest)
             << "; nic: " << bench::nic_name(nic)
-            << "; observe: " << bench::observe_name(observe) << "\n\n";
+            << "; observe: " << bench::observe_name(observe)
+            << "; engine: " << bench::engine_name(engine) << "\n\n";
 
   util::Table table({"topology", "n", "msgs/round", "q-ops/round",
                      "peak-pend", "direct/round", "drop/round", "burst",
-                     "hist-MB", "ms/round", "skew"});
+                     "hist-MB", "fp", "wall-s", "ms/round", "rounds/sec",
+                     "skew"});
   for (std::int32_t n = 64; n <= max_n; n *= 2) {
     std::vector<std::pair<std::string, net::TopologySpec>> cases;
     cases.emplace_back("full-mesh", net::TopologySpec{});
@@ -134,8 +146,8 @@ int main(int argc, char** argv) {
     cases.emplace_back("cliques/" + std::to_string(clique), cliques);
 
     for (const auto& [label, topology] : cases) {
-      const Row row =
-          run_case(label, n, topology, batch, rounds, nic, ingest, observe);
+      const Row row = run_case(label, n, topology, batch, rounds, nic, ingest,
+                               observe, engine);
       const double per_round =
           row.result.completed_rounds > 0
               ? static_cast<double>(row.result.completed_rounds)
@@ -154,7 +166,10 @@ int main(int argc, char** argv) {
            std::to_string(row.result.nic.max_burst),
            util::fmt(static_cast<double>(row.hist_bytes) / (1024.0 * 1024.0),
                      3),
+           row.result.fastpath_engaged ? "yes" : "no",
+           util::fmt(row.wall_ms / 1000.0, 3),
            util::fmt(row.wall_ms / per_round, 4),
+           util::fmt(per_round / (row.wall_ms / 1000.0), 2),
            util::fmt_sci(row.result.gamma_measured)});
     }
   }

@@ -9,6 +9,7 @@
 #include "baselines/averaging_rounds.h"
 #include "baselines/hssd.h"
 #include "baselines/srikanth_toueg.h"
+#include "core/fastpath.h"
 #include "core/reintegration.h"
 #include "core/startup.h"
 #include "proc/adversaries.h"
@@ -95,6 +96,27 @@ proc::ProcessPtr build_algorithm(const RunSpec& spec) {
   throw std::logic_error("unknown Algo");
 }
 
+/// Spec-level fast-path eligibility (core/fastpath.h documents the system-
+/// level half, re-verified by RoundFastPath::ineligible_reason).  Returns
+/// nullptr when eligible.
+const char* fastpath_spec_block(const RunSpec& spec) {
+  if (spec.algo != Algo::kWelchLynch) return "algo is not Welch-Lynch";
+  if (spec.stagger > 0.0) return "staggered broadcasts (Section 9.3)";
+  if (spec.ingest != proc::IngestMode::kArena) return "legacy arrival ingestion";
+  if (!spec.fault_mix.empty() ||
+      (spec.fault != FaultKind::kNone && spec.fault_count > 0)) {
+    return "faulty processes configured";
+  }
+  if (spec.nic.has_value()) return "Section 9.3 NIC ingress model engaged";
+  if (!spec.retain_history) {
+    // Bounded-memory observation truncates clock segments behind the
+    // drained frontier; the batched delivery kernel still reads segments
+    // at delivery times that can precede that frontier.
+    return "bounded-memory observation (retain_history = false)";
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 Experiment::Experiment(RunSpec spec) : spec_(std::move(spec)) { build(); }
@@ -119,6 +141,7 @@ void Experiment::build() {
   sim_config.nic = spec_.nic;
   sim_config.scheduler = spec_.scheduler;
   sim_config.batch_fanout = spec_.batch_fanout;
+  if (spec_.max_events > 0) sim_config.max_events = spec_.max_events;
   if (spec_.topology.kind != net::TopologyKind::kFullMesh) {
     // Full mesh stays on the implicit fast path (no adjacency storage).
     // Construction runs once, through topology(); the simulator gets its
@@ -276,6 +299,12 @@ void Experiment::build() {
         break;
     }
   }
+  // Pre-size the CORR logs for the configured run length (one adjustment
+  // per exchange, plus slack for the partial round the horizon affords):
+  // steady-state recording then never reallocates, so the fast path's
+  // round loop stays allocation-free (bench_micro gates on this).
+  sim_->reserve_history(static_cast<std::size_t>(spec_.rounds + 2) *
+                        static_cast<std::size_t>(spec_.k_exchanges));
 }
 
 double Experiment::horizon() const {
@@ -347,11 +376,39 @@ RunResult Experiment::run() {
     observer_guard.sim = sim_.get();
   }
 
+  // Round-synchronous fast path: advance fault-free Welch-Lynch exchanges
+  // past the event queue, then let run_until finish whatever the fast path
+  // handed back (everything, when it never engaged).  Bit-identical either
+  // way — see core/fastpath.h for the replay protocol.
+  if (spec_.engine != EngineMode::kEvent) {
+    const char* blocked = fastpath_spec_block(spec_);
+    if (blocked == nullptr) {
+      blocked = core::RoundFastPath::ineligible_reason(*sim_);
+    }
+    if (blocked == nullptr) {
+      core::RoundFastPath fastpath(*sim_);
+      fastpath.run(horizon);
+      result.fastpath_engaged = fastpath.stats().engaged;
+      result.fastpath_exchanges = fastpath.stats().exchanges;
+    } else if (spec_.engine == EngineMode::kFastpath) {
+      throw std::invalid_argument(
+          std::string("RunSpec: engine = kFastpath but the spec is "
+                      "ineligible: ") +
+          blocked);
+    }
+  }
+
   sim_->run_until(horizon);
   result.t_end = sim_->current_time();
   result.messages = sim_->messages_sent();
   result.nic_dropped = sim_->nic_dropped();
   result.nic = summarize_nic(*sim_);
+  for (std::int32_t id = 0; id < sim_->process_count(); ++id) {
+    if (const auto* wl =
+            dynamic_cast<const core::WelchLynchProcess*>(&sim_->process(id))) {
+      result.starved_updates += wl->starved_updates();
+    }
+  }
 
   StreamingSummary streamed;
   if (observer) streamed = observer->finalize(result.t_end);

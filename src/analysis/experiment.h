@@ -61,6 +61,18 @@ enum class DriftKind : std::uint8_t {
   kRandomWalk = 3,  ///< slowly wandering rate
 };
 
+/// Which execution engine run() drives (core/fastpath.h).  A pure
+/// performance knob: the fast path is pinned bit-identical to the event
+/// engine at results_identical strictness (tests/fastpath_test.cpp), like
+/// SchedulerKind and batch_fanout before it.
+enum class EngineMode : std::uint8_t {
+  kEvent = 0,     ///< the event engine only (the measured reference)
+  kFastpath = 1,  ///< require the fast path; throws if the spec is ineligible
+  /// Fast path when the spec qualifies (fault-free Welch-Lynch, no NIC, no
+  /// stagger, arena ingestion, retained history), event engine otherwise.
+  kAuto = 2,
+};
+
 struct RunSpec {
   core::Params params;
   Algo algo = Algo::kWelchLynch;
@@ -120,6 +132,11 @@ struct RunSpec {
   /// under every policy (see tests/engine_test.cpp).  kAuto selects by
   /// observed queue depth; set an explicit kind to override.
   engine::SchedulerKind scheduler = engine::SchedulerKind::kAuto;
+  /// Round-synchronous fast path (core/fastpath.h) — performance only;
+  /// executions are bit-identical either way.  kAuto engages it exactly on
+  /// the eligible specs; set kEvent to force the reference engine (as the
+  /// benches' --engine=event axis does) or kFastpath to assert eligibility.
+  EngineMode engine = EngineMode::kAuto;
 
   double lm_delta_max = 0.0;  ///< 0 = auto
   double ms_tau = 0.0;        ///< 0 = auto
@@ -153,6 +170,11 @@ struct RunSpec {
   /// Skew/gradient sample step for observe mode; 0 = P/25, the post-hoc
   /// grid.  Coarser steps make very long windows cheaper to observe.
   double observe_dt = 0.0;
+  /// Runaway-execution guard override; 0 keeps SimConfig's default
+  /// (50M events).  Large-n meshes need it: one n = 4096 full-mesh
+  /// exchange is ~16.8M deliveries, so a handful of rounds legitimately
+  /// exceeds the default budget (bench_micro --fastpath-json raises it).
+  std::uint64_t max_events = 0;
 };
 
 struct RunResult {
@@ -170,6 +192,11 @@ struct RunResult {
   bool diverged = false;
   std::uint64_t messages = 0;
   std::uint64_t nic_dropped = 0;
+  /// UPDATEs skipped because NIC drops / serialization emptied a collection
+  /// window (missed-round semantics; see WelchLynchProcess::window_starved).
+  /// Summed over the Welch-Lynch processes; deterministic physics, so it IS
+  /// part of results_identical.
+  std::int64_t starved_updates = 0;
   /// Section 9.3 ingress accounting (all zeros when RunSpec::nic is unset).
   NicSummary nic;
   double tmin0 = 0.0;
@@ -185,6 +212,11 @@ struct RunResult {
   /// history footprint intentionally differs between retained and bounded
   /// runs of identical physics.
   ObserveStats observe;
+  /// Round-fast-path telemetry (core/fastpath.h).  Like wall_seconds, NOT
+  /// part of results_identical — engine selection is a performance knob
+  /// and the measured physics are pinned identical across engines.
+  bool fastpath_engaged = false;
+  std::int64_t fastpath_exchanges = 0;
 };
 
 /// A constructed system ready to run; exposes the simulator for tests that

@@ -309,13 +309,16 @@ bool results_identical(const RunResult& a, const RunResult& b) {
          a.validity.measured_lo_slope == b.validity.measured_lo_slope &&
          a.final_skew == b.final_skew && a.diverged == b.diverged &&
          a.messages == b.messages && a.nic_dropped == b.nic_dropped &&
+         a.starved_updates == b.starved_updates &&
          nic_summaries_identical(a.nic, b.nic) &&
          a.tmin0 == b.tmin0 && a.tmax0 == b.tmax0 && a.t_end == b.t_end &&
          a.completed_rounds == b.completed_rounds &&
          gradient_summaries_identical(a.gradient, b.gradient);
-  // wall_seconds and the ObserveStats telemetry are deliberately excluded:
-  // they describe how the run was measured (timing, history footprint),
-  // not what it measured — retained and bounded observe runs of identical
+  // wall_seconds, the ObserveStats telemetry, and the fast-path telemetry
+  // (fastpath_engaged / fastpath_exchanges) are deliberately excluded: they
+  // describe how the run was computed and measured (timing, history
+  // footprint, engine selection), not what it measured — retained and
+  // bounded observe runs, and event-engine and fast-path runs, of identical
   // physics intentionally differ there.
 }
 

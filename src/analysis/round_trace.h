@@ -25,6 +25,10 @@ struct RoundEvent {
 
 class RoundTrace final : public sim::TraceSink {
  public:
+  /// Annotations only — this sink never reads per-message callbacks, so
+  /// the round fast path may batch deliveries past it (sim/trace.h).
+  [[nodiscard]] bool wants_message_events() const override { return false; }
+
   void on_annotation(std::int32_t pid, double time,
                      const proc::Annotation& annotation) override;
 

@@ -108,6 +108,20 @@ double PhysicalClock::now(double real_time) const {
   return seg.clock + (real_time - seg.real) * seg.rate;
 }
 
+bool PhysicalClock::affine_span(double t0, double t1, AffineSpan& out) const {
+  extend_real(t1);
+  const std::size_t i = locate_real(t0);
+  // The segment covers [breaks_[i].real, breaks_[i+1].real); the last
+  // breakpoint extends to +inf until lazily grown (extend_real above
+  // guarantees coverage of t1, so i+1 existing with real <= t1 means a
+  // rate change inside the window).
+  if (i + 1 < breaks_.size() && breaks_[i + 1].real <= t1) return false;
+  out.real = breaks_[i].real;
+  out.clock = breaks_[i].clock;
+  out.rate = breaks_[i].rate;
+  return true;
+}
+
 double PhysicalClock::to_real(double clock_time) const {
   extend_clock(clock_time);
   const Breakpoint& seg = breaks_[locate_clock(clock_time)];

@@ -40,6 +40,22 @@ class PhysicalClock {
   /// c(T) = C^{-1}(T): the real time at which the clock reads T.
   [[nodiscard]] double to_real(double clock_time) const;
 
+  /// One affine piece of the clock: C(t) = clock + (t - real) * rate on the
+  /// segment's span.  Exposed for the round fast path's batched delivery
+  /// kernel (proc/reduce_kernels.h), whose per-arrival expression matches
+  /// now() term for term.
+  struct AffineSpan {
+    double real = 0.0;   ///< segment start (real time)
+    double clock = 0.0;  ///< clock reading at segment start
+    double rate = 0.0;   ///< slope
+  };
+
+  /// The single affine segment covering [t0, t1], if one exists (t0 <= t1;
+  /// extends the clock lazily as needed).  Returns false when a drift
+  /// breakpoint falls inside the window — callers then evaluate per point
+  /// through now(), which is exact on any window.
+  [[nodiscard]] bool affine_span(double t0, double t1, AffineSpan& out) const;
+
   /// The asserted drift bound rho.
   [[nodiscard]] double rho() const noexcept { return rho_; }
 

@@ -1,0 +1,590 @@
+#include "core/fastpath.h"
+
+#include <algorithm>
+#include <limits>
+#include <span>
+#include <stdexcept>
+
+#include "clock/physical_clock.h"
+#include "core/welch_lynch.h"
+#include "proc/arrival.h"
+#include "proc/reduce_kernels.h"
+#include "sim/simulator.h"
+
+namespace wlsync::core {
+
+namespace {
+/// Safety margin on the phase-separation and round-overlap predicates.
+/// Both comparisons are conservative-by-construction (a false negative
+/// merely bails to the event engine); the slack absorbs the delay model's
+/// own kDelayTolerance band.
+constexpr double kSeparationSlack = 1e-9;
+
+constexpr std::int32_t kBcastTimer = WelchLynchProcess::kBcastTimerTag;
+constexpr std::int32_t kUpdateTimer = WelchLynchProcess::kUpdateTimerTag;
+}  // namespace
+
+/// The Context the replayed process code sees.  Every entry point forwards
+/// to a RoundFastPath mirror of the corresponding SimContext method; the
+/// read-only queries are the literal SimContext expressions, so the process
+/// observes exactly the state it would observe inside a dispatched event.
+class FastPathContext final : public proc::Context {
+ public:
+  FastPathContext(RoundFastPath& fp, std::int32_t pid) : fp_(fp), pid_(pid) {}
+
+  [[nodiscard]] std::int32_t id() const override { return pid_; }
+  [[nodiscard]] std::int32_t process_count() const override;
+  [[nodiscard]] std::span<const std::int32_t> neighbors() const override;
+  [[nodiscard]] double physical_time() const override {
+    return fp_.ctx_physical_time(pid_);
+  }
+  [[nodiscard]] double local_time() const override {
+    return physical_time() + corr();
+  }
+  [[nodiscard]] double corr() const override { return fp_.ctx_corr(pid_); }
+  void add_corr(double adj) override { fp_.ctx_add_corr(pid_, adj, 0.0); }
+  void add_corr_amortized(double adj, double duration) override {
+    fp_.ctx_add_corr(pid_, adj, duration);
+  }
+  void broadcast(std::int32_t tag, double value, std::int32_t aux) override {
+    fp_.on_broadcast(pid_, tag, value, aux);
+  }
+  void send(std::int32_t /*to*/, std::int32_t /*tag*/, double /*value*/,
+            std::int32_t /*aux*/) override {
+    // Welch-Lynch only ever broadcasts; a send would mean the replayed code
+    // is not the algorithm eligibility vetted.
+    throw std::logic_error("RoundFastPath: unexpected point-to-point send");
+  }
+  void set_timer(double logical_time, std::int32_t tag) override {
+    fp_.on_set_timer_logical(pid_, logical_time, tag);
+  }
+  void set_timer_physical(double /*physical_time*/, std::int32_t /*tag*/) override {
+    throw std::logic_error("RoundFastPath: unexpected set_timer_physical");
+  }
+  void annotate(const proc::Annotation& annotation) override {
+    fp_.on_annotate(pid_, annotation);
+  }
+
+ private:
+  RoundFastPath& fp_;
+  std::int32_t pid_;
+};
+
+std::int32_t FastPathContext::process_count() const {
+  return fp_.sim_.process_count();
+}
+
+std::span<const std::int32_t> FastPathContext::neighbors() const {
+  return fp_.sim_.neighbors_of(pid_);
+}
+
+RoundFastPath::RoundFastPath(sim::Simulator& sim) : sim_(sim) {}
+RoundFastPath::~RoundFastPath() = default;
+
+const char* RoundFastPath::ineligible_reason(sim::Simulator& sim) {
+  if (sim.process_count() == 0) return "no processes registered";
+  if (sim.nic_enabled()) return "Section 9.3 NIC ingress model engaged";
+  for (std::int32_t id = 0; id < sim.process_count(); ++id) {
+    if (sim.is_faulty(id)) return "faulty processes registered";
+    auto* wl = dynamic_cast<WelchLynchProcess*>(&sim.process(id));
+    if (wl == nullptr) return "a process is not WelchLynchProcess";
+    if (wl->config().stagger > 0.0) return "staggered broadcasts (Section 9.3)";
+    if (wl->config().ingest != proc::IngestMode::kArena) {
+      return "legacy arrival ingestion";
+    }
+  }
+  for (sim::TraceSink* sink : sim.sinks_) {
+    if (sink->wants_message_events()) {
+      return "a trace sink consumes per-message events";
+    }
+  }
+  return nullptr;
+}
+
+// --- SimContext mirrors ----------------------------------------------------
+
+double RoundFastPath::ctx_physical_time(std::int32_t pid) const {
+  const auto i = static_cast<std::size_t>(pid);
+  return sim_.nodes_[i].clock->now(sim_.current_time_);
+}
+
+double RoundFastPath::ctx_corr(std::int32_t pid) const {
+  const auto i = static_cast<std::size_t>(pid);
+  return sim_.nodes_[i].corr.current_target();
+}
+
+void RoundFastPath::ctx_add_corr(std::int32_t pid, double adj, double duration) {
+  // do_add_corr fires on_corr_change sinks and Observer::on_adjustment at
+  // sim_.current_time_, which phase 3 has set to the update's exact instant.
+  sim_.do_add_corr(pid, adj, duration);
+}
+
+void RoundFastPath::on_annotate(std::int32_t pid,
+                                const proc::Annotation& annotation) {
+  // Verbatim SimContext::annotate: sinks in attachment order, then the
+  // round-begin hook and the next-interest re-read.
+  for (sim::TraceSink* sink : sim_.sinks_) {
+    sink->on_annotation(pid, sim_.current_time_, annotation);
+  }
+  if (sim_.observer_ != nullptr &&
+      annotation.type == proc::Annotation::Type::kRoundBegin) {
+    sim_.observer_->on_round_begin(pid, annotation.round, sim_.current_time_);
+    sim_.observer_next_ = sim_.observer_->next_interest();
+  }
+}
+
+void RoundFastPath::on_broadcast(std::int32_t from, std::int32_t /*tag*/,
+                                 double /*value*/, std::int32_t /*aux*/) {
+  // Mirror of do_broadcast's observable effects: per recipient in neighbor
+  // order, draw the A3-validated delay (the engine's only runtime RNG
+  // consumer — same stream, same order), count the message and consume one
+  // seq (the engine stamps one per delivery whether fanned out batched or
+  // per-recipient).  The payload is not stored: without stagger the
+  // algorithm records arrival TIMES only, never message contents, and the
+  // bail protocol never needs to re-inject a delivery (every bail point
+  // precedes the first draw of its exchange).
+  const std::span<const std::int32_t> recipients = sim_.neighbors_of(from);
+  double* row = times_.data() + row_offset_[static_cast<std::size_t>(from)];
+  for (std::size_t j = 0; j < recipients.size(); ++j) {
+    const double deliver_time =
+        sim_.current_time_ + sim_.draw_delay(from, recipients[j]);
+    ++sim_.messages_sent_;
+    ++sim_.next_seq_;
+    row[j] = deliver_time;
+    deliver_min_ = std::min(deliver_min_, deliver_time);
+    deliver_max_ = std::max(deliver_max_, deliver_time);
+  }
+  ++broadcasts_recorded_;
+}
+
+void RoundFastPath::on_set_timer_logical(std::int32_t pid, double logical_time,
+                                         std::int32_t tag) {
+  // Verbatim do_set_timer_logical -> do_set_timer_physical ->
+  // do_set_timer_real chain, recording instead of scheduling.  The drop
+  // rule consumes no seq in the engine either (schedule_event is never
+  // reached), so seq streams stay aligned.
+  const auto i = static_cast<std::size_t>(pid);
+  const double physical_target =
+      logical_time - sim_.nodes_[i].corr.current_target();
+  const double real = sim_.nodes_[i].clock->to_real(physical_target);
+  if (real <= sim_.current_time_) return;
+  record_->push_back({real, sim_.next_seq_++, pid, tag});
+}
+
+// --- setup -----------------------------------------------------------------
+
+void RoundFastPath::init() {
+  n_ = sim_.process_count();
+  const auto n = static_cast<std::size_t>(n_);
+  mesh_ = !sim_.config_.topology.has_value();
+
+  wl_.resize(n);
+  row_offset_.assign(n + 1, 0);
+  total_deg_ = 0;
+  for (std::int32_t id = 0; id < n_; ++id) {
+    const auto i = static_cast<std::size_t>(id);
+    wl_[i] = dynamic_cast<WelchLynchProcess*>(&sim_.process(id));
+    row_offset_[i] = static_cast<std::size_t>(total_deg_);
+    total_deg_ += sim_.neighbors_of(id).size();
+    // Bind the arena up front (the engine binds lazily at the first
+    // delivery, with the same arguments and the same all-sentinel fill, so
+    // the observable state and the rebind counter are identical).
+    if (!wl_[i]->arena_.bound()) {
+      wl_[i]->arena_.bind(sim_.neighbors_of(id), n_, kNeverArrived);
+    }
+  }
+  row_offset_[n] = static_cast<std::size_t>(total_deg_);
+  times_.resize(static_cast<std::size_t>(total_deg_));
+
+  if (!mesh_) {
+    // Receiver-major view of the delivery matrix, built once: for each
+    // sender row entry (s -> to), the receiving arena slot of s.  Entries
+    // whose sender is not in the receiver's neighborhood (slot < 0) are
+    // skipped outright — ArrivalArena::record drops them the same way.
+    std::vector<std::size_t> counts(n + 1, 0);
+    for (std::int32_t s = 0; s < n_; ++s) {
+      for (std::int32_t to : sim_.neighbors_of(s)) {
+        if (wl_[static_cast<std::size_t>(to)]->arena_.slot_of(s) >= 0) {
+          ++counts[static_cast<std::size_t>(to)];
+        }
+      }
+    }
+    recv_offset_.assign(n + 1, 0);
+    for (std::size_t r = 0; r < n; ++r) {
+      recv_offset_[r + 1] = recv_offset_[r] + counts[r];
+    }
+    recv_flat_.resize(recv_offset_[n]);
+    recv_slot_.resize(recv_offset_[n]);
+    std::vector<std::size_t> cursor(recv_offset_.begin(), recv_offset_.end() - 1);
+    for (std::int32_t s = 0; s < n_; ++s) {
+      const std::span<const std::int32_t> recipients = sim_.neighbors_of(s);
+      for (std::size_t j = 0; j < recipients.size(); ++j) {
+        const auto r = static_cast<std::size_t>(recipients[j]);
+        const std::int32_t slot = wl_[r]->arena_.slot_of(s);
+        if (slot < 0) continue;
+        recv_flat_[cursor[r]] = row_offset_[static_cast<std::size_t>(s)] + j;
+        recv_slot_[cursor[r]] = slot;
+        ++cursor[r];
+      }
+    }
+  }
+
+  pending_.reserve(n);
+  timers_.reserve(n);
+  next_timers_.reserve(n);
+  pred_update_.resize(n);
+  pred_wend_.resize(n);
+}
+
+bool RoundFastPath::take_entry_events() {
+  // The entry stratum must be exactly one START per process (the A4
+  // schedule Experiment::build lays down).  Anything else — a partially run
+  // simulator, a reintegration wake-up, extra app events — goes back into
+  // the scheduler untouched: the handles still hold their seqs, so pushing
+  // them back reconstructs the identical queue.
+  const auto n = static_cast<std::size_t>(n_);
+  std::vector<sim::EventHandle> handles;
+  handles.reserve(n);
+  while (!sim_.scheduler_->empty()) {
+    handles.push_back(sim_.scheduler_->pop());
+    ++sim_.queue_pops_;
+  }
+  bool ok = handles.size() == n;
+  seen_.assign(n, 0);
+  for (const sim::EventHandle h : handles) {
+    if (!ok) break;
+    const sim::Event& e = sim_.pool_[h];
+    const bool start = e.engine_kind == sim::EngineKind::kDeliver &&
+                       e.msg.kind == sim::Kind::kStart && e.tier == 0;
+    const bool fresh = e.to >= 0 && e.to < n_ &&
+                       seen_[static_cast<std::size_t>(e.to)] == 0;
+    ok = start && fresh;
+    if (fresh) seen_[static_cast<std::size_t>(e.to)] = 1;
+  }
+  if (!ok) {
+    for (const sim::EventHandle h : handles) sim_.push_handle(h);
+    stats_.handoff = "unexpected initial queue";
+    return false;
+  }
+  pending_.clear();
+  for (const sim::EventHandle h : handles) {
+    const sim::Event& e = sim_.pool_[h];
+    pending_.push_back({e.time, e.tier, e.seq, e.to, 0, Kind::kStart});
+    sim_.pool_.release(h);
+  }
+  return true;
+}
+
+void RoundFastPath::inject_pending(const char* reason) {
+  stats_.handoff = reason;
+  // A deliver/timer event keyed (time, tier, seq) is indistinguishable from
+  // the scheduler entry the engine would have held — same EventKey, same
+  // dispatch.  The run_exchange invariants keep every pending time at or
+  // after current_time_; the min() is defensive only.
+  double tmin = sim_.current_time_;
+  for (const PendingEvent& e : pending_) tmin = std::min(tmin, e.time);
+  sim_.current_time_ = tmin;
+  for (const PendingEvent& e : pending_) {
+    const sim::EventHandle h = sim_.pool_.acquire();
+    sim::Event& ev = sim_.pool_[h];
+    ev.time = e.time;
+    ev.tier = e.tier;
+    ev.seq = e.seq;
+    ev.to = e.pid;
+    ev.engine_kind = sim::EngineKind::kDeliver;
+    ev.link = 0xFFFFFFFFu;
+    ev.msg = e.kind == Kind::kStart ? sim::make_start() : sim::make_timer(e.tag);
+    sim_.push_handle(h);
+  }
+  pending_.clear();
+}
+
+// --- the per-exchange loop -------------------------------------------------
+
+void RoundFastPath::run(double horizon) {
+  const char* reason = ineligible_reason(sim_);
+  if (reason != nullptr) {
+    stats_.handoff = reason;
+    return;
+  }
+  init();
+  if (!take_entry_events()) return;
+  stats_.engaged = true;
+  while (run_exchange(horizon)) ++stats_.exchanges;
+}
+
+bool RoundFastPath::run_exchange(double horizon) {
+  const auto n = static_cast<std::size_t>(n_);
+
+  // --- phase 0: validate the stratum and predict the whole exchange ---
+  if (pending_.size() != n) {
+    inject_pending("pending stratum incomplete");
+    return false;
+  }
+  std::sort(pending_.begin(), pending_.end(),
+            [](const PendingEvent& a, const PendingEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.tier != b.tier) return a.tier < b.tier;
+              return a.seq < b.seq;
+            });
+  seen_.assign(n, 0);
+  for (const PendingEvent& e : pending_) {
+    const bool legal =
+        e.kind == Kind::kStart || (e.kind == Kind::kTimer && e.tag == kBcastTimer);
+    if (!legal || e.pid < 0 || e.pid >= n_ ||
+        seen_[static_cast<std::size_t>(e.pid)] != 0) {
+      inject_pending("pending stratum malformed");
+      return false;
+    }
+    seen_[static_cast<std::size_t>(e.pid)] = 1;
+  }
+  const double b_max = pending_.back().time;
+  if (b_max > horizon) {
+    inject_pending("horizon reached");
+    return false;
+  }
+  if (sim_.events_processed_ + n + total_deg_ + n > sim_.config_.max_events) {
+    // The engine must own the exact event at which max_events trips.
+    inject_pending("event budget");
+    return false;
+  }
+
+  // Exact update-instant prediction: window_end depends only on label_ /
+  // exchange_ / the static config, and CORR cannot change between now and
+  // the broadcast that arms the timer, so this IS the double
+  // do_set_timer_logical will compute in phase 1.
+  double u_min = std::numeric_limits<double>::infinity();
+  double u_max = -std::numeric_limits<double>::infinity();
+  for (std::int32_t pid = 0; pid < n_; ++pid) {
+    const auto i = static_cast<std::size_t>(pid);
+    FastPathContext ctx(*this, pid);
+    const double wend = wl_[i]->window_end(ctx);
+    const double physical = wend - sim_.nodes_[i].corr.current_target();
+    const double u = sim_.nodes_[i].clock->to_real(physical);
+    pred_wend_[i] = wend;
+    pred_update_[i] = u;
+    u_min = std::min(u_min, u);
+    u_max = std::max(u_max, u);
+  }
+  if (u_max > horizon) {
+    inject_pending("horizon reached");
+    return false;
+  }
+  // Strict phase separation: every delivery (<= send + delta + eps + the
+  // delay tolerance) must precede every update, or the engine's global
+  // order would interleave collection with adjustment.
+  if (!(b_max + sim_.config_.delta + sim_.config_.eps + kSeparationSlack <=
+        u_min)) {
+    inject_pending("phase separation violated");
+    return false;
+  }
+
+  // --- phase 1: broadcasts through the real process code ---
+  timers_.clear();
+  record_ = &timers_;
+  broadcasts_recorded_ = 0;
+  deliver_min_ = std::numeric_limits<double>::infinity();
+  deliver_max_ = -std::numeric_limits<double>::infinity();
+  for (const PendingEvent& e : pending_) {
+    ++sim_.events_processed_;
+    sim_.current_time_ = e.time;
+    sim_.observe_advance();
+    FastPathContext ctx(*this, e.pid);
+    if (e.kind == Kind::kStart) {
+      wl_[static_cast<std::size_t>(e.pid)]->on_start(ctx);
+    } else {
+      wl_[static_cast<std::size_t>(e.pid)]->on_timer(ctx, e.tag);
+    }
+  }
+  // Contract, not a dynamic condition: eligibility pinned the process type,
+  // so each broadcast event yields exactly one fanout and one update timer
+  // at its predicted instant.  A violation means the replay diverged — fail
+  // loudly rather than desynchronize silently.
+  if (broadcasts_recorded_ != n || timers_.size() != n) {
+    throw std::logic_error("RoundFastPath: broadcast phase contract violated");
+  }
+  for (const PendingTimer& t : timers_) {
+    if (t.tag != kUpdateTimer ||
+        t.time != pred_update_[static_cast<std::size_t>(t.pid)]) {
+      throw std::logic_error("RoundFastPath: update timer diverged from prediction");
+    }
+  }
+
+  // --- phase 2: batched arrival evaluation ---
+  sim_.events_processed_ += total_deg_;
+  stats_.deliveries += total_deg_;
+  do_batched_deliveries();
+
+  // Round-overlap guard, BEFORE updates consume seqs: if any process'
+  // NEXT broadcast could fire at or before this round's last update, the
+  // engine would interleave the two rounds' seq allocations and our
+  // phase-ordered replay could diverge on exact-time ties.  Bound the next
+  // broadcast from below without running the update: ADJ = base + delta -
+  // AV with AV inside the arena's [min, max] (the reduction is an order
+  // statistic / mean of a subset), and real elapsed >= physical gap /
+  // (1 + rho).  Conservative: a false alarm just hands the round's update
+  // stratum to the event engine.
+  {
+    for (std::int32_t pid = 0; pid < n_; ++pid) {
+      const auto i = static_cast<std::size_t>(pid);
+      const WelchLynchProcess& wl = *wl_[i];
+      FastPathContext ctx(*this, pid);
+      const double sub = wl.sub_period(ctx);
+      const double base =
+          wl.label_ + static_cast<double>(wl.exchange_) * sub;
+      const std::int32_t e2 = wl.exchange_ + 1;
+      const double next_base = e2 >= wl.config_.k_exchanges
+                                   ? wl.label_ + wl.config_.params.P
+                                   : wl.label_ + static_cast<double>(e2) * sub;
+      double arr_min = std::numeric_limits<double>::infinity();
+      for (const double v : wl.arena_.values()) arr_min = std::min(arr_min, v);
+      const double adj_hi = base + wl.config_.params.delta - arr_min;
+      const double physical_gap = (next_base - pred_wend_[i]) - adj_hi;
+      const double bound =
+          pred_update_[i] + physical_gap / (1.0 + wl.config_.params.rho);
+      if (!(physical_gap > 0.0) || !(bound > u_max + kSeparationSlack)) {
+        pending_.clear();
+        for (const PendingTimer& t : timers_) {
+          pending_.push_back({t.time, 1, t.seq, t.pid, t.tag, Kind::kTimer});
+        }
+        inject_pending("round overlap risk");
+        return false;
+      }
+    }
+  }
+
+  // --- phase 3: updates through the real process code ---
+  std::sort(timers_.begin(), timers_.end(),
+            [](const PendingTimer& a, const PendingTimer& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;  // all tier 1
+            });
+  next_timers_.clear();
+  record_ = &next_timers_;
+  for (const PendingTimer& t : timers_) {
+    ++sim_.events_processed_;
+    sim_.current_time_ = t.time;
+    sim_.observe_advance();
+    FastPathContext ctx(*this, t.pid);
+    wl_[static_cast<std::size_t>(t.pid)]->on_timer(ctx, t.tag);
+  }
+  for (const PendingTimer& t : next_timers_) {
+    if (t.tag != kBcastTimer) {
+      throw std::logic_error("RoundFastPath: update phase contract violated");
+    }
+  }
+  pending_.clear();
+  for (const PendingTimer& t : next_timers_) {
+    pending_.push_back({t.time, 1, t.seq, t.pid, t.tag, Kind::kTimer});
+  }
+  // A dropped next-broadcast timer (pathologically short P) leaves the
+  // stratum short; the next iteration's shape check hands off cleanly.
+  return true;
+}
+
+// --- the batched delivery kernel -------------------------------------------
+
+void RoundFastPath::do_batched_deliveries() {
+  if (mesh_) {
+    deliver_mesh(deliver_min_, deliver_max_);
+  } else {
+    deliver_generic(deliver_min_, deliver_max_);
+  }
+}
+
+void RoundFastPath::deliver_generic(double t0, double t1) {
+  // Sparse graphs: per receiver, gather its delivery times from the flat
+  // matrix, evaluate ARR = local-time(t) with the affine kernel (or exact
+  // per-point now() when a drift breakpoint splits the window), scatter
+  // into the arena slots.  Degrees are small; the strided gather is cheap.
+  for (std::int32_t r = 0; r < n_; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    const std::size_t begin = recv_offset_[i];
+    const std::size_t end = recv_offset_[i + 1];
+    const std::size_t m = end - begin;
+    if (m == 0) continue;
+    proc::ArrivalArena& arena = wl_[i]->arena_;
+    const double corr = sim_.nodes_[i].corr.current_target();
+    const clk::PhysicalClock& clock = *sim_.nodes_[i].clock;
+    gather_t_.resize(m);
+    gather_v_.resize(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      gather_t_[k] = times_[recv_flat_[begin + k]];
+    }
+    clk::PhysicalClock::AffineSpan span;
+    if (clock.affine_span(t0, t1, span)) {
+      proc::kernels::affine_arrival_eval(gather_v_.data(), gather_t_.data(), m,
+                                         span.real, span.clock, span.rate, corr);
+    } else {
+      for (std::size_t k = 0; k < m; ++k) {
+        gather_v_[k] = clock.now(gather_t_[k]) + corr;
+      }
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      arena.set_slot(static_cast<std::size_t>(recv_slot_[begin + k]),
+                     gather_v_[k]);
+    }
+  }
+}
+
+void RoundFastPath::deliver_mesh(double t0, double t1) {
+  // Full mesh: sender s's row is contiguous in recipient id order and the
+  // arena slot of sender s at every receiver is s, so the matrix transposes
+  // with a receiver-blocked sweep — for each block of receivers, walk the
+  // sender rows once (contiguous loads) and append slot s to each
+  // receiver's arena (each arena advances sequentially, one cache line per
+  // eight senders).  The inner expression is affine_arrival_eval's, kept
+  // inline so the compiler vectorizes across the receiver block.
+  constexpr std::size_t kBlock = 64;
+  const auto n = static_cast<std::size_t>(n_);
+  double a_c[kBlock];   // segment clock reading
+  double o_c[kBlock];   // segment real start
+  double r_c[kBlock];   // segment rate
+  double c_c[kBlock];   // CORR target
+  double* dst[kBlock];  // arena slot base
+  bool affine[kBlock];
+
+  for (std::size_t rb = 0; rb < n; rb += kBlock) {
+    const std::size_t blk = std::min(kBlock, n - rb);
+    bool all_affine = true;
+    for (std::size_t i = 0; i < blk; ++i) {
+      const std::size_t r = rb + i;
+      c_c[i] = sim_.nodes_[r].corr.current_target();
+      dst[i] = wl_[r]->arena_.slot_data();
+      clk::PhysicalClock::AffineSpan span;
+      affine[i] = sim_.nodes_[r].clock->affine_span(t0, t1, span);
+      a_c[i] = span.clock;
+      o_c[i] = span.real;
+      r_c[i] = span.rate;
+      all_affine = all_affine && affine[i];
+    }
+    if (all_affine) {
+      for (std::size_t s = 0; s < n; ++s) {
+        const double* trow = times_.data() + s * n + rb;
+        for (std::size_t i = 0; i < blk; ++i) {
+          dst[i][s] = (a_c[i] + (trow[i] - o_c[i]) * r_c[i]) + c_c[i];
+        }
+      }
+      continue;
+    }
+    // A drift breakpoint inside the window for some receiver in the block:
+    // evaluate those receivers per point through now() (bit-identical on
+    // any window) and the rest with the affine expression.
+    for (std::size_t i = 0; i < blk; ++i) {
+      const std::size_t r = rb + i;
+      if (affine[i]) {
+        for (std::size_t s = 0; s < n; ++s) {
+          const double t = times_[s * n + r];
+          dst[i][s] = (a_c[i] + (t - o_c[i]) * r_c[i]) + c_c[i];
+        }
+      } else {
+        const clk::PhysicalClock& clock = *sim_.nodes_[r].clock;
+        for (std::size_t s = 0; s < n; ++s) {
+          dst[i][s] = clock.now(times_[s * n + r]) + c_c[i];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace wlsync::core

@@ -1,0 +1,177 @@
+#pragma once
+// Round-synchronous fast path over the event engine.
+//
+// In the fault-free, NIC-free regime the Section 4.2 execution has a rigid
+// shape: every nonfaulty process broadcasts once per exchange, every message
+// lands within (delta - eps, delta + eps) of its send, and every process
+// updates once after its collection window — so the event queue holds the
+// same three strata (n broadcasts, sum-of-degree deliveries, n updates)
+// round after round.  The event engine pays a scheduler round-trip, a
+// virtual dispatch and a clock locate per delivery; at n = 4096 on the full
+// mesh that is ~16.7M heap-ordered events per round.
+//
+// RoundFastPath advances the system one whole exchange at a time instead:
+//
+//   phase 0  predict every process' update instant exactly (the window-end
+//            logical time through the process' own window_end(), converted
+//            by the same CORR/to_real chain set_timer uses — CORR cannot
+//            change during collection, so the prediction is the double the
+//            timer would carry) and verify strict phase separation:
+//            last broadcast + delta + eps < first update.  Any violation
+//            bails BEFORE mutating anything.
+//   phase 1  run the n broadcast events in (time, tier, seq) order through
+//            the REAL WelchLynchProcess::on_start/on_timer with a mirrored
+//            Context: delays are drawn per link in the engine's exact RNG
+//            order and recorded into a flat delivery matrix instead of
+//            being scheduled; seq numbers advance exactly as the engine's
+//            fanout blocks would.
+//   phase 2  evaluate all arrivals with one batched kernel per receiver:
+//            a single affine clock segment covering the window turns
+//            ARR = local-time(t) into (seg.clock + (t - seg.real) *
+//            seg.rate) + CORR — the exact expression of now() + corr, so
+//            the stored doubles are bit-identical (proc/reduce_kernels.h);
+//            windows split by a drift breakpoint fall back to per-point
+//            now().  No events, no observer work: arrivals allocate no
+//            seqs and the streaming observer's drains are idempotent, so
+//            draining in bigger steps at broadcast/update instants leaves
+//            identical observer state at every interaction point.
+//   phase 3  run the n update events in order through the real process
+//            code (CORR steps, annotations and trace callbacks fire at
+//            their exact instants); the next broadcast timers they set
+//            become the next iteration's pending stratum.
+//
+// The moment any precondition breaks — pending stratum malformed, horizon
+// or max_events budget reached, phase separation violated, or a next-round
+// broadcast that could overtake this round's last update — the pending
+// events are re-injected into the scheduler WITH THEIR RECORDED SEQS (a
+// deliver/timer event keyed (time, tier, seq) is indistinguishable from the
+// entry the engine would have held) and the event engine resumes.
+// Executions are pinned bit-identical to the pure event engine at
+// results_identical strictness by tests/fastpath_test.cpp.
+
+#include <cstdint>
+#include <vector>
+
+#include "proc/context.h"
+
+namespace wlsync::sim {
+class Simulator;
+}  // namespace wlsync::sim
+
+namespace wlsync::core {
+
+class WelchLynchProcess;
+class FastPathContext;
+
+/// Telemetry for one RoundFastPath::run.  NOT part of results_identical —
+/// like RunResult::wall_seconds it describes how the run was computed, not
+/// what it measured.
+struct FastPathStats {
+  bool engaged = false;          ///< entry validation passed; exchanges ran
+  std::int64_t exchanges = 0;    ///< exchanges advanced past the event queue
+  std::uint64_t deliveries = 0;  ///< arrivals evaluated by the batched kernel
+  const char* handoff = "";      ///< why control returned to the event engine
+};
+
+class RoundFastPath {
+ public:
+  explicit RoundFastPath(sim::Simulator& sim);
+  ~RoundFastPath();
+
+  RoundFastPath(const RoundFastPath&) = delete;
+  RoundFastPath& operator=(const RoundFastPath&) = delete;
+
+  /// Static eligibility: nullptr when the registered system can run on the
+  /// fast path, else a human-readable reason.  Requires: no NIC, no faulty
+  /// processes, every process a WelchLynchProcess with stagger = 0 and
+  /// arena ingestion, and no trace sink consuming per-message events.
+  /// Dynamic conditions (queue shape, phase separation, budgets) are
+  /// handled by run()'s bail protocol, not here.  The caller must also
+  /// guarantee retained history (analysis::RunSpec::retain_history): a
+  /// truncating observer could discard clock segments the batched kernel
+  /// still reads.
+  [[nodiscard]] static const char* ineligible_reason(sim::Simulator& sim);
+
+  /// Advances exchanges until a precondition breaks or `horizon` is
+  /// reached, then re-injects the pending stratum; the caller finishes with
+  /// Simulator::run_until(horizon) exactly as without a fast path.  Safe to
+  /// call on an ineligible system (records the reason and does nothing).
+  void run(double horizon);
+
+  [[nodiscard]] const FastPathStats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class FastPathContext;
+
+  enum class Kind : std::uint8_t { kStart, kTimer };
+
+  /// A queue entry held outside the scheduler: enough to replay it (pid +
+  /// payload) and to re-inject it losslessly (time, tier, seq).
+  struct PendingEvent {
+    double time = 0.0;
+    std::int32_t tier = 0;
+    std::uint64_t seq = 0;
+    std::int32_t pid = -1;
+    std::int32_t tag = 0;
+    Kind kind = Kind::kTimer;
+  };
+
+  struct PendingTimer {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    std::int32_t pid = -1;
+    std::int32_t tag = 0;
+  };
+
+  void init();
+  /// Drains the scheduler and validates the n-START entry stratum; pushes
+  /// everything back untouched (same handles, same seqs) on any surprise.
+  [[nodiscard]] bool take_entry_events();
+  /// One exchange; false = bailed (pending events re-injected).
+  [[nodiscard]] bool run_exchange(double horizon);
+  void inject_pending(const char* reason);
+  void do_batched_deliveries();
+  void deliver_mesh(double t0, double t1);
+  void deliver_generic(double t0, double t1);
+
+  // --- FastPathContext callbacks (mirrors of the SimContext entry points;
+  // see fastpath.cpp for the per-call equivalence argument) ---
+  void on_broadcast(std::int32_t from, std::int32_t tag, double value,
+                    std::int32_t aux);
+  void on_set_timer_logical(std::int32_t pid, double logical_time,
+                            std::int32_t tag);
+  void on_annotate(std::int32_t pid, const proc::Annotation& annotation);
+  [[nodiscard]] double ctx_physical_time(std::int32_t pid) const;
+  [[nodiscard]] double ctx_corr(std::int32_t pid) const;
+  void ctx_add_corr(std::int32_t pid, double adj, double duration);
+
+  sim::Simulator& sim_;
+  FastPathStats stats_;
+  std::int32_t n_ = 0;
+  bool mesh_ = false;  ///< implicit full mesh: sender id IS the dense slot
+  std::uint64_t total_deg_ = 0;          ///< deliveries per exchange
+  std::vector<WelchLynchProcess*> wl_;   ///< per-pid, downcast once
+  std::vector<std::size_t> row_offset_;  ///< sender -> first flat index
+  std::vector<double> times_;            ///< flat deliver-time matrix
+  // Generic-topology receiver view: entries k in [recv_offset_[r],
+  // recv_offset_[r+1]) give (flat position, dense arena slot) of every
+  // delivery receiver r collects, senders ascending.
+  std::vector<std::size_t> recv_offset_;
+  std::vector<std::size_t> recv_flat_;
+  std::vector<std::int32_t> recv_slot_;
+
+  std::vector<PendingEvent> pending_;    ///< current broadcast stratum
+  std::vector<PendingTimer> timers_;     ///< update timers set in phase 1
+  std::vector<PendingTimer> next_timers_;  ///< broadcast timers from phase 3
+  std::vector<PendingTimer>* record_ = nullptr;  ///< active set_timer target
+  std::vector<double> pred_update_;  ///< exact predicted update instants
+  std::vector<double> pred_wend_;    ///< window-end logical times (overlap guard)
+  std::vector<double> gather_t_;     ///< per-receiver gather scratch
+  std::vector<double> gather_v_;
+  std::vector<char> seen_;           ///< pid-uniqueness scratch
+  std::uint64_t broadcasts_recorded_ = 0;
+  double deliver_min_ = 0.0;
+  double deliver_max_ = 0.0;
+};
+
+}  // namespace wlsync::core

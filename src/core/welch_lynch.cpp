@@ -168,25 +168,60 @@ double WelchLynchProcess::update_arena(const proc::Context& ctx) {
              : arena_.mean_reduced(f);
 }
 
+bool WelchLynchProcess::window_starved(const proc::Context& ctx) const {
+  auto f = static_cast<std::size_t>(config_.params.f);
+  std::size_t sentinels = 0;
+  if (config_.ingest == proc::IngestMode::kLegacy) {
+    const std::span<const std::int32_t> peers = ctx.neighbors();
+    if (static_cast<std::int32_t>(peers.size()) != ctx.process_count()) {
+      f = std::min(f, (peers.size() - 1) / 3);  // update_legacy's local clamp
+    }
+    for (std::int32_t q : peers) {
+      sentinels += arr_[static_cast<std::size_t>(q)] == kNeverArrived ? 1 : 0;
+    }
+  } else {
+    if (static_cast<std::int32_t>(arena_.size()) != ctx.process_count()) {
+      f = std::min(f, (arena_.size() - 1) / 3);  // update_arena's local clamp
+    }
+    for (const double v : arena_.values()) {
+      sentinels += v == kNeverArrived ? 1 : 0;
+    }
+  }
+  // reduce() clips the f smallest entries; sentinels sort below every real
+  // arrival, so the f-th order statistic is a sentinel iff more than f
+  // slots hold one.
+  return sentinels > f;
+}
+
 void WelchLynchProcess::do_update(proc::Context& ctx) {
   const double base = label_ + static_cast<double>(exchange_) * sub_period(ctx);
-  // AV := mid(reduce(ARR)); ADJ := T + delta - AV; CORR := CORR + ADJ.
-  double av;
-  if (config_.ingest == proc::IngestMode::kLegacy) {
-    av = update_legacy(ctx);
-  } else {
-    ensure_arena(ctx);  // a process that heard nobody still reduces
-    av = update_arena(ctx);
+  // Starvation guard (ROADMAP "do first"): when NIC drops or serialization
+  // emptied the collection window, more than f slots still hold the
+  // kNeverArrived sentinel and reduce() would hand mid() a ~ -1e300
+  // operand, stepping CORR by ~ +0.5e300 in one round.  A process that
+  // heard too few peers this round learned nothing it can average — skip
+  // the UPDATE exactly like a missed round (no ADJ, no annotation) and
+  // rejoin the schedule at the next broadcast.
+  if (config_.ingest != proc::IngestMode::kLegacy) {
+    ensure_arena(ctx);  // a process that heard nobody still has a view
   }
-  const double adj = base + config_.params.delta - av;
-  last_av_ = av;
-  last_adj_ = adj;
-  if (config_.amortize > 0.0) {
-    ctx.add_corr_amortized(adj, config_.amortize);
+  if (window_starved(ctx)) {
+    ++starved_updates_;
   } else {
-    ctx.add_corr(adj);
+    // AV := mid(reduce(ARR)); ADJ := T + delta - AV; CORR := CORR + ADJ.
+    const double av = config_.ingest == proc::IngestMode::kLegacy
+                          ? update_legacy(ctx)
+                          : update_arena(ctx);
+    const double adj = base + config_.params.delta - av;
+    last_av_ = av;
+    last_adj_ = adj;
+    if (config_.amortize > 0.0) {
+      ctx.add_corr_amortized(adj, config_.amortize);
+    } else {
+      ctx.add_corr(adj);
+    }
+    ctx.annotate({proc::Annotation::Type::kUpdate, round_, adj, av});
   }
-  ctx.annotate({proc::Annotation::Type::kUpdate, round_, adj, av});
 
   ++exchange_;
   if (exchange_ >= config_.k_exchanges) {

@@ -42,6 +42,8 @@
 
 namespace wlsync::core {
 
+class RoundFastPath;
+
 /// Message tag used by round broadcasts ("the T^i messages").
 inline constexpr std::int32_t kTimeTag = 1;
 
@@ -93,8 +95,21 @@ class WelchLynchProcess final : public proc::Process {
   [[nodiscard]] double last_adjustment() const noexcept { return last_adj_; }
   [[nodiscard]] double last_average() const noexcept { return last_av_; }
   [[nodiscard]] const WelchLynchConfig& config() const noexcept { return config_; }
+  /// Collection windows that ended with too few live arrivals to reduce
+  /// safely and therefore skipped their UPDATE (the Section 9.3 starvation
+  /// guard — see do_update).
+  [[nodiscard]] std::uint64_t starved_updates() const noexcept {
+    return starved_updates_;
+  }
 
  private:
+  /// The round fast path (core/fastpath.h) replays this process' broadcast
+  /// and update steps through the regular on_start/on_timer entry points
+  /// but writes arrivals straight into the arena with its batched delivery
+  /// kernel, and reads label_/exchange_ to predict the phase structure of
+  /// the next exchange before committing to it.
+  friend class RoundFastPath;
+
   /// Scheduled broadcast instant for this process in the current exchange:
   /// base + id*stagger (Section 9.3); base without stagger.
   [[nodiscard]] double broadcast_label(const proc::Context& ctx) const;
@@ -108,6 +123,13 @@ class WelchLynchProcess final : public proc::Process {
   void do_update(proc::Context& ctx);
   /// Binds the arena to the neighbor view on the first Context-bearing step.
   void ensure_arena(const proc::Context& ctx);
+  /// Section 9.3 starvation guard: true when so many slots of the current
+  /// neighbor view still hold kNeverArrived that reduce() cannot clip them
+  /// all — the f-th order statistic itself would be the sentinel and the
+  /// "average" would be ~ -0.5e300.  Happens only when NIC drops or
+  /// serialization emptied the collection window (at most f honest slots
+  /// can legitimately be stale); the update is skipped like a missed round.
+  [[nodiscard]] bool window_starved(const proc::Context& ctx) const;
   [[nodiscard]] double update_legacy(const proc::Context& ctx);
   [[nodiscard]] double update_arena(const proc::Context& ctx);
 
@@ -121,6 +143,7 @@ class WelchLynchProcess final : public proc::Process {
   std::int32_t exchange_ = 0; ///< sub-exchange j in [0, k)
   double last_adj_ = 0.0;
   double last_av_ = 0.0;
+  std::uint64_t starved_updates_ = 0;
   bool started_ = false;
 };
 

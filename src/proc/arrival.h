@@ -119,6 +119,11 @@ class ArrivalArena {
   }
 
   void set_slot(std::size_t slot, double value) { values_[slot] = value; }
+  /// Mutable base of the dense slot array — the round fast path's batched
+  /// delivery kernel (core/fastpath.h) writes a whole collection window of
+  /// arrivals straight into the arena, one store per (sender, receiver)
+  /// pair, instead of calling record() per simulated delivery event.
+  [[nodiscard]] double* slot_data() noexcept { return values_.data(); }
   [[nodiscard]] double slot_value(std::size_t slot) const {
     return values_[slot];
   }
@@ -132,14 +137,18 @@ class ArrivalArena {
     return values_;
   }
 
-  /// == ms::fault_tolerant_midpoint(values(), f), allocation-free: two
-  /// nth_element passes over the reusable scratch find the f-th smallest
-  /// and f-th largest survivors.  Precondition: size() >= 2f + 1.
+  /// == ms::fault_tolerant_midpoint(values(), f), allocation-free.  Small
+  /// neighborhoods (<= 16) sort the scratch with a branchless network;
+  /// larger ones run the vectorized dual-rank select (proc/reduce_kernels.h)
+  /// to find the f-th smallest and f-th largest survivors in O(m).  Order
+  /// statistics are value-exact under every route, ties included.
+  /// Precondition: size() >= 2f + 1.
   [[nodiscard]] double midpoint_reduced(std::size_t f);
 
   /// == ms::fault_tolerant_mean(values(), f), allocation-free: sorts the
-  /// scratch in place and accumulates the survivors in the same ascending
-  /// order as the legacy reduce() slice.  Precondition: size() >= 2f + 1.
+  /// scratch (network for <= 16 elements, std::sort above) and accumulates
+  /// the survivors in the same ascending order as the legacy reduce()
+  /// slice.  Precondition: size() >= 2f + 1.
   [[nodiscard]] double mean_reduced(std::size_t f);
 
   // --- counters for the CI perf-smoke gate (bench_micro --smoke) ---
@@ -154,6 +163,7 @@ class ArrivalArena {
   NeighborIndex index_;
   std::vector<double> values_;   ///< dense, neighbor order
   std::vector<double> scratch_;  ///< reusable reduction workspace
+  std::vector<double> select_tmp_;  ///< dual_rank_select partition buffer
   bool bound_ = false;
   std::uint64_t rebinds_ = 0;
   std::uint64_t reductions_ = 0;

@@ -1,0 +1,166 @@
+#include "proc/reduce_kernels.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace wlsync::proc::kernels {
+
+namespace {
+
+/// One compare-exchange: after the call a[i] <= a[j].  std::min/std::max on
+/// doubles lower to minsd/maxsd (packed when the network's parallel layers
+/// unroll), with no data-dependent branch.
+inline void cmpx(double* a, std::size_t i, std::size_t j) {
+  const double lo = std::min(a[i], a[j]);
+  const double hi = std::max(a[i], a[j]);
+  a[i] = lo;
+  a[j] = hi;
+}
+
+// Optimal-depth networks for the sizes the sparse-topology reductions see
+// most (Knuth 5.3.4 / Batcher merge-exchange for the rest).  Each layer's
+// exchanges touch disjoint indices, so the compiler is free to execute
+// them as packed min/max.
+
+void sort4(double* a) {
+  cmpx(a, 0, 1); cmpx(a, 2, 3);
+  cmpx(a, 0, 2); cmpx(a, 1, 3);
+  cmpx(a, 1, 2);
+}
+
+void sort8(double* a) {
+  cmpx(a, 0, 1); cmpx(a, 2, 3); cmpx(a, 4, 5); cmpx(a, 6, 7);
+  cmpx(a, 0, 2); cmpx(a, 1, 3); cmpx(a, 4, 6); cmpx(a, 5, 7);
+  cmpx(a, 1, 2); cmpx(a, 5, 6); cmpx(a, 0, 4); cmpx(a, 3, 7);
+  cmpx(a, 1, 5); cmpx(a, 2, 6);
+  cmpx(a, 1, 4); cmpx(a, 3, 6);
+  cmpx(a, 2, 4); cmpx(a, 3, 5);
+  cmpx(a, 3, 4);
+}
+
+/// Batcher odd-even mergesort for arbitrary m (Knuth 5.3.4, iterative
+/// form).  The comparator schedule is data-independent — the i/j loop
+/// bounds depend only on m — so the body stays branchless min/max; the
+/// index guard simply omits comparators that fall off the end for
+/// non-power-of-two sizes (equivalent to padding with +inf sentinels).
+void batcher_sort(double* a, std::size_t m) {
+  std::size_t t = 1;
+  while (t < m) t *= 2;  // padded width
+  for (std::size_t p = 1; p < t; p *= 2) {
+    for (std::size_t k = p; k >= 1; k /= 2) {
+      for (std::size_t j = k % p; j + k < t; j += 2 * k) {
+        for (std::size_t i = 0; i < k; ++i) {
+          if ((i + j) / (2 * p) == (i + j + k) / (2 * p) && i + j + k < m) {
+            cmpx(a, i + j, i + j + k);
+          }
+        }
+      }
+    }
+  }
+}
+
+void insert_tail(double* a, std::size_t sorted, std::size_t m) {
+  for (std::size_t i = sorted; i < m; ++i) {
+    const double v = a[i];
+    std::size_t j = i;
+    while (j > 0 && a[j - 1] > v) {
+      a[j] = a[j - 1];
+      --j;
+    }
+    a[j] = v;
+  }
+}
+
+}  // namespace
+
+void small_sort_network(double* a, std::size_t m) {
+  if (m == 0 || m > kMaxNetworkSize) {
+    throw std::invalid_argument("small_sort_network: need 0 < m <= 16");
+  }
+  if (m > 8) { batcher_sort(a, m); return; }
+  if (m == 8) { sort8(a); return; }
+  if (m >= 4) { sort4(a); insert_tail(a, 4, m); return; }
+  insert_tail(a, 1, m);
+}
+
+std::pair<double, double> dual_rank_select(double* a, std::size_t m,
+                                           std::size_t lo, std::size_t hi,
+                                           std::vector<double>& tmp) {
+  if (m == 0 || lo > hi || hi >= m) {
+    throw std::invalid_argument("dual_rank_select: bad ranks");
+  }
+  if (tmp.size() < m) tmp.resize(m);
+
+  // Invariant: cur[l..r) holds exactly the elements of absolute ranks
+  // [l, r) (each three-way partition places blocks at their final rank
+  // positions), so within-window index == absolute rank throughout.
+  double* cur = a;
+  double* other = tmp.data();
+  std::size_t l = 0;
+  std::size_t r = m;
+  std::size_t want_lo = lo;
+  std::size_t want_hi = hi;
+
+  while (r - l > static_cast<std::size_t>(kMaxNetworkSize)) {
+    // Median-of-3 pivot over the window extremes and middle.
+    const double x = cur[l];
+    const double y = cur[l + (r - l) / 2];
+    const double z = cur[r - 1];
+    const double pivot = std::max(std::min(x, y), std::min(std::max(x, y), z));
+
+    // Predicated three-way partition into `other`: strictly-less elements
+    // pack forward from l, strictly-greater pack backward from r, equals
+    // are counted and materialized afterwards.  The loop body has no
+    // data-dependent branch — each store is unconditional and its cursor
+    // bumps only when the element belongs to that side, so a non-member
+    // write is junk that the side's next member overwrites.  The pivot is
+    // an element of the window, so the tie band holds at least one slot
+    // and the final junk write at back_w lands inside it.
+    std::size_t front = l;
+    std::size_t back_w = r - 1;
+    for (std::size_t i = l; i < r; ++i) {
+      const double v = cur[i];
+      const bool less = v < pivot;
+      const bool greater = v > pivot;
+      other[front] = v;
+      front += less ? 1 : 0;
+      other[back_w] = v;
+      back_w -= greater ? 1 : 0;
+    }
+    // [front, back) is the pivot's tie band.
+    const std::size_t back = back_w + 1;
+    for (std::size_t i = front; i < back; ++i) other[i] = pivot;
+    std::swap(cur, other);
+
+    if (want_hi < front) {
+      r = front;  // both ranks in the strict-less block
+    } else if (want_lo >= back) {
+      l = back;  // both ranks in the strict-greater block
+    } else if (want_lo >= front && want_hi < back) {
+      return {pivot, pivot};  // both ranks hit the tie band
+    } else {
+      // The ranks separated: finish each side independently.
+      double lo_val;
+      double hi_val;
+      if (want_lo < front) {
+        std::nth_element(cur + l, cur + want_lo, cur + front);
+        lo_val = cur[want_lo];
+      } else {
+        lo_val = pivot;  // want_lo in the tie band
+      }
+      if (want_hi >= back) {
+        std::nth_element(cur + back, cur + want_hi, cur + r);
+        hi_val = cur[want_hi];
+      } else {
+        hi_val = pivot;  // want_hi in the tie band
+      }
+      return {lo_val, hi_val};
+    }
+  }
+
+  small_sort_network(cur + l, r - l);
+  return {cur[want_lo], cur[want_hi]};
+}
+
+}  // namespace wlsync::proc::kernels

@@ -1,0 +1,77 @@
+#pragma once
+// Branchless, vectorization-friendly reduction kernels for the round hot
+// path (ISSUE 6).
+//
+// Every averaging algorithm reduces one small multiset per process per
+// round; on the paper's full mesh that multiset has n elements and the
+// reduction is the second-largest per-round cost after arrival ingestion.
+// The kernels here replace the branchy scalar paths with forms the
+// auto-vectorizer lowers to packed min/max and packed compares at the
+// baseline x86-64 target (SSE2 — CMakeLists deliberately sets no -march,
+// so executions stay bit-identical across hosts):
+//
+//   * small_sort_network: branchless sorting networks (Batcher-style
+//     compare-exchange as std::min/std::max pairs) for m <= 16, the degree
+//     range of every sparse-topology cell and the k-regular default;
+//   * dual_rank_select: an out-of-place two-rank quickselect whose
+//     partition pass is a predicated copy — no data-dependent branches in
+//     the loop body, so the compare and both cursor advances vectorize —
+//     replacing the in-place Hoare walk for large m;
+//   * affine_arrival_eval: the fast-path delivery kernel — evaluates a
+//     receiver's local time (one affine clock segment + constant CORR) over
+//     a batch of delivery instants with exactly the scalar expression
+//     PhysicalClock::now + Context::local_time compute, term for term.
+//
+// Value-exactness contract: order statistics are properties of the sorted
+// multiset, so ANY correct selection or sort yields the identical doubles
+// the scalar std::nth_element / std::sort paths yield, including under
+// heavy ties (duplicated arrival times); bench_micro --smoke gates this
+// against randomized and tie-heavy inputs, and tests/arrival_test.cpp pins
+// the reductions that consume these kernels against ms:: bit-for-bit.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace wlsync::proc::kernels {
+
+/// Largest m small_sort_network accepts (covers every sorting network we
+/// instantiate; larger multisets go through dual_rank_select / std::sort).
+inline constexpr std::size_t kMaxNetworkSize = 16;
+
+/// Sorts a[0..m) ascending with a branchless compare-exchange network.
+/// Precondition: 0 < m <= kMaxNetworkSize.  Produces exactly the sorted
+/// order std::sort produces (the value sequence of a sorted multiset is
+/// unique, ties included).
+void small_sort_network(double* a, std::size_t m);
+
+/// Places order statistics `lo` and `hi` (absolute ranks, lo <= hi < m)
+/// and returns {a-sorted[lo], a-sorted[hi]} for the multiset a[0..m).
+/// `tmp` is caller-owned scratch of capacity >= m (reused across calls so
+/// steady-state rounds allocate nothing).  a[] is clobbered.  Partitions
+/// are predicated copies a -> tmp -> a (branchless bodies, vectorizable);
+/// the doubles returned equal the std::nth_element results on the same
+/// input, value for value.
+[[nodiscard]] std::pair<double, double> dual_rank_select(double* a,
+                                                         std::size_t m,
+                                                         std::size_t lo,
+                                                         std::size_t hi,
+                                                         std::vector<double>& tmp);
+
+/// The round fast path's delivery kernel: for each i,
+///   dst[i] = (seg_clock + (t[i] - seg_real) * seg_rate) + corr
+/// — the exact expression (and FP evaluation order) of
+/// PhysicalClock::now(t) followed by Context::local_time()'s `+ CORR`, so
+/// the arrival doubles are bit-identical to the event engine's per-message
+/// path whenever every t[i] lies inside the given clock segment.  Plain
+/// mul+add at the baseline target (no FMA contraction: x86-64 SSE2 has no
+/// fused instruction), trivially vectorizable.
+inline void affine_arrival_eval(double* dst, const double* t, std::size_t m,
+                                double seg_real, double seg_clock,
+                                double seg_rate, double corr) {
+  for (std::size_t i = 0; i < m; ++i) {
+    dst[i] = (seg_clock + (t[i] - seg_real) * seg_rate) + corr;
+  }
+}
+
+}  // namespace wlsync::proc::kernels

@@ -31,6 +31,10 @@ class CorrLog {
     entries_.push_back({t, new_corr, new_corr, 0.0});
   }
 
+  /// Pre-sizes the entry vector for a run whose change count is known up
+  /// front (rounds * exchanges), so steady-state recording never reallocates.
+  void reserve(std::size_t entries) { entries_.reserve(entries + 1); }
+
   /// Linear slew from the current displayed value to new_corr over
   /// `duration` seconds starting at t.
   void ramp(double t, double new_corr, double duration) {

@@ -189,6 +189,10 @@ std::size_t Simulator::truncate_history_before(double t) {
   return removed;
 }
 
+void Simulator::reserve_history(std::size_t changes_per_process) {
+  for (Node& node : nodes_) node.corr.reserve(changes_per_process);
+}
+
 std::size_t Simulator::history_bytes() const noexcept {
   std::size_t bytes = 0;
   for (const Node& node : nodes_) {

@@ -41,6 +41,10 @@
 #include "sim/trace.h"
 #include "util/rng.h"
 
+namespace wlsync::core {
+class RoundFastPath;
+}  // namespace wlsync::core
+
 namespace wlsync::sim {
 
 struct SimConfig {
@@ -101,6 +105,12 @@ class Simulator {
   /// are unaffected; the caller (the streaming observer) guarantees no
   /// future query targets an earlier time.  Returns entries removed.
   std::size_t truncate_history_before(double t);
+
+  /// Pre-sizes every process' CORR log for a run whose adjustment count is
+  /// known up front (rounds * k_exchanges + slack): steady-state recording
+  /// then never reallocates, which keeps the fast path's round loop
+  /// allocation-free (bench_micro gates on this).
+  void reserve_history(std::size_t changes_per_process);
 
   /// Approximate heap footprint of all retained measurement history
   /// (CORR logs + clock segment lists, capacity-based).
@@ -168,6 +178,11 @@ class Simulator {
 
  private:
   friend class SimContext;
+  // The round fast path (core/fastpath.h) replays broadcast/update events
+  // through the real process code with a mirrored Context, so it needs the
+  // same internals SimContext touches plus the scheduler/pool for its
+  // inject-and-bail protocol.
+  friend class core::RoundFastPath;
 
   struct Nic {
     NicQueue pending;

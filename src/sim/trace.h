@@ -18,6 +18,16 @@ class TraceSink {
  public:
   virtual ~TraceSink() = default;
 
+  /// Whether this sink consumes the per-message callbacks (on_send,
+  /// on_receive, on_nic_drop).  The round fast path (core/fastpath.h) may
+  /// batch whole collection windows past the event queue ONLY when every
+  /// attached sink returns false — it still replays on_corr_change and
+  /// on_annotation at their exact instants, but per-message callbacks are
+  /// skipped wholesale.  Defaults to true (conservative: an unknown sink
+  /// keeps the event engine); aggregate sinks like analysis::RoundTrace
+  /// override to false.
+  [[nodiscard]] virtual bool wants_message_events() const { return true; }
+
   /// A message was accepted into the message buffer.
   virtual void on_send(std::int32_t /*from*/, std::int32_t /*to*/,
                        const Message& /*msg*/, double /*send_time*/,

@@ -1,0 +1,208 @@
+// Bit-identity pin for the round-synchronous fast path (ISSUE 6): every
+// eligible spec run with EngineMode::kFastpath must produce
+// results_identical output — bitwise-equal skews, CORR-derived series,
+// message counts, annotations — to the pure event engine, across WL
+// variants, topologies, delay models, and drift regimes on deterministic
+// seeds.  This is the same standard the batched fan-out and arena-ingest
+// refactors were held to: the engine may only move nanoseconds, never a
+// double.  The second half proves the dispatcher's fallback: specs the
+// fast path must not touch (faults, NIC, stagger, legacy ingest, bounded
+// history, non-WL algorithms) run the event engine under kAuto and throw
+// under kFastpath.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analysis/parallel_runner.h"
+
+namespace wlsync::analysis {
+namespace {
+
+RunResult run_engine(RunSpec spec, EngineMode engine) {
+  spec.engine = engine;
+  return run_experiment(spec);
+}
+
+/// The central pin: the fast path engages, advances exchanges past the
+/// event queue, and the measured physics are bitwise those of the event
+/// engine.  kAuto must select the fast path on its own for these specs.
+void expect_engines_identical(const RunSpec& spec, const char* what) {
+  const RunResult event = run_engine(spec, EngineMode::kEvent);
+  const RunResult fast = run_engine(spec, EngineMode::kFastpath);
+  const RunResult autod = run_engine(spec, EngineMode::kAuto);
+  EXPECT_FALSE(event.fastpath_engaged) << what;
+  EXPECT_TRUE(fast.fastpath_engaged) << what;
+  EXPECT_GT(fast.fastpath_exchanges, 0) << what;
+  EXPECT_TRUE(autod.fastpath_engaged) << what;
+  EXPECT_EQ(autod.fastpath_exchanges, fast.fastpath_exchanges) << what;
+  EXPECT_TRUE(results_identical(event, fast)) << what;
+  EXPECT_TRUE(results_identical(event, autod)) << what;
+}
+
+/// The fallback pin: kAuto silently runs the event engine (telemetry says
+/// the fast path never engaged), kFastpath refuses the spec loudly.
+void expect_event_fallback(const RunSpec& spec, const char* what) {
+  const RunResult event = run_engine(spec, EngineMode::kEvent);
+  const RunResult autod = run_engine(spec, EngineMode::kAuto);
+  EXPECT_FALSE(autod.fastpath_engaged) << what;
+  EXPECT_EQ(autod.fastpath_exchanges, 0) << what;
+  EXPECT_TRUE(results_identical(event, autod)) << what;
+  EXPECT_THROW((void)run_engine(spec, EngineMode::kFastpath),
+               std::invalid_argument)
+      << what;
+}
+
+RunSpec base_spec(std::int32_t n, std::int32_t f) {
+  RunSpec spec;
+  spec.params = core::make_params(n, f, 1e-5, 0.01, 1e-3, 10.0);
+  spec.rounds = 6;
+  spec.seed = 11;
+  return spec;
+}
+
+// ------------------------------------------------------- identity pins ---
+
+TEST(FastpathPin, WelchLynchFullMesh) {
+  expect_engines_identical(base_spec(13, 4), "plain WL, full mesh");
+}
+
+TEST(FastpathPin, WelchLynchVariants) {
+  RunSpec mean = base_spec(13, 4);
+  mean.averaging = core::Averaging::kReducedMean;
+  expect_engines_identical(mean, "reduced-mean averaging");
+
+  RunSpec k2 = base_spec(10, 3);
+  k2.k_exchanges = 2;
+  expect_engines_identical(k2, "k = 2 exchanges");
+
+  RunSpec amortized = base_spec(10, 3);
+  amortized.amortize = 1.5;
+  expect_engines_identical(amortized, "amortized corrections");
+}
+
+TEST(FastpathPin, SparseTopologies) {
+  RunSpec cliques = base_spec(24, 7);
+  cliques.topology.kind = net::TopologyKind::kRingOfCliques;
+  cliques.topology.clique_size = 6;
+  expect_engines_identical(cliques, "WL on ring of cliques");
+
+  RunSpec kreg = base_spec(24, 7);
+  kreg.topology.kind = net::TopologyKind::kKRegular;
+  kreg.topology.degree = 8;
+  expect_engines_identical(kreg, "WL on k-regular expander");
+}
+
+TEST(FastpathPin, DriftRegimes) {
+  for (const DriftKind drift : {DriftKind::kNone, DriftKind::kExtremal,
+                                DriftKind::kPiecewise, DriftKind::kRandomWalk}) {
+    RunSpec spec = base_spec(13, 4);
+    spec.drift = drift;
+    expect_engines_identical(spec, "drift regime sweep");
+  }
+}
+
+TEST(FastpathPin, DelayModels) {
+  for (const DelayKind delay : {DelayKind::kUniform, DelayKind::kFast,
+                                DelayKind::kSlow, DelayKind::kSplit,
+                                DelayKind::kPerLink}) {
+    RunSpec spec = base_spec(13, 4);
+    spec.delay = delay;
+    expect_engines_identical(spec, "delay model sweep");
+  }
+}
+
+TEST(FastpathPin, MeasurementAndEngineKnobs) {
+  // Streaming observation attends every round boundary the fast path
+  // replays; the gradient walk reads the clock histories it preserved.
+  RunSpec observed = base_spec(13, 4);
+  observed.observe = true;
+  expect_engines_identical(observed, "streaming observer attached");
+
+  RunSpec gradient = base_spec(13, 4);
+  gradient.measure_gradient = true;
+  expect_engines_identical(gradient, "gradient measurement");
+
+  // Engine knobs that only matter when events flow: the fast path hands
+  // the same queue back regardless.
+  RunSpec unbatched = base_spec(13, 4);
+  unbatched.batch_fanout = false;
+  expect_engines_identical(unbatched, "per-recipient fan-out");
+
+  RunSpec legacy_heap = base_spec(13, 4);
+  legacy_heap.scheduler = engine::SchedulerKind::kLegacyHeap;
+  expect_engines_identical(legacy_heap, "legacy-heap scheduler");
+}
+
+TEST(FastpathPin, DeterministicUnderParallelRunner) {
+  RunSpec base = base_spec(16, 5);
+  base.engine = EngineMode::kFastpath;
+  const std::vector<RunSpec> specs = seed_sweep(base, 900, 6);
+  const std::vector<RunResult> serial = ParallelRunner(1).run(specs);
+  const std::vector<RunResult> sharded = ParallelRunner(4).run(specs);
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(results_identical(serial[i], sharded[i])) << "trial " << i;
+    EXPECT_TRUE(serial[i].fastpath_engaged) << "trial " << i;
+  }
+}
+
+// ----------------------------------------------------- fallback triggers ---
+
+TEST(FastpathFallback, FaultsForceTheEventEngine) {
+  RunSpec faulty = base_spec(13, 4);
+  faulty.fault = FaultKind::kTwoFaced;
+  faulty.fault_count = 2;
+  expect_event_fallback(faulty, "two-faced faults");
+
+  RunSpec mixed = base_spec(16, 5);
+  mixed.fault_mix = {{FaultKind::kSilent, 1}, {FaultKind::kSpam, 1}};
+  expect_event_fallback(mixed, "heterogeneous fault mix");
+}
+
+TEST(FastpathFallback, NicForcesTheEventEngine) {
+  RunSpec nic = base_spec(16, 5);
+  nic.nic = sim::NicConfig{/*capacity=*/4, /*service_time=*/50e-6};
+  expect_event_fallback(nic, "NIC ingress model");
+}
+
+TEST(FastpathFallback, StaggerForcesTheEventEngine) {
+  RunSpec staggered = base_spec(10, 3);
+  staggered.stagger = 0.004;
+  expect_event_fallback(staggered, "staggered broadcasts");
+}
+
+TEST(FastpathFallback, LegacyIngestForcesTheEventEngine) {
+  RunSpec legacy = base_spec(13, 4);
+  legacy.ingest = proc::IngestMode::kLegacy;
+  expect_event_fallback(legacy, "legacy sparse ingestion");
+}
+
+TEST(FastpathFallback, BoundedHistoryForcesTheEventEngine) {
+  // The batched delivery kernel reads clock segments for the whole
+  // collection window; a truncating observer could discard them mid-round.
+  RunSpec bounded = base_spec(13, 4);
+  bounded.observe = true;
+  bounded.retain_history = false;
+  expect_event_fallback(bounded, "bounded-memory observation");
+}
+
+TEST(FastpathFallback, OtherAlgorithmsForceTheEventEngine) {
+  for (const Algo algo : {Algo::kLM, Algo::kST, Algo::kMS, Algo::kPlainMean,
+                          Algo::kHSSD}) {
+    RunSpec spec = base_spec(13, 4);
+    spec.algo = algo;
+    spec.ingest = algo == Algo::kHSSD ? proc::IngestMode::kLegacy
+                                      : proc::IngestMode::kArena;
+    const RunResult event = run_engine(spec, EngineMode::kEvent);
+    const RunResult autod = run_engine(spec, EngineMode::kAuto);
+    EXPECT_FALSE(autod.fastpath_engaged) << "algo " << int(algo);
+    EXPECT_TRUE(results_identical(event, autod)) << "algo " << int(algo);
+    EXPECT_THROW((void)run_engine(spec, EngineMode::kFastpath),
+                 std::invalid_argument)
+        << "algo " << int(algo);
+  }
+}
+
+}  // namespace
+}  // namespace wlsync::analysis

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <string>
 #include <vector>
@@ -215,7 +216,10 @@ TEST(NicOverflow, DropPolicyBiasUnderTwoFacedAttack) {
   // capacity 4 the adversary strike volume collides with the burst
   // backlog: Section 9.3's overwrite-oldest policy keeps the system
   // convergent while tail drop (kDropNewest) loses agreement outright —
-  // the skew delta is ~5 s vs ~2 ms (README "Drop-policy bias").
+  // the skew delta is ~5 s vs ~2 ms (README "Drop-policy bias").  This is
+  // genuine drop-policy physics, not the starved-window artifact: the
+  // windows never empty (starved_updates stays 0 under both policies), the
+  // adversary faces and surviving honest data simply differ.
   RunSpec spec;
   spec.params = core::make_params(24, 2, 1e-5, 0.01, 1e-3, 10.0);
   spec.fault = FaultKind::kTwoFaced;
@@ -235,11 +239,64 @@ TEST(NicOverflow, DropPolicyBiasUnderTwoFacedAttack) {
   EXPECT_GT(oldest.nic.dropped, 0u);
   EXPECT_GT(newest.nic.dropped, 0u);
   EXPECT_FALSE(results_identical(oldest, newest));
+  EXPECT_EQ(oldest.starved_updates, 0);
+  EXPECT_EQ(newest.starved_updates, 0);
   EXPECT_FALSE(oldest.diverged);
   EXPECT_TRUE(newest.diverged);
   EXPECT_GT(newest.gamma_measured, 100.0 * oldest.gamma_measured);
   RecordProperty("skew_delta_newest_minus_oldest",
                  std::to_string(newest.gamma_measured - oldest.gamma_measured));
+}
+
+TEST(NicOverflow, StarvedWindowsSkipUpdatesAcrossAlgosAndConfigs) {
+  // The starvation guard, pinned across algorithms and NIC configurations:
+  // when drops / serialization empty a collection window, the UPDATE is
+  // skipped like a missed round — never reduced from sentinel ARR values.
+  // Welch-Lynch (both averagings) records the skips in starved_updates;
+  // the baselines clamp never-arrived entries internally.  Either way the
+  // observable pin is the same: every CORR step stays at adjustment scale
+  // (~delta + drift), nothing within orders of magnitude of the ~1e300
+  // never-arrived sentinel, and reruns are bit-identical.
+  struct AlgoCase {
+    Algo algo;
+    core::Averaging averaging;
+  };
+  const AlgoCase algos[] = {
+      {Algo::kWelchLynch, core::Averaging::kMidpoint},
+      {Algo::kWelchLynch, core::Averaging::kReducedMean},
+      {Algo::kLM, core::Averaging::kMidpoint},
+      {Algo::kMS, core::Averaging::kMidpoint},
+      {Algo::kPlainMean, core::Averaging::kMidpoint},
+  };
+  const sim::NicConfig nics[] = {
+      {/*capacity=*/2, /*service_time=*/50e-6},
+      {/*capacity=*/2, /*service_time=*/50e-6, sim::NicDropPolicy::kDropNewest},
+      {/*capacity=*/4, /*service_time=*/2e-3},
+  };
+  for (const AlgoCase& a : algos) {
+    for (const sim::NicConfig& nic : nics) {
+      RunSpec spec = clustered_spec(16, nic.capacity);
+      spec.algo = a.algo;
+      spec.averaging = a.averaging;
+      spec.rounds = 5;
+      spec.nic = nic;
+      const RunResult result = run_experiment(spec);
+      const std::string label = "algo " + std::to_string(int(a.algo)) +
+                                " avg " + std::to_string(int(a.averaging)) +
+                                " cap " + std::to_string(nic.capacity);
+      EXPECT_GT(result.nic.dropped, 0u) << label;
+      EXPECT_LT(result.max_abs_adj, 1.0) << label;
+      EXPECT_LT(std::abs(result.final_skew), 1e3) << label;
+      EXPECT_TRUE(results_identical(result, run_experiment(spec))) << label;
+      if (a.algo == Algo::kWelchLynch) {
+        // Capacity 2 against a 16-wide burst empties every window: the
+        // guard must fire rather than let mid() see the sentinels.
+        EXPECT_GT(result.starved_updates, 0) << label;
+      } else {
+        EXPECT_EQ(result.starved_updates, 0) << label;  // WL-only counter
+      }
+    }
+  }
 }
 
 TEST(NicOverflow, DropPolicyInvariantUnderJointPlacementOnCliques) {

@@ -319,6 +319,9 @@ TEST(FanoutDeterminism, BatchingShrinksQueuePressure) {
   spec.params = core::make_params(31, 10, 1e-5, 0.01, 1e-3, 10.0);
   spec.rounds = 4;
   spec.delay = DelayKind::kSlow;  // clustered deliveries: the worst case
+  // Queue-pressure telemetry only exists when the event engine runs the
+  // rounds; the fast path would advance both configurations past the queue.
+  spec.engine = analysis::EngineMode::kEvent;
   RunSpec reference = spec;
   reference.batch_fanout = false;
   analysis::Experiment batched_run(spec);
