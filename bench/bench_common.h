@@ -60,6 +60,7 @@ inline const char* delay_name(analysis::DelayKind kind) {
     case analysis::DelayKind::kSlow: return "all-slow";
     case analysis::DelayKind::kPerLink: return "per-link";
     case analysis::DelayKind::kSplit: return "split";
+    case analysis::DelayKind::kExpTrunc: return "exp-trunc";
   }
   return "?";
 }
@@ -140,7 +141,8 @@ inline analysis::DelayKind parse_delay(const std::string& name) {
        {"fast", analysis::DelayKind::kFast},
        {"slow", analysis::DelayKind::kSlow},
        {"perlink", analysis::DelayKind::kPerLink},
-       {"split", analysis::DelayKind::kSplit}},
+       {"split", analysis::DelayKind::kSplit},
+       {"exptrunc", analysis::DelayKind::kExpTrunc}},
       "delay");
 }
 
@@ -257,17 +259,21 @@ inline const char* observe_name(const ObserveMode& mode) {
   return mode.retain ? "on" : "bounded";
 }
 
-/// The execution-engine axis (core/fastpath.h): "event" = the event engine
-/// only (the measured reference), "fastpath" = require the round fast path
-/// (the run aborts if the cell is ineligible — use it to keep a sweep
-/// honest), "auto" = fast path exactly where the spec qualifies.  All three
-/// are bit-identical at results_identical strictness; the axis exists so
-/// the wall_s / rounds-per-sec columns can show the speedup per cell.
+/// The execution-engine axis (core/fastpath.h, engine/pdes.h): "event" =
+/// the event engine only (the measured reference), "fastpath" = require the
+/// round fast path (the run aborts if the cell is ineligible — use it to
+/// keep a sweep honest), "pdes" = require the sharded conservative engine
+/// (pair with --workers; aborts on ineligible cells the same way), "auto" =
+/// fast path where the spec qualifies, then PDES where the spec opted in
+/// with workers >= 2.  All four are bit-identical at results_identical
+/// strictness; the axis exists so the wall_s / rounds-per-sec columns can
+/// show the speedup per cell.
 inline analysis::EngineMode parse_engine(const std::string& name) {
   return parse_name<analysis::EngineMode>(
       name,
       {{"event", analysis::EngineMode::kEvent},
        {"fastpath", analysis::EngineMode::kFastpath},
+       {"pdes", analysis::EngineMode::kPdes},
        {"auto", analysis::EngineMode::kAuto}},
       "engine");
 }
@@ -276,6 +282,7 @@ inline const char* engine_name(analysis::EngineMode engine) {
   switch (engine) {
     case analysis::EngineMode::kEvent: return "event";
     case analysis::EngineMode::kFastpath: return "fastpath";
+    case analysis::EngineMode::kPdes: return "pdes";
     case analysis::EngineMode::kAuto: return "auto";
   }
   return "?";

@@ -531,11 +531,13 @@ struct SmokeRow {
   bool pass = true;
 };
 
-/// Measured 2026-07 on the batched engine: ~1323 scheduler ops/round for
-/// the n = 128 clustered-delay mesh (timers + one entry per broadcast; the
-/// per-recipient engine needs ~33k).  ~10% headroom; a real regression
-/// re-queues per recipient and lands ~25x over this.
-constexpr double kQueueOpsPerRoundLimit = 1460.0;
+/// Measured 2026-07 on the batched engine and re-confirmed 2026-08 after
+/// the per-lane scheduler refactor (engine/pdes.h): ~1323 scheduler
+/// ops/round for the n = 128 clustered-delay mesh (timers + one entry per
+/// broadcast; the per-recipient engine needs ~33k).  Ratcheted from the
+/// original 1460 to ~5% headroom; a real regression re-queues per
+/// recipient and lands ~25x over this.
+constexpr double kQueueOpsPerRoundLimit = 1390.0;
 
 /// Heap allocations per steady-state ingestion round (n = 512 full mesh,
 /// 10 measured rounds after warm-up).  The arena path is pinned at ZERO;

@@ -36,13 +36,21 @@
 //   --ingest    arena (dense neighbor-slot ARR arena), legacy (the seed's
 //               id-indexed path) — results are bit-identical, only wall_s
 //               moves; the axis exists for perf A/Bs
-//   --engine    execution-engine axis (core/fastpath.h): event (the event
-//               engine, the measured reference), fastpath (require the
-//               round fast path; aborts on ineligible cells), auto (fast
-//               path where the cell qualifies).  Bit-identical like
-//               --ingest; the wall_s / rounds_per_sec columns show the
-//               speedup per cell and the fastpath column records whether
-//               the fast path actually engaged.
+//   --engine    execution-engine axis (core/fastpath.h, engine/pdes.h):
+//               event (the event engine, the measured reference), fastpath
+//               (require the round fast path; aborts on ineligible cells),
+//               pdes (require the sharded conservative engine; pair with
+//               --workers), auto (fast path where the cell qualifies, then
+//               PDES where the cell opted in with workers >= 2).
+//               Bit-identical like --ingest; the wall_s / rounds_per_sec
+//               columns show the speedup per cell, the fastpath column
+//               records whether the fast path engaged, and pdes_epochs /
+//               pdes_stalls record the conservative protocol's windows and
+//               empty windows per trial.
+//   --workers   PDES shard/worker-count axis (comma list; 0 = serial, the
+//               default).  Crossed with --engine=pdes it maps wall-clock
+//               vs shard count; under --engine=auto a nonzero value is the
+//               opt-in that lets cells the fast path refuses shard.
 //   --observe   measurement-engine axis: off (post-hoc grids), on
 //               (streaming in-run observation), bounded (streaming +
 //               history truncation; analysis/observe.h).  on == bounded
@@ -59,10 +67,18 @@
 //               chunks).  Scheduling only; rows are bit-identical.
 //   --smoke     tiny fixed grid for CI driver smoke tests
 //
+// --pdes-json=PATH bypasses the grid entirely and emits the PDES
+// perf-trajectory artifact (BENCH_pdes.json, the engine/pdes.h acceptance
+// workload): the deg-16 k-regular expander per (n, workers) cell, serial
+// event engine as the measured reference, with per-cell epochs/stalls and
+// per-n speedups.  Timing rows are telemetry, not gates (bit-identity is
+// gated by ctest's pdes_test).
+//
 // Every row also carries wall_s, the trial's wall-clock seconds as measured
 // inside run_experiment (per-trial telemetry from the streaming runner),
 // and hist_peak_mb, the peak retained clock/CORR history on observe rows.
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -89,13 +105,98 @@ using bench::split_list;
 
 void write_csv_header(std::ostream& out) {
   out << "spec,n,f,algo,delay,drift,fault,faults,topology,placement,ingest,"
-         "engine,"
+         "engine,workers,"
          "nic,nic_drop,stagger,observe,rounds,seed,completed_rounds,messages,"
          "gamma_bound,"
          "gamma_measured,adj_bound,max_abs_adj,final_skew,validity_holds,"
          "diverged,gradient_slope,gradient_diameter,gradient_far_skew,"
          "nic_dropped,nic_drop_rate,nic_peak_queue,nic_max_burst,"
-         "hist_peak_mb,fastpath,wall_s,rounds_per_sec\n";
+         "hist_peak_mb,fastpath,pdes_epochs,pdes_stalls,wall_s,"
+         "rounds_per_sec\n";
+}
+
+// --pdes-json: the PDES perf-trajectory artifact (BENCH_pdes.json).  The
+// sparse deg-16 expander is the workload the sharded engine targets (the
+// full mesh cuts O(n^2) edges; an expander cuts O(degree * n / k)); the
+// serial event engine is the measured reference at every n.  Wall-clock
+// numbers are informational on shared runners — the interesting trajectory
+// on a single-core host is the queue-depth win (k shallow heaps vs one
+// deep one), which multiplies with real cores.
+int run_pdes_json(const util::Flags& flags) {
+  const std::string out_path =
+      flags.get_string("pdes-json", "BENCH_pdes.json");
+  const auto max_n = static_cast<std::int32_t>(flags.get_int("max-n", 2048));
+
+  struct Cell {
+    std::int32_t n;
+    std::int32_t workers;  // 0 = serial event engine
+    std::int32_t rounds;
+    std::int64_t epochs;
+    std::int64_t stalls;
+    double wall_s;
+  };
+  std::vector<Cell> cells;
+  for (std::int32_t n = 512; n <= max_n; n *= 2) {
+    const std::int32_t rounds = n >= 2048 ? 6 : 10;
+    for (const std::int32_t workers : {0, 2, 4, 8}) {
+      analysis::RunSpec spec;
+      spec.params = core::make_params(n, (n - 1) / 3, 1e-5, 0.01, 1e-3, 10.0);
+      spec.rounds = rounds;
+      spec.seed = 9;
+      spec.topology.kind = net::TopologyKind::kKRegular;
+      spec.topology.degree = 16;
+      spec.engine = workers == 0 ? analysis::EngineMode::kEvent
+                                 : analysis::EngineMode::kPdes;
+      spec.pdes_workers = workers;
+      const auto start = std::chrono::steady_clock::now();
+      const analysis::RunResult result = analysis::run_experiment(spec);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      cells.push_back({n, workers, result.completed_rounds, result.pdes_epochs,
+                       result.pdes_stalls, wall});
+      std::cerr << "  n=" << n << " workers=" << workers << " "
+                << result.completed_rounds << " rounds in " << wall << " s\n";
+    }
+  }
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "bench_sweep: cannot open --pdes-json=" << out_path << "\n";
+    return 1;
+  }
+  const auto rate = [](const Cell& c) {
+    return c.wall_s > 0.0 ? static_cast<double>(c.rounds) / c.wall_s : 0.0;
+  };
+  json << "{\n  \"workload\": \"k-regular/16 expander, P=10, seed 9\",\n"
+       << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    json << "    {\"n\": " << c.n << ", \"engine\": \""
+         << (c.workers == 0 ? "event" : "pdes")
+         << "\", \"workers\": " << c.workers << ", \"rounds\": " << c.rounds
+         << ", \"pdes_epochs\": " << c.epochs
+         << ", \"pdes_stalls\": " << c.stalls << ", \"wall_s\": " << c.wall_s
+         << ", \"rounds_per_sec\": " << rate(c)
+         << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"speedup\": {";
+  bool first = true;
+  double event_rate = 0.0;
+  for (const Cell& c : cells) {
+    if (c.workers == 0) {
+      event_rate = rate(c);
+      continue;
+    }
+    if (event_rate <= 0.0) continue;
+    json << (first ? "" : ", ") << "\"n" << c.n << "_w" << c.workers
+         << "\": " << rate(c) / event_rate;
+    first = false;
+  }
+  json << "}\n}\n";
+  std::cout << "bench_sweep --pdes-json: wrote " << out_path << "\n";
+  return 0;
 }
 
 }  // namespace
@@ -104,6 +205,9 @@ void write_csv_header(std::ostream& out) {
 int main(int argc, char** argv) {
   using namespace wlsync;
   const util::Flags flags(argc, argv);
+  if (!flags.get_string("pdes-json", "").empty()) {
+    return run_pdes_json(flags);
+  }
   const bool smoke = flags.get_bool("smoke", false);
 
   const std::vector<std::int64_t> ns =
@@ -132,6 +236,8 @@ int main(int argc, char** argv) {
       split_list(flags.get_string("ingest", "arena"));
   const std::vector<std::string> engines =
       split_list(flags.get_string("engine", smoke ? "event,auto" : "auto"));
+  const std::vector<std::int64_t> workers_axis =
+      split_ints(flags.get_string("workers", "0"));
   const std::vector<std::string> observes =
       split_list(flags.get_string("observe", smoke ? "off,bounded" : "off"));
   const bool adaptive =
@@ -166,6 +272,7 @@ int main(int argc, char** argv) {
                   for (const std::string& observe : observes) {
                   for (const std::string& ingest : ingests) {
                   for (const std::string& engine : engines) {
+                  for (const std::int64_t workers : workers_axis) {
                   analysis::RunSpec base;
                   base.params = core::make_params(
                       static_cast<std::int32_t>(n), static_cast<std::int32_t>(f),
@@ -195,11 +302,16 @@ int main(int argc, char** argv) {
                   base.retain_history = omode.retain;
                   base.ingest = bench::parse_ingest(ingest);
                   base.engine = bench::parse_engine(engine);
+                  base.pdes_workers = static_cast<std::int32_t>(
+                      base.engine == analysis::EngineMode::kPdes
+                          ? std::max<std::int64_t>(workers, 1)
+                          : workers);
                   base.measure_gradient = gradient;
                   base.rounds = rounds;
                   const std::vector<analysis::RunSpec> seeded =
                       analysis::seed_sweep(base, seed0, trials);
                   specs.insert(specs.end(), seeded.begin(), seeded.end());
+                  }
                   }
                   }
                   }
@@ -242,7 +354,8 @@ int main(int argc, char** argv) {
         << net::topology_name(s.topology.kind) << ','
         << proc::placement_name(s.placement) << ','
         << proc::ingest_name(s.ingest) << ','
-        << bench::engine_name(s.engine) << ',' << bench::nic_name(s.nic) << ','
+        << bench::engine_name(s.engine) << ',' << s.pdes_workers << ','
+        << bench::nic_name(s.nic) << ','
         << (s.nic.has_value() ? bench::nic_drop_name(s.nic->drop) : "-") << ','
         << s.stagger << ',' << bench::observe_name(omode) << ','
         << s.rounds << ','
@@ -255,7 +368,8 @@ int main(int argc, char** argv) {
         << r.nic.drop_rate() << ',' << r.nic.peak_queue << ','
         << r.nic.max_burst << ','
         << static_cast<double>(r.observe.peak_history_bytes) / (1024.0 * 1024.0)
-        << ',' << (r.fastpath_engaged ? 1 : 0) << ',' << r.wall_seconds << ','
+        << ',' << (r.fastpath_engaged ? 1 : 0) << ',' << r.pdes_epochs << ','
+        << r.pdes_stalls << ',' << r.wall_seconds << ','
         << (r.wall_seconds > 0.0 ? r.completed_rounds / r.wall_seconds : 0.0)
         << '\n';
     if (++done % 50 == 0) {

@@ -26,11 +26,15 @@
 // the hist-MB column shows the retained-history high-water mark the
 // bounded mode eliminates.
 //
-// --engine=event|fastpath|auto A/Bs the round fast path (core/fastpath.h)
-// the same way --batch A/Bs the fan-out engine: results are bit-identical,
-// only wall-s/round and rounds/sec move.  The fp column records whether the
-// fast path engaged (fault-free arena cells: yes; NIC/observe-bounded
-// cells: event engine).  --engine=fastpath aborts on ineligible cells.
+// --engine=event|fastpath|pdes|auto A/Bs the execution engines
+// (core/fastpath.h, engine/pdes.h) the same way --batch A/Bs the fan-out
+// engine: results are bit-identical, only wall-s/round and rounds/sec
+// move.  The fp column records whether the fast path engaged (fault-free
+// arena cells: yes; NIC/observe-bounded cells: event engine); the epochs
+// and stalls columns record the conservative PDES protocol's lookahead
+// windows and empty windows.  --engine=fastpath / --engine=pdes abort on
+// ineligible cells; --workers=K (default 8 for pdes, else 0) sets the
+// shard count the topology is cut into (net/partition.h).
 
 #include <chrono>
 #include <cstdint>
@@ -61,7 +65,7 @@ Row run_case(const std::string& label, std::int32_t n,
              std::int32_t rounds,
              const std::optional<sim::NicConfig>& nic,
              proc::IngestMode ingest, const bench::ObserveMode& observe,
-             analysis::EngineMode engine) {
+             analysis::EngineMode engine, std::int32_t workers) {
   analysis::RunSpec spec;
   const std::int32_t f = (n - 1) / 3;
   spec.params = core::make_params(n, f, 1e-5, 0.01, 1e-3, 10.0);
@@ -74,6 +78,7 @@ Row run_case(const std::string& label, std::int32_t n,
   spec.observe = observe.observe;
   spec.retain_history = observe.retain;
   spec.engine = engine;
+  spec.pdes_workers = workers;
 
   Row row;
   row.label = label;
@@ -113,6 +118,8 @@ int main(int argc, char** argv) {
       bench::parse_observe(flags.get_string("observe", "off"));
   const analysis::EngineMode engine =
       bench::parse_engine(flags.get_string("engine", "auto"));
+  const auto workers = static_cast<std::int32_t>(flags.get_int(
+      "workers", engine == analysis::EngineMode::kPdes ? 8 : 0));
 
   bench::print_header(
       "EXP-TOPOLOGY",
@@ -127,12 +134,13 @@ int main(int argc, char** argv) {
             << "; ingestion: " << proc::ingest_name(ingest)
             << "; nic: " << bench::nic_name(nic)
             << "; observe: " << bench::observe_name(observe)
-            << "; engine: " << bench::engine_name(engine) << "\n\n";
+            << "; engine: " << bench::engine_name(engine)
+            << "; workers: " << workers << "\n\n";
 
   util::Table table({"topology", "n", "msgs/round", "q-ops/round",
                      "peak-pend", "direct/round", "drop/round", "burst",
-                     "hist-MB", "fp", "wall-s", "ms/round", "rounds/sec",
-                     "skew"});
+                     "hist-MB", "fp", "epochs", "stalls", "wall-s",
+                     "ms/round", "rounds/sec", "skew"});
   for (std::int32_t n = 64; n <= max_n; n *= 2) {
     std::vector<std::pair<std::string, net::TopologySpec>> cases;
     cases.emplace_back("full-mesh", net::TopologySpec{});
@@ -147,7 +155,7 @@ int main(int argc, char** argv) {
 
     for (const auto& [label, topology] : cases) {
       const Row row = run_case(label, n, topology, batch, rounds, nic, ingest,
-                               observe, engine);
+                               observe, engine, workers);
       const double per_round =
           row.result.completed_rounds > 0
               ? static_cast<double>(row.result.completed_rounds)
@@ -167,6 +175,8 @@ int main(int argc, char** argv) {
            util::fmt(static_cast<double>(row.hist_bytes) / (1024.0 * 1024.0),
                      3),
            row.result.fastpath_engaged ? "yes" : "no",
+           std::to_string(row.result.pdes_epochs),
+           std::to_string(row.result.pdes_stalls),
            util::fmt(row.wall_ms / 1000.0, 3),
            util::fmt(row.wall_ms / per_round, 4),
            util::fmt(per_round / (row.wall_ms / 1000.0), 2),

@@ -12,6 +12,8 @@
 #include "core/fastpath.h"
 #include "core/reintegration.h"
 #include "core/startup.h"
+#include "engine/pdes.h"
+#include "net/partition.h"
 #include "proc/adversaries.h"
 #include "util/rng.h"
 
@@ -33,6 +35,8 @@ std::unique_ptr<sim::DelayModel> build_delay(DelayKind kind,
       return sim::make_per_link_delay(p.delta, p.eps, rng.fork(11));
     case DelayKind::kSplit:
       return sim::make_split_delay(p.delta, p.eps, p.n / 2);
+    case DelayKind::kExpTrunc:
+      return sim::make_trunc_exp_delay(p.delta, p.eps);
   }
   throw std::logic_error("unknown DelayKind");
 }
@@ -113,6 +117,19 @@ const char* fastpath_spec_block(const RunSpec& spec) {
     // drained frontier; the batched delivery kernel still reads segments
     // at delivery times that can precede that frontier.
     return "bounded-memory observation (retain_history = false)";
+  }
+  return nullptr;
+}
+
+/// Spec-level PDES eligibility; the engine-level half is
+/// engine::PdesEngine::ineligible_reason (delay floors, observer, partition
+/// shape).  Returns nullptr when eligible.
+const char* pdes_spec_block(const RunSpec& spec) {
+  if (spec.pdes_workers < 1) return "pdes_workers < 1";
+  if (spec.observe) {
+    // The streaming observer is a single-threaded accumulator wired to the
+    // one global event order; lanes advance time independently.
+    return "streaming observation (single-threaded API)";
   }
   return nullptr;
 }
@@ -380,7 +397,8 @@ RunResult Experiment::run() {
   // past the event queue, then let run_until finish whatever the fast path
   // handed back (everything, when it never engaged).  Bit-identical either
   // way — see core/fastpath.h for the replay protocol.
-  if (spec_.engine != EngineMode::kEvent) {
+  if (spec_.engine == EngineMode::kFastpath ||
+      spec_.engine == EngineMode::kAuto) {
     const char* blocked = fastpath_spec_block(spec_);
     if (blocked == nullptr) {
       blocked = core::RoundFastPath::ineligible_reason(*sim_);
@@ -390,9 +408,49 @@ RunResult Experiment::run() {
       fastpath.run(horizon);
       result.fastpath_engaged = fastpath.stats().engaged;
       result.fastpath_exchanges = fastpath.stats().exchanges;
+      result.fastpath_rearms = fastpath.stats().rearms;
     } else if (spec_.engine == EngineMode::kFastpath) {
       throw std::invalid_argument(
           std::string("RunSpec: engine = kFastpath but the spec is "
+                      "ineligible: ") +
+          blocked);
+    }
+  }
+
+  // Conservative PDES (engine/pdes.h): shard the topology, run the epoch
+  // loop with one worker per shard, then let run_until below finish the
+  // (empty past the horizon) remainder serially.  kAuto only reaches here
+  // when the fast path didn't engage and the spec opted in with
+  // pdes_workers >= 2; kPdes asserts eligibility.  Per-lane RoundTraces
+  // catch each shard's annotations and fold back into trace_ so every
+  // measurement below reads the same trace a serial run would have built.
+  if (spec_.engine == EngineMode::kPdes ||
+      (spec_.engine == EngineMode::kAuto && spec_.pdes_workers >= 2 &&
+       !result.fastpath_engaged)) {
+    const char* blocked = pdes_spec_block(spec_);
+    net::Partition part;
+    if (blocked == nullptr) {
+      part = net::partition_topology(topology(), spec_.pdes_workers,
+                                     spec_.seed);
+      blocked = engine::PdesEngine::ineligible_reason(*sim_, part);
+    }
+    if (blocked == nullptr) {
+      std::vector<RoundTrace> lane_traces(static_cast<std::size_t>(part.k));
+      std::vector<sim::TraceSink*> lane_sinks;
+      lane_sinks.reserve(lane_traces.size());
+      for (RoundTrace& lane_trace : lane_traces) {
+        lane_sinks.push_back(&lane_trace);
+      }
+      engine::PdesEngine pdes(*sim_, part, lane_sinks);
+      pdes.run_until(horizon);
+      for (const RoundTrace& lane_trace : lane_traces) {
+        trace_.absorb(lane_trace);
+      }
+      result.pdes_epochs = pdes.stats().epochs;
+      result.pdes_stalls = pdes.stats().stalls;
+    } else if (spec_.engine == EngineMode::kPdes) {
+      throw std::invalid_argument(
+          std::string("RunSpec: engine = kPdes but the spec is "
                       "ineligible: ") +
           blocked);
     }

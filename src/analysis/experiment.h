@@ -52,6 +52,7 @@ enum class DelayKind : std::uint8_t {
   kSlow = 2,     ///< all messages at delta + eps
   kPerLink = 3,  ///< fixed asymmetric per-link delays
   kSplit = 4,    ///< adversarial: fast to low ids, slow to high ids
+  kExpTrunc = 5, ///< exponential slack over the fast floor, A3-truncated
 };
 
 enum class DriftKind : std::uint8_t {
@@ -69,8 +70,13 @@ enum class EngineMode : std::uint8_t {
   kEvent = 0,     ///< the event engine only (the measured reference)
   kFastpath = 1,  ///< require the fast path; throws if the spec is ineligible
   /// Fast path when the spec qualifies (fault-free Welch-Lynch, no NIC, no
-  /// stagger, arena ingestion, retained history), event engine otherwise.
+  /// stagger, arena ingestion, retained history); otherwise the PDES engine
+  /// when pdes_workers >= 2 and the spec qualifies (no streaming observer,
+  /// positive lookahead floor); event engine last.
   kAuto = 2,
+  /// Require the conservative PDES engine (engine/pdes.h); throws if the
+  /// spec is ineligible.  Bit-identical to kEvent like the other engines.
+  kPdes = 3,
 };
 
 struct RunSpec {
@@ -137,6 +143,14 @@ struct RunSpec {
   /// the eligible specs; set kEvent to force the reference engine (as the
   /// benches' --engine=event axis does) or kFastpath to assert eligibility.
   EngineMode engine = EngineMode::kAuto;
+  /// Shard/worker count for the PDES engine (engine/pdes.h): the topology
+  /// is cut into this many shards (net/partition.h), one thread each.
+  /// 0 (the default) keeps kAuto off the PDES path entirely; engine =
+  /// kPdes accepts any value >= 1 (1 = single-shard, one epoch — useful
+  /// for pinning the protocol without concurrency).  Performance only:
+  /// executions are bit-identical at results_identical strictness for any
+  /// worker count (tests/pdes_test.cpp).
+  std::int32_t pdes_workers = 0;
 
   double lm_delta_max = 0.0;  ///< 0 = auto
   double ms_tau = 0.0;        ///< 0 = auto
@@ -217,6 +231,14 @@ struct RunResult {
   /// and the measured physics are pinned identical across engines.
   bool fastpath_engaged = false;
   std::int64_t fastpath_exchanges = 0;
+  /// Times the fast path re-armed after a clean handoff to the event
+  /// engine mid-run (core/fastpath.h).  Telemetry, not physics.
+  std::int64_t fastpath_rearms = 0;
+  /// PDES telemetry (engine/pdes.h): conservative windows executed and
+  /// lane-epochs that dispatched nothing.  Zero when the engine didn't
+  /// run.  Like wall_seconds, NOT part of results_identical.
+  std::int64_t pdes_epochs = 0;
+  std::int64_t pdes_stalls = 0;
 };
 
 /// A constructed system ready to run; exposes the simulator for tests that

@@ -314,12 +314,14 @@ bool results_identical(const RunResult& a, const RunResult& b) {
          a.tmin0 == b.tmin0 && a.tmax0 == b.tmax0 && a.t_end == b.t_end &&
          a.completed_rounds == b.completed_rounds &&
          gradient_summaries_identical(a.gradient, b.gradient);
-  // wall_seconds, the ObserveStats telemetry, and the fast-path telemetry
-  // (fastpath_engaged / fastpath_exchanges) are deliberately excluded: they
+  // wall_seconds, the ObserveStats telemetry, the fast-path telemetry
+  // (fastpath_engaged / fastpath_exchanges / fastpath_rearms), and the PDES
+  // telemetry (pdes_epochs / pdes_stalls) are deliberately excluded: they
   // describe how the run was computed and measured (timing, history
-  // footprint, engine selection), not what it measured — retained and
-  // bounded observe runs, and event-engine and fast-path runs, of identical
-  // physics intentionally differ there.
+  // footprint, engine selection, shard-protocol windows), not what it
+  // measured — retained and bounded observe runs, and event-engine,
+  // fast-path, and sharded-PDES runs, of identical physics intentionally
+  // differ there.
 }
 
 }  // namespace wlsync::analysis

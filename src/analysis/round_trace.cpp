@@ -64,4 +64,26 @@ double RoundTrace::max_abs_adjustment(const std::vector<std::int32_t>& ids,
   return worst;
 }
 
+void RoundTrace::absorb(const RoundTrace& other) {
+  const auto merge_into = [](std::vector<RoundEvent>& dst,
+                             const std::vector<RoundEvent>& src) {
+    if (src.empty()) return;
+    const auto mid = static_cast<std::ptrdiff_t>(dst.size());
+    dst.insert(dst.end(), src.begin(), src.end());
+    std::inplace_merge(dst.begin(), dst.begin() + mid, dst.end(),
+                       [](const RoundEvent& a, const RoundEvent& b) {
+                         if (a.real_time != b.real_time) {
+                           return a.real_time < b.real_time;
+                         }
+                         return a.pid < b.pid;
+                       });
+  };
+  merge_into(begins_, other.begins_);
+  merge_into(updates_, other.updates_);
+  merge_into(joins_, other.joins_);
+  for (const RoundEvent& begin : other.begins_) {
+    begin_index_[{begin.round, begin.pid}] = begin.real_time;
+  }
+}
+
 }  // namespace wlsync::analysis

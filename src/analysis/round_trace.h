@@ -60,6 +60,13 @@ class RoundTrace final : public sim::TraceSink {
   [[nodiscard]] double max_abs_adjustment(const std::vector<std::int32_t>& ids,
                                           std::int32_t from_round) const;
 
+  /// Merges another trace's events into this one, keeping every event
+  /// vector sorted by (real_time, pid).  Both traces must individually be
+  /// time-sorted — true of any trace filled by a live run.  This is how
+  /// the PDES engine's per-lane traces (each sees only its shard, in lane
+  /// order) fold back into the run's single trace.
+  void absorb(const RoundTrace& other);
+
  private:
   std::vector<RoundEvent> begins_;
   std::vector<RoundEvent> updates_;

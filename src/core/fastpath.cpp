@@ -22,6 +22,13 @@ constexpr double kSeparationSlack = 1e-9;
 
 constexpr std::int32_t kBcastTimer = WelchLynchProcess::kBcastTimerTag;
 constexpr std::int32_t kUpdateTimer = WelchLynchProcess::kUpdateTimerTag;
+
+/// Final bail reasons — compared by pointer in try_rearm, so every
+/// inject_pending call for these must use these exact constants.  Anything
+/// else is transient: the event engine may clear the irregular stretch
+/// (a spread-out round 0, an overlap near-miss) and reach a clean boundary.
+constexpr const char* kBailHorizon = "horizon reached";
+constexpr const char* kBailBudget = "event budget";
 }  // namespace
 
 /// The Context the replayed process code sees.  Every entry point forwards
@@ -93,7 +100,7 @@ const char* RoundFastPath::ineligible_reason(sim::Simulator& sim) {
       return "legacy arrival ingestion";
     }
   }
-  for (sim::TraceSink* sink : sim.sinks_) {
+  for (sim::TraceSink* sink : sim.main_.sinks) {
     if (sink->wants_message_events()) {
       return "a trace sink consumes per-message events";
     }
@@ -105,7 +112,7 @@ const char* RoundFastPath::ineligible_reason(sim::Simulator& sim) {
 
 double RoundFastPath::ctx_physical_time(std::int32_t pid) const {
   const auto i = static_cast<std::size_t>(pid);
-  return sim_.nodes_[i].clock->now(sim_.current_time_);
+  return sim_.nodes_[i].clock->now(sim_.main_.current_time);
 }
 
 double RoundFastPath::ctx_corr(std::int32_t pid) const {
@@ -115,20 +122,20 @@ double RoundFastPath::ctx_corr(std::int32_t pid) const {
 
 void RoundFastPath::ctx_add_corr(std::int32_t pid, double adj, double duration) {
   // do_add_corr fires on_corr_change sinks and Observer::on_adjustment at
-  // sim_.current_time_, which phase 3 has set to the update's exact instant.
-  sim_.do_add_corr(pid, adj, duration);
+  // sim_.main_.current_time, which phase 3 has set to the update's exact instant.
+  sim_.do_add_corr(sim_.main_, pid, adj, duration);
 }
 
 void RoundFastPath::on_annotate(std::int32_t pid,
                                 const proc::Annotation& annotation) {
   // Verbatim SimContext::annotate: sinks in attachment order, then the
   // round-begin hook and the next-interest re-read.
-  for (sim::TraceSink* sink : sim_.sinks_) {
-    sink->on_annotation(pid, sim_.current_time_, annotation);
+  for (sim::TraceSink* sink : sim_.main_.sinks) {
+    sink->on_annotation(pid, sim_.main_.current_time, annotation);
   }
   if (sim_.observer_ != nullptr &&
       annotation.type == proc::Annotation::Type::kRoundBegin) {
-    sim_.observer_->on_round_begin(pid, annotation.round, sim_.current_time_);
+    sim_.observer_->on_round_begin(pid, annotation.round, sim_.main_.current_time);
     sim_.observer_next_ = sim_.observer_->next_interest();
   }
 }
@@ -147,9 +154,9 @@ void RoundFastPath::on_broadcast(std::int32_t from, std::int32_t /*tag*/,
   double* row = times_.data() + row_offset_[static_cast<std::size_t>(from)];
   for (std::size_t j = 0; j < recipients.size(); ++j) {
     const double deliver_time =
-        sim_.current_time_ + sim_.draw_delay(from, recipients[j]);
-    ++sim_.messages_sent_;
-    ++sim_.next_seq_;
+        sim_.main_.current_time + sim_.draw_delay(sim_.main_, from, recipients[j]);
+    ++sim_.main_.messages_sent;
+    (void)sim_.alloc_seq(from);
     row[j] = deliver_time;
     deliver_min_ = std::min(deliver_min_, deliver_time);
     deliver_max_ = std::max(deliver_max_, deliver_time);
@@ -167,8 +174,8 @@ void RoundFastPath::on_set_timer_logical(std::int32_t pid, double logical_time,
   const double physical_target =
       logical_time - sim_.nodes_[i].corr.current_target();
   const double real = sim_.nodes_[i].clock->to_real(physical_target);
-  if (real <= sim_.current_time_) return;
-  record_->push_back({real, sim_.next_seq_++, pid, tag});
+  if (real <= sim_.main_.current_time) return;
+  record_->push_back({real, sim_.alloc_seq(pid), pid, tag});
 }
 
 // --- setup -----------------------------------------------------------------
@@ -238,41 +245,82 @@ void RoundFastPath::init() {
 
 bool RoundFastPath::take_entry_events() {
   // The entry stratum must be exactly one START per process (the A4
-  // schedule Experiment::build lays down).  Anything else — a partially run
-  // simulator, a reintegration wake-up, extra app events — goes back into
-  // the scheduler untouched: the handles still hold their seqs, so pushing
-  // them back reconstructs the identical queue.
+  // schedule Experiment::build lays down) OR one tier-1 broadcast timer per
+  // process — the shape of a clean exchange boundary, which is what re-arm
+  // finds mid-run.  Anything else — a partially run simulator, a
+  // reintegration wake-up, extra app events — goes back into the scheduler
+  // untouched: the handles still hold their seqs, so pushing them back
+  // reconstructs the identical queue.
   const auto n = static_cast<std::size_t>(n_);
   std::vector<sim::EventHandle> handles;
   handles.reserve(n);
-  while (!sim_.scheduler_->empty()) {
-    handles.push_back(sim_.scheduler_->pop());
-    ++sim_.queue_pops_;
+  while (!sim_.main_.scheduler->empty()) {
+    handles.push_back(sim_.main_.scheduler->pop());
+    ++sim_.main_.queue_pops;
   }
   bool ok = handles.size() == n;
   seen_.assign(n, 0);
   for (const sim::EventHandle h : handles) {
     if (!ok) break;
-    const sim::Event& e = sim_.pool_[h];
+    const sim::Event& e = sim_.main_.pool[h];
     const bool start = e.engine_kind == sim::EngineKind::kDeliver &&
                        e.msg.kind == sim::Kind::kStart && e.tier == 0;
+    const bool bcast_timer = e.engine_kind == sim::EngineKind::kDeliver &&
+                             e.msg.kind == sim::Kind::kTimer && e.tier == 1 &&
+                             e.msg.tag == kBcastTimer;
     const bool fresh = e.to >= 0 && e.to < n_ &&
                        seen_[static_cast<std::size_t>(e.to)] == 0;
-    ok = start && fresh;
+    ok = (start || bcast_timer) && fresh;
     if (fresh) seen_[static_cast<std::size_t>(e.to)] = 1;
   }
   if (!ok) {
-    for (const sim::EventHandle h : handles) sim_.push_handle(h);
+    for (const sim::EventHandle h : handles) sim_.push_handle(sim_.main_, h);
     stats_.handoff = "unexpected initial queue";
     return false;
   }
   pending_.clear();
   for (const sim::EventHandle h : handles) {
-    const sim::Event& e = sim_.pool_[h];
-    pending_.push_back({e.time, e.tier, e.seq, e.to, 0, Kind::kStart});
-    sim_.pool_.release(h);
+    const sim::Event& e = sim_.main_.pool[h];
+    const bool start = e.msg.kind == sim::Kind::kStart;
+    pending_.push_back({e.time, e.tier, e.seq, e.to,
+                        start ? 0 : e.msg.tag,
+                        start ? Kind::kStart : Kind::kTimer});
+    sim_.main_.pool.release(h);
   }
   return true;
+}
+
+bool RoundFastPath::try_rearm(double horizon) {
+  if (stats_.handoff == kBailHorizon || stats_.handoff == kBailBudget) {
+    return false;  // final: the caller's run_until owns what remains
+  }
+  const char* bail = stats_.handoff;  // keep the real reason if we give up
+  sim::Simulator::Lane& lane = sim_.main_;
+  const auto n = static_cast<std::size_t>(n_);
+  for (;;) {
+    // Step FIRST: the queue right now is the stratum inject_pending just
+    // restored, and phase 0 is deterministic — re-taking it unchanged
+    // would reproduce the bail forever.  Only after the event engine has
+    // consumed at least one event can a genuinely new boundary emerge.
+    if (lane.scheduler->empty()) return false;
+    if (lane.pool[lane.scheduler->peek()].time > horizon) return false;
+    // One engine event, exactly as run_until would dispatch it (count_event
+    // enforces the budget and throws where the engine would).
+    ++lane.queue_pops;
+    sim_.dispatch(lane, lane.scheduler->pop(), horizon);
+    if (lane.scheduler->size() == n) {
+      // Cheap pre-check before draining: a boundary's head is a tier-1
+      // broadcast timer (or a START, for systems still waking up).
+      const sim::Event& head = lane.pool[lane.scheduler->peek()];
+      const bool boundary_head =
+          head.engine_kind == sim::EngineKind::kDeliver &&
+          ((head.msg.kind == sim::Kind::kTimer && head.tier == 1 &&
+            head.msg.tag == kBcastTimer) ||
+           (head.msg.kind == sim::Kind::kStart && head.tier == 0));
+      if (boundary_head && take_entry_events()) return true;
+      stats_.handoff = bail;
+    }
+  }
 }
 
 void RoundFastPath::inject_pending(const char* reason) {
@@ -281,12 +329,12 @@ void RoundFastPath::inject_pending(const char* reason) {
   // the scheduler entry the engine would have held — same EventKey, same
   // dispatch.  The run_exchange invariants keep every pending time at or
   // after current_time_; the min() is defensive only.
-  double tmin = sim_.current_time_;
+  double tmin = sim_.main_.current_time;
   for (const PendingEvent& e : pending_) tmin = std::min(tmin, e.time);
-  sim_.current_time_ = tmin;
+  sim_.main_.current_time = tmin;
   for (const PendingEvent& e : pending_) {
-    const sim::EventHandle h = sim_.pool_.acquire();
-    sim::Event& ev = sim_.pool_[h];
+    const sim::EventHandle h = sim_.main_.pool.acquire();
+    sim::Event& ev = sim_.main_.pool[h];
     ev.time = e.time;
     ev.tier = e.tier;
     ev.seq = e.seq;
@@ -294,7 +342,7 @@ void RoundFastPath::inject_pending(const char* reason) {
     ev.engine_kind = sim::EngineKind::kDeliver;
     ev.link = 0xFFFFFFFFu;
     ev.msg = e.kind == Kind::kStart ? sim::make_start() : sim::make_timer(e.tag);
-    sim_.push_handle(h);
+    sim_.push_handle(sim_.main_, h);
   }
   pending_.clear();
 }
@@ -310,7 +358,14 @@ void RoundFastPath::run(double horizon) {
   init();
   if (!take_entry_events()) return;
   stats_.engaged = true;
-  while (run_exchange(horizon)) ++stats_.exchanges;
+  for (;;) {
+    while (run_exchange(horizon)) ++stats_.exchanges;
+    // A transient bail (phase separation, overlap risk, malformed stratum)
+    // hands the irregular stretch to the event engine; once it reaches a
+    // clean exchange boundary again, resume batching.
+    if (!try_rearm(horizon)) return;
+    ++stats_.rearms;
+  }
 }
 
 bool RoundFastPath::run_exchange(double horizon) {
@@ -340,12 +395,12 @@ bool RoundFastPath::run_exchange(double horizon) {
   }
   const double b_max = pending_.back().time;
   if (b_max > horizon) {
-    inject_pending("horizon reached");
+    inject_pending(kBailHorizon);
     return false;
   }
-  if (sim_.events_processed_ + n + total_deg_ + n > sim_.config_.max_events) {
+  if (sim_.main_.events_processed + n + total_deg_ + n > sim_.config_.max_events) {
     // The engine must own the exact event at which max_events trips.
-    inject_pending("event budget");
+    inject_pending(kBailBudget);
     return false;
   }
 
@@ -367,7 +422,7 @@ bool RoundFastPath::run_exchange(double horizon) {
     u_max = std::max(u_max, u);
   }
   if (u_max > horizon) {
-    inject_pending("horizon reached");
+    inject_pending(kBailHorizon);
     return false;
   }
   // Strict phase separation: every delivery (<= send + delta + eps + the
@@ -386,9 +441,9 @@ bool RoundFastPath::run_exchange(double horizon) {
   deliver_min_ = std::numeric_limits<double>::infinity();
   deliver_max_ = -std::numeric_limits<double>::infinity();
   for (const PendingEvent& e : pending_) {
-    ++sim_.events_processed_;
-    sim_.current_time_ = e.time;
-    sim_.observe_advance();
+    ++sim_.main_.events_processed;
+    sim_.main_.current_time = e.time;
+    sim_.observe_advance(sim_.main_);
     FastPathContext ctx(*this, e.pid);
     if (e.kind == Kind::kStart) {
       wl_[static_cast<std::size_t>(e.pid)]->on_start(ctx);
@@ -411,7 +466,7 @@ bool RoundFastPath::run_exchange(double horizon) {
   }
 
   // --- phase 2: batched arrival evaluation ---
-  sim_.events_processed_ += total_deg_;
+  sim_.main_.events_processed += total_deg_;
   stats_.deliveries += total_deg_;
   do_batched_deliveries();
 
@@ -462,9 +517,9 @@ bool RoundFastPath::run_exchange(double horizon) {
   next_timers_.clear();
   record_ = &next_timers_;
   for (const PendingTimer& t : timers_) {
-    ++sim_.events_processed_;
-    sim_.current_time_ = t.time;
-    sim_.observe_advance();
+    ++sim_.main_.events_processed;
+    sim_.main_.current_time = t.time;
+    sim_.observe_advance(sim_.main_);
     FastPathContext ctx(*this, t.pid);
     wl_[static_cast<std::size_t>(t.pid)]->on_timer(ctx, t.tag);
   }

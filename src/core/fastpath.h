@@ -71,6 +71,11 @@ struct FastPathStats {
   std::int64_t exchanges = 0;    ///< exchanges advanced past the event queue
   std::uint64_t deliveries = 0;  ///< arrivals evaluated by the batched kernel
   const char* handoff = "";      ///< why control returned to the event engine
+  /// Times the fast path re-engaged after a transient bail: the event
+  /// engine stepped through the irregular stretch (e.g. a round-0 phase
+  /// separation violated by a large initial spread) and handed back a
+  /// clean n-broadcast boundary.
+  std::int64_t rearms = 0;
 };
 
 class RoundFastPath {
@@ -124,9 +129,16 @@ class RoundFastPath {
   };
 
   void init();
-  /// Drains the scheduler and validates the n-START entry stratum; pushes
-  /// everything back untouched (same handles, same seqs) on any surprise.
+  /// Drains the scheduler and validates the entry stratum — exactly one
+  /// START or one tier-1 broadcast timer per process (the latter is what a
+  /// clean exchange boundary looks like mid-run); pushes everything back
+  /// untouched (same handles, same seqs) on any surprise.
   [[nodiscard]] bool take_entry_events();
+  /// After a transient bail: advance the event engine one event at a time
+  /// (never past `horizon` or the event budget) until the queue is again a
+  /// clean exchange boundary, then re-take it.  False = the bail was final
+  /// (horizon/budget) or no boundary emerged before the horizon.
+  [[nodiscard]] bool try_rearm(double horizon);
   /// One exchange; false = bailed (pending events re-injected).
   [[nodiscard]] bool run_exchange(double horizon);
   void inject_pending(const char* reason);

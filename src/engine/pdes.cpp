@@ -1,0 +1,358 @@
+#include "engine/pdes.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cmath>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace wlsync::engine {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+/// Everything the worker threads share.  Synchronization discipline:
+///   * local_next / lane_stalls / lane_cross — one writer slot per worker;
+///     read cross-thread only inside the barrier completion (which the
+///     barrier orders after every writer's arrive).
+///   * channels[dest][src] — written by worker `src` in the publish phase
+///     of epoch e, read by worker `dest` in the drain phase of epoch e+1;
+///     the two phases are separated by the publish barrier, so every cell
+///     has exactly one live accessor at any moment.
+///   * window / done / epochs — written only by the completion callback
+///     (which runs on exactly one thread while everyone else blocks) and
+///     read after the barrier releases.
+///   * failed / error — workers set them from catch blocks before arriving;
+///     the completion reads them after all arrivals.
+struct PdesEngine::Shared {
+  PdesEngine& engine;
+  std::int32_t k;
+  double horizon = 0.0;
+  double lookahead = 0.0;
+  std::vector<double> local_next;
+  std::vector<std::int64_t> lane_stalls;
+  std::vector<std::int64_t> lane_cross;
+  /// channels[dest][src]: RemoteEvents from shard src to shard dest.
+  std::vector<std::vector<std::vector<sim::RemoteEvent>>> channels;
+  double window = 0.0;  ///< inclusive run_lane limit for the current epoch
+  bool done = false;
+  std::int64_t epochs = 0;
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  /// The barrier-1 completion: fold per-lane reports into the epoch window.
+  /// Runs on one thread while all workers block, so it may touch everything
+  /// without locks.
+  struct Fold {
+    Shared* s;
+    void operator()() noexcept { s->fold(); }
+  };
+  std::barrier<Fold> gate;
+  std::barrier<> publish_gate;
+
+  Shared(PdesEngine& eng, std::int32_t shards)
+      : engine(eng),
+        k(shards),
+        local_next(static_cast<std::size_t>(shards), kInf),
+        lane_stalls(static_cast<std::size_t>(shards), 0),
+        lane_cross(static_cast<std::size_t>(shards), 0),
+        channels(static_cast<std::size_t>(shards),
+                 std::vector<std::vector<sim::RemoteEvent>>(
+                     static_cast<std::size_t>(shards))),
+        gate(shards, Fold{this}),
+        publish_gate(shards) {}
+
+  void fold() noexcept {
+    // The lane-local max_events slices already tripped individually; the
+    // cross-lane SUM is the contract the serial engine enforces, so check
+    // it here where all counters are quiescent.
+    std::uint64_t total = 0;
+    for (const auto& lane : engine.sim_.shard_lanes_) {
+      total += lane->events_processed;
+    }
+    total += engine.sim_.main_.events_processed;
+    if (total > engine.sim_.config_.max_events && error == nullptr) {
+      error = std::make_exception_ptr(std::runtime_error(
+          "Simulator: max_events exceeded (runaway execution?)"));
+      failed.store(true, std::memory_order_relaxed);
+    }
+    double t = kInf;
+    for (const double v : local_next) t = std::min(t, v);
+    if (failed.load(std::memory_order_relaxed) || t > horizon) {
+      done = true;
+      return;
+    }
+    ++epochs;
+    // Safe window: events strictly below t + L cannot be affected by any
+    // cross-cut message sent at >= t.  run_lane's limit is inclusive, so
+    // step one ulp below the bound; if lookahead is smaller than one ulp of
+    // t (no physical config gets near this) fall back to t itself — the
+    // event at t is always safe, which also guarantees epoch progress.
+    double limit = std::nextafter(t + lookahead, -kInf);
+    if (limit < t) limit = t;
+    window = std::min(limit, horizon);
+  }
+
+  void record(std::exception_ptr err) {
+    const std::lock_guard<std::mutex> lock(error_mutex);
+    if (error == nullptr) error = std::move(err);
+    failed.store(true, std::memory_order_relaxed);
+  }
+};
+
+PdesEngine::PdesEngine(sim::Simulator& sim, const net::Partition& partition,
+                       std::vector<sim::TraceSink*> lane_sinks)
+    : sim_(sim) {
+  const char* reason = ineligible_reason(sim_, partition);
+  if (reason != nullptr) {
+    throw std::invalid_argument(std::string("PdesEngine: ") + reason);
+  }
+  setup(partition, lane_sinks);
+  shared_ = std::make_unique<Shared>(*this, partition.k);
+  shared_->lookahead = lookahead_for(sim_, partition);
+  stats_.lookahead = shared_->lookahead;
+  stats_.shards = partition.k;
+  live_ = true;
+}
+
+PdesEngine::~PdesEngine() {
+  if (live_) dissolve();
+}
+
+double PdesEngine::lookahead_for(const sim::Simulator& sim,
+                                 const net::Partition& partition) {
+  if (partition.k <= 1 || partition.cut_edges.empty()) return kInf;
+  bool any_faulty = false;
+  for (std::int32_t id = 0; id < sim.process_count(); ++id) {
+    any_faulty = any_faulty || sim.is_faulty(id);
+  }
+  const sim::DelayModel& model = *sim.delay_;
+  if (any_faulty) {
+    // Byzantine point-to-point sends are not topology-restricted: any
+    // ordered pair can cross the cut, so only the global floor holds.
+    return model.global_lower_bound();
+  }
+  double floor = kInf;
+  for (const auto& [u, v] : partition.cut_edges) {
+    floor = std::min({floor, model.lower_bound(u, v), model.lower_bound(v, u)});
+  }
+  return floor;
+}
+
+const char* PdesEngine::ineligible_reason(const sim::Simulator& sim,
+                                          const net::Partition& partition) {
+  if (sim.process_count() == 0) return "no processes registered";
+  if (partition.n() != sim.process_count()) {
+    return "partition node count does not match process count";
+  }
+  if (!sim.shard_lanes_.empty()) return "shard lanes already live";
+  if (sim.observer_ != nullptr) {
+    return "a streaming observer is attached (single-threaded API)";
+  }
+  if (!(lookahead_for(sim, partition) > 0.0)) {
+    return "delay model promises no positive lookahead floor on the cut";
+  }
+  return nullptr;
+}
+
+void PdesEngine::setup(const net::Partition& partition,
+                       const std::vector<sim::TraceSink*>& lane_sinks) {
+  using Lane = sim::Simulator::Lane;
+  const auto k = static_cast<std::size_t>(partition.k);
+
+  // Warm every lazily-built structure a worker would otherwise race to
+  // materialize: the implicit-mesh identity list and (when a topology is
+  // configured) its BFS distance cache.
+  (void)sim_.neighbors_of(0);
+
+  sim_.shard_lanes_.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    auto lane = std::make_unique<Lane>();
+    lane->scheduler = make_scheduler(sim_.config_.scheduler, lane->pool);
+    lane->shard = static_cast<std::int32_t>(i);
+    lane->current_time = sim_.main_.current_time;
+    lane->outbox.resize(k);
+    if (i < lane_sinks.size() && lane_sinks[i] != nullptr) {
+      lane->sinks.push_back(lane_sinks[i]);
+    }
+    sim_.shard_lanes_.push_back(std::move(lane));
+  }
+  sim_.lane_of_ = partition.shard_of;
+
+  // Migrate main_'s pending events to their owner lanes, seqs intact.  An
+  // in-flight batched fan-out may span shards: split it back into
+  // per-recipient events (batching is observable-identical to per-recipient
+  // scheduling, so the split cannot change the execution).
+  const sim::EngineKind arrive_kind = sim_.config_.nic.has_value()
+                                          ? sim::EngineKind::kNicArrive
+                                          : sim::EngineKind::kDeliver;
+  while (!sim_.main_.scheduler->empty()) {
+    const sim::EventHandle handle = sim_.main_.scheduler->pop();
+    ++sim_.main_.queue_pops;
+    const sim::Event& event = sim_.main_.pool[handle];
+    if (event.engine_kind == sim::EngineKind::kFanout) {
+      const net::FanoutRecord& record = sim_.main_.fanouts[event.link];
+      for (std::uint32_t d = record.cursor; d < record.deliveries.size(); ++d) {
+        const net::FanoutDelivery& del = record.deliveries[d];
+        sim_.schedule_raw(sim_.owner_lane(del.to), del.time, /*tier=*/0,
+                          del.seq, del.to, arrive_kind, record.msg);
+      }
+      sim_.main_.fanouts.release(event.link);
+    } else {
+      sim_.schedule_raw(sim_.owner_lane(event.to), event.time, event.tier,
+                        event.seq, event.to, event.engine_kind, event.msg);
+    }
+    sim_.main_.pool.release(handle);
+  }
+}
+
+void PdesEngine::worker(std::int32_t wi, double horizon) {
+  (void)horizon;  // folded into Shared by run_until
+  Shared& sh = *shared_;
+  sim::Simulator::Lane& lane =
+      *sim_.shard_lanes_[static_cast<std::size_t>(wi)];
+  const auto w = static_cast<std::size_t>(wi);
+  for (;;) {
+    try {
+      // Phase 1: drain inbound channels into the scheduler.  A remote event
+      // in this lane's past means the sender's window overlapped ours — the
+      // delay model broke its floor promise.  Fail loudly; never reorder.
+      for (std::size_t src = 0; src < static_cast<std::size_t>(sh.k); ++src) {
+        std::vector<sim::RemoteEvent>& in = sh.channels[w][src];
+        for (const sim::RemoteEvent& ev : in) {
+          if (ev.time < lane.current_time) {
+            throw std::logic_error(
+                "PdesEngine: causality violation — remote event at t=" +
+                std::to_string(ev.time) + " behind lane time " +
+                std::to_string(lane.current_time) +
+                " (delay model under-promised its lookahead floor?)");
+          }
+          sim_.schedule_raw(lane, ev.time, /*tier=*/0, ev.seq, ev.to,
+                            ev.engine_kind, ev.msg);
+        }
+        sh.lane_cross[w] += static_cast<std::int64_t>(in.size());
+        in.clear();
+      }
+      sh.local_next[w] = lane.scheduler->empty()
+                             ? kInf
+                             : lane.pool[lane.scheduler->peek()].time;
+    } catch (...) {
+      sh.record(std::current_exception());
+      sh.local_next[w] = kInf;
+    }
+    sh.gate.arrive_and_wait();  // completion folds the window / termination
+    if (sh.done) break;
+    try {
+      // Phase 2: execute the safe window, then publish the outboxes.  The
+      // channel cell (dest, wi) was drained and cleared by dest before the
+      // gate, so the swap hands over this epoch's batch and takes back an
+      // empty vector with recycled capacity.
+      const std::uint64_t before = lane.events_processed;
+      sim_.run_lane(lane, sh.window);
+      if (lane.events_processed == before) ++sh.lane_stalls[w];
+      for (std::size_t dest = 0; dest < static_cast<std::size_t>(sh.k);
+           ++dest) {
+        if (dest == w || lane.outbox[dest].empty()) continue;
+        sh.channels[dest][w].swap(lane.outbox[dest]);
+      }
+    } catch (...) {
+      sh.record(std::current_exception());
+    }
+    sh.publish_gate.arrive_and_wait();
+  }
+}
+
+void PdesEngine::run_until(double horizon) {
+  if (!live_) {
+    throw std::logic_error("PdesEngine: run_until after lanes dissolved");
+  }
+  Shared& sh = *shared_;
+  sh.horizon = horizon;
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(sh.k));
+  for (std::int32_t wi = 0; wi < sh.k; ++wi) {
+    workers.emplace_back([this, wi, horizon] { worker(wi, horizon); });
+  }
+  for (std::thread& t : workers) t.join();
+
+  stats_.epochs += sh.epochs;
+  for (std::int32_t wi = 0; wi < sh.k; ++wi) {
+    stats_.stalls += sh.lane_stalls[static_cast<std::size_t>(wi)];
+    stats_.cross_messages += sh.lane_cross[static_cast<std::size_t>(wi)];
+  }
+
+  std::exception_ptr err = sh.error;
+  dissolve();
+  live_ = false;
+  if (err != nullptr) std::rethrow_exception(err);
+}
+
+void PdesEngine::dissolve() {
+  // Leftover channel / outbox traffic exists only on failure paths (the
+  // clean loop drains every publish before terminating), but dissolve must
+  // always leave a runnable serial simulator.
+  if (shared_ != nullptr) {
+    for (auto& row : shared_->channels) {
+      for (auto& cell : row) {
+        for (const sim::RemoteEvent& ev : cell) {
+          sim_.schedule_raw(sim_.main_, ev.time, /*tier=*/0, ev.seq, ev.to,
+                            ev.engine_kind, ev.msg);
+        }
+        cell.clear();
+      }
+    }
+  }
+  const sim::EngineKind arrive_kind = sim_.config_.nic.has_value()
+                                          ? sim::EngineKind::kNicArrive
+                                          : sim::EngineKind::kDeliver;
+  for (auto& lane_ptr : sim_.shard_lanes_) {
+    sim::Simulator::Lane& lane = *lane_ptr;
+    for (const auto& outbox : lane.outbox) {
+      for (const sim::RemoteEvent& ev : outbox) {
+        sim_.schedule_raw(sim_.main_, ev.time, /*tier=*/0, ev.seq, ev.to,
+                          ev.engine_kind, ev.msg);
+      }
+    }
+    while (!lane.scheduler->empty()) {
+      const sim::EventHandle handle = lane.scheduler->pop();
+      const sim::Event& event = lane.pool[handle];
+      if (event.engine_kind == sim::EngineKind::kFanout) {
+        // Un-batch the remaining deliveries; the recorded seqs/times make
+        // the expansion indistinguishable from per-recipient scheduling.
+        const net::FanoutRecord& record = lane.fanouts[event.link];
+        for (std::uint32_t d = record.cursor; d < record.deliveries.size();
+             ++d) {
+          const net::FanoutDelivery& del = record.deliveries[d];
+          sim_.schedule_raw(sim_.main_, del.time, /*tier=*/0, del.seq, del.to,
+                            arrive_kind, record.msg);
+        }
+        lane.fanouts.release(event.link);
+      } else {
+        sim_.schedule_raw(sim_.main_, event.time, event.tier, event.seq,
+                          event.to, event.engine_kind, event.msg);
+      }
+      lane.pool.release(handle);
+    }
+    sim_.main_.messages_sent += lane.messages_sent;
+    sim_.main_.events_processed += lane.events_processed;
+    sim_.main_.nic_dropped += lane.nic_dropped;
+    sim_.main_.queue_pushes += lane.queue_pushes;
+    sim_.main_.queue_pops += lane.queue_pops;
+    sim_.main_.fanout_direct += lane.fanout_direct;
+    sim_.main_.peak_pending = std::max(sim_.main_.peak_pending, lane.peak_pending);
+    sim_.main_.current_time = std::max(sim_.main_.current_time, lane.current_time);
+  }
+  sim_.shard_lanes_.clear();
+  sim_.lane_of_.clear();
+}
+
+}  // namespace wlsync::engine

@@ -1,0 +1,126 @@
+#pragma once
+// Conservative parallel discrete-event engine (PDES) over topology shards.
+//
+// The serial engine dispatches one global (time, tier, seq) order.  This
+// engine partitions the process set into K shards (net/partition.h), gives
+// each shard a private Simulator::Lane — event pool, scheduler, fan-out
+// pool, clock — and a worker thread, and advances all lanes concurrently
+// under the classic conservative-synchronization guarantee:
+//
+//   lookahead L = the delay model's greatest lower bound over the cut
+//   (per-ordered-pair floors on the cut edges for fault-free runs; the
+//   global floor when Byzantine processes are registered, since their
+//   point-to-point sends ignore the topology).
+//
+// A message crossing the cut, sent at time >= T, arrives at >= T + L.  So
+// if every lane's next local event is at >= T, all events with time
+// STRICTLY BELOW T + L are safe to execute without hearing from other
+// lanes.  The epoch loop exploits exactly that window:
+//
+//   phase 1   drain inbound channels into the lane's scheduler, report the
+//             lane's next event time;
+//   barrier   one thread folds the reports: T = min over lanes, window
+//             W = T + L, termination (T > horizon), runaway guard
+//             (summed max_events);
+//   phase 2   run_lane up to just-below W (never past the horizon);
+//             cross-cut sends land in per-destination outboxes as
+//             sim::RemoteEvents — the sending lane has already drawn the
+//             delay and allocated the seq from the SENDER's private
+//             streams, so the values are exactly the serial engine's;
+//   publish   move outboxes into the channel matrix (single writer and
+//             single reader per cell, separated by the barriers);
+//   barrier   repeat.
+//
+// This is the null-message/barrier hybrid: instead of per-channel null
+// messages carrying per-link promises, one barrier per window publishes the
+// global promise T + L.  For the dense, talkative exchange graphs this
+// codebase simulates (every round every process broadcasts) the barrier
+// amortizes better than O(cut) null traffic, and it makes termination and
+// the runaway guard trivial.
+//
+// Bit-identity (the whole point): per-origin seq allocation, per-sender
+// delay streams and the store-and-forward NIC (PR 6 groundwork) make the
+// event order intrinsic to each process' execution rather than to a global
+// insertion counter, so the sharded execution replays the serial one
+// exactly — pinned by tests/pdes_test.cpp at results_identical strictness
+// across topologies x delay models x fault mixes x worker counts.
+//
+// The engine never deadlocks (the barrier is global and every epoch makes
+// progress: the event at T itself is inside the window) and never violates
+// causality — and if a delay model ever under-promised its floor, the
+// inbound drain throws rather than reordering ("PDES causality violation").
+
+#include <cstdint>
+#include <vector>
+
+#include "net/partition.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace wlsync::engine {
+
+struct PdesStats {
+  std::int64_t epochs = 0;  ///< barrier windows executed
+  /// Lane-epochs that dispatched zero events (idle lanes inside a window —
+  /// the conservative overhead a tighter lookahead would reclaim).
+  std::int64_t stalls = 0;
+  std::int64_t cross_messages = 0;  ///< RemoteEvents carried over channels
+  double lookahead = 0.0;           ///< the window width L (seconds)
+  std::int32_t shards = 0;
+};
+
+/// One parallel run over an existing Simulator.  Construction shards the
+/// simulator's pending events into per-shard lanes; run_until drives the
+/// epoch loop with one worker thread per shard; destruction (or run_until
+/// completing, whichever comes first) dissolves the lanes back into the
+/// serial main lane, so the Simulator afterwards is indistinguishable from
+/// one that ran serially — run_until can even continue past the parallel
+/// horizon on the event engine.
+class PdesEngine {
+ public:
+  /// `lane_sinks[i]` (optional, may be empty) is attached as shard i's
+  /// trace sink; per-lane sinks see only their shard's events, in lane
+  /// order, and the caller merges afterwards (RoundTrace::absorb).  The
+  /// simulator's own main-lane sinks see nothing while the engine runs.
+  PdesEngine(sim::Simulator& sim, const net::Partition& partition,
+             std::vector<sim::TraceSink*> lane_sinks = {});
+  ~PdesEngine();
+
+  PdesEngine(const PdesEngine&) = delete;
+  PdesEngine& operator=(const PdesEngine&) = delete;
+
+  /// Why `sim` cannot run under this engine with `partition`, or nullptr if
+  /// it can.  Mirrors RoundFastPath::ineligible_reason: a static vet the
+  /// analysis layer consults before committing to the engine.
+  [[nodiscard]] static const char* ineligible_reason(
+      const sim::Simulator& sim, const net::Partition& partition);
+
+  /// The conservative window width for this (simulator, partition) pair:
+  /// min over cut-edge floors fault-free, the global floor otherwise, and
+  /// +infinity for a cut-free (single-shard) partition.
+  [[nodiscard]] static double lookahead_for(const sim::Simulator& sim,
+                                            const net::Partition& partition);
+
+  /// Runs every event with time <= horizon, in parallel, then dissolves the
+  /// lanes.  Throws (after restoring the serial lane) on causality
+  /// violations, runaway executions, or anything a process handler threw.
+  void run_until(double horizon);
+
+  [[nodiscard]] const PdesStats& stats() const noexcept { return stats_; }
+
+ private:
+  void setup(const net::Partition& partition,
+             const std::vector<sim::TraceSink*>& lane_sinks);
+  void dissolve();
+  void worker(std::int32_t wi, double horizon);
+
+  sim::Simulator& sim_;
+  PdesStats stats_;
+  bool live_ = false;  ///< lanes exist and must be dissolved
+
+  // Epoch-loop shared state; see pdes.cpp.
+  struct Shared;
+  std::unique_ptr<Shared> shared_;
+};
+
+}  // namespace wlsync::engine

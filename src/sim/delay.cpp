@@ -20,4 +20,8 @@ std::unique_ptr<DelayModel> make_split_delay(double delta, double eps,
   return std::make_unique<SplitDelay>(delta, eps, pivot);
 }
 
+std::unique_ptr<DelayModel> make_trunc_exp_delay(double delta, double eps) {
+  return std::make_unique<TruncExpDelay>(delta, eps);
+}
+
 }  // namespace wlsync::sim

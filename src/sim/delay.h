@@ -5,9 +5,29 @@
 // The analysis of the paper is worst-case over all delay assignments within
 // the band, so we provide both benign (uniform) and extremal/adversarial
 // models; the network layer validates that every produced delay respects A3.
+//
+// Two structural contracts matter beyond the band itself:
+//
+//   * Thread-safety / order-independence.  delay() receives the SENDER's
+//     private Rng stream and must not keep mutable per-call state of its
+//     own: the conservative PDES engine (engine/pdes.h) evaluates senders
+//     from different shards concurrently, and bit-identical replay requires
+//     that the value for a given (link, draw index) not depend on which
+//     shard asks first.  PerLinkDelay therefore derives its fixed per-link
+//     value by hashing instead of memoizing first-query draws.
+//
+//   * Lookahead floors.  Conservative parallel simulation advances a shard
+//     while every cross-cut message is provably at least `lookahead` away;
+//     that lookahead is the infimum of this model's delays over the cut
+//     links, exposed by lower_bound() (per ordered pair) and
+//     global_lower_bound() (over all pairs — the floor a Byzantine sender,
+//     whose point-to-point sends the topology does not restrict, can
+//     reach).  A model that cannot promise a positive floor reports 0 and
+//     simply makes the spec ineligible for PDES.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <utility>
 
@@ -19,9 +39,21 @@ class DelayModel {
  public:
   virtual ~DelayModel() = default;
   /// Delay for a message from -> to sent at send_time.  Must lie in
-  /// [delta-eps, delta+eps]; `rng` is the model's private randomness.
+  /// [delta-eps, delta+eps]; `rng` is the sender's private randomness.
   [[nodiscard]] virtual double delay(std::int32_t from, std::int32_t to,
                                      double send_time, util::Rng& rng) = 0;
+  /// Greatest lower bound of the delays this model can produce on the
+  /// ordered link from -> to.  0 (the default) means "no usable floor" and
+  /// disqualifies the model from conservative parallel execution.
+  [[nodiscard]] virtual double lower_bound(std::int32_t from,
+                                           std::int32_t to) const {
+    (void)from;
+    (void)to;
+    return 0.0;
+  }
+  /// Greatest lower bound over ALL ordered pairs (not just topology edges);
+  /// the floor that holds even for adversarial point-to-point sends.
+  [[nodiscard]] virtual double global_lower_bound() const { return 0.0; }
 };
 
 /// Uniform in [delta-eps, delta+eps]; the benign default.
@@ -31,6 +63,12 @@ class UniformDelay final : public DelayModel {
   [[nodiscard]] double delay(std::int32_t, std::int32_t, double,
                              util::Rng& rng) override {
     return rng.uniform(delta_ - eps_, delta_ + eps_);
+  }
+  [[nodiscard]] double lower_bound(std::int32_t, std::int32_t) const override {
+    return delta_ - eps_;
+  }
+  [[nodiscard]] double global_lower_bound() const override {
+    return delta_ - eps_;
   }
 
  private:
@@ -46,31 +84,46 @@ class ExtremeDelay final : public DelayModel {
                              util::Rng&) override {
     return value_;
   }
+  [[nodiscard]] double lower_bound(std::int32_t, std::int32_t) const override {
+    return value_;
+  }
+  [[nodiscard]] double global_lower_bound() const override { return value_; }
 
  private:
   double value_;
 };
 
-/// Each (from, to) link gets a fixed delay drawn once, uniform in the band.
-/// Models asymmetric routes; stresses the delta-assumption in AV = T + delta - ...
+/// Each (from, to) link gets a fixed delay, uniform in the band.  Models
+/// asymmetric routes; stresses the delta-assumption in AV = T + delta - ...
+/// The value is DERIVED (seed hashed with the link), not memoized from
+/// first-query draws: every caller — any thread, any query order — reads
+/// the same double for the same link, which is what lets sharded engines
+/// share one instance.
 class PerLinkDelay final : public DelayModel {
  public:
   PerLinkDelay(double delta, double eps, util::Rng rng)
-      : delta_(delta), eps_(eps), rng_(rng) {}
+      : delta_(delta), eps_(eps), base_(rng()) {}
   [[nodiscard]] double delay(std::int32_t from, std::int32_t to, double,
                              util::Rng&) override {
-    const auto key = std::make_pair(from, to);
-    auto it = link_.find(key);
-    if (it == link_.end()) {
-      it = link_.emplace(key, rng_.uniform(delta_ - eps_, delta_ + eps_)).first;
-    }
-    return it->second;
+    std::uint64_t sm = base_ ^
+                       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+                        << 32) ^
+                       static_cast<std::uint64_t>(static_cast<std::uint32_t>(to));
+    std::uint64_t z = util::splitmix64_next(sm);
+    z = util::splitmix64_next(sm) ^ z;
+    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+    return (delta_ - eps_) + 2.0 * eps_ * u;
+  }
+  [[nodiscard]] double lower_bound(std::int32_t, std::int32_t) const override {
+    return delta_ - eps_;
+  }
+  [[nodiscard]] double global_lower_bound() const override {
+    return delta_ - eps_;
   }
 
  private:
   double delta_, eps_;
-  util::Rng rng_;
-  std::map<std::pair<std::int32_t, std::int32_t>, double> link_;
+  std::uint64_t base_;
 };
 
 /// Splits recipients: low-id recipients always get the fastest legal delay,
@@ -85,10 +138,42 @@ class SplitDelay final : public DelayModel {
                              util::Rng&) override {
     return to < pivot_ ? delta_ - eps_ : delta_ + eps_;
   }
+  [[nodiscard]] double lower_bound(std::int32_t, std::int32_t to) const override {
+    return to < pivot_ ? delta_ - eps_ : delta_ + eps_;
+  }
+  [[nodiscard]] double global_lower_bound() const override {
+    // Some recipient below the pivot may exist whenever pivot > 0.
+    return pivot_ > 0 ? delta_ - eps_ : delta_ + eps_;
+  }
 
  private:
   double delta_, eps_;
   std::int32_t pivot_;
+};
+
+/// Exponentially distributed slack over the fast floor, truncated to the A3
+/// band: delay = (delta - eps) + min(Exp(eps/2), 2 eps).  The heavy-ish
+/// right tail clusters most messages near the floor — the shape real
+/// datagram latencies take — while truncation keeps every draw legal.  The
+/// floor delta - eps is exact (infimum of the support), so the model keeps
+/// full conservative-lookahead eligibility.
+class TruncExpDelay final : public DelayModel {
+ public:
+  TruncExpDelay(double delta, double eps)
+      : lo_(delta - eps), span_(2.0 * eps), mean_(eps / 2.0) {}
+  [[nodiscard]] double delay(std::int32_t, std::int32_t, double,
+                             util::Rng& rng) override {
+    // Inverse-CDF draw; uniform() < 1 keeps log1p finite.
+    const double x = -mean_ * std::log1p(-rng.uniform());
+    return lo_ + std::min(x, span_);
+  }
+  [[nodiscard]] double lower_bound(std::int32_t, std::int32_t) const override {
+    return lo_;
+  }
+  [[nodiscard]] double global_lower_bound() const override { return lo_; }
+
+ private:
+  double lo_, span_, mean_;
 };
 
 [[nodiscard]] std::unique_ptr<DelayModel> make_uniform_delay(double delta, double eps);
@@ -98,5 +183,7 @@ class SplitDelay final : public DelayModel {
                                                               util::Rng rng);
 [[nodiscard]] std::unique_ptr<DelayModel> make_split_delay(double delta, double eps,
                                                            std::int32_t pivot);
+[[nodiscard]] std::unique_ptr<DelayModel> make_trunc_exp_delay(double delta,
+                                                               double eps);
 
 }  // namespace wlsync::sim

@@ -33,7 +33,11 @@ enum class EngineKind : std::uint8_t {
 struct Event {
   double time = 0.0;
   std::int32_t tier = 0;  ///< 0 = ordinary, 1 = TIMER (execution property 4)
-  std::uint64_t seq = 0;  ///< insertion order; final deterministic tiebreak
+  /// Final deterministic tiebreak: (origin id << 40) | origin-local program
+  /// order (Simulator::alloc_seq).  Intrinsic to the originating process'
+  /// execution, NOT a global insertion count — the property that lets a
+  /// sharded engine allocate identical seqs without a shared counter.
+  std::uint64_t seq = 0;
   std::int32_t to = -1;
   EngineKind engine_kind = EngineKind::kDeliver;
   /// kFanout only: handle of the broadcast's net::FanoutRecord.  The event

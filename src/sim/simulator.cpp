@@ -16,18 +16,21 @@ constexpr double kDelayTolerance = 1e-12;
 /// Context implementation handed to processes during a step.  A single
 /// class serves both roles; the adversary-only entry points verify the
 /// process is registered faulty, so an honest process cannot use them even
-/// accidentally.
+/// accidentally.  The context is bound to the LANE executing the step: all
+/// clock reads, scheduling and tracing go through that lane, which is what
+/// keeps concurrent shard lanes disjoint.
 class SimContext final : public proc::AdversaryContext {
  public:
-  SimContext(Simulator& sim, std::int32_t pid, bool faulty)
-      : sim_(sim), pid_(pid), faulty_(faulty) {}
+  SimContext(Simulator& sim, Simulator::Lane& lane, std::int32_t pid,
+             bool faulty)
+      : sim_(sim), lane_(lane), pid_(pid), faulty_(faulty) {}
 
   [[nodiscard]] std::int32_t id() const override { return pid_; }
   [[nodiscard]] std::int32_t process_count() const override {
     return sim_.process_count();
   }
   [[nodiscard]] double physical_time() const override {
-    return sim_.nodes_[sim_.idx(pid_)].clock->now(sim_.current_time_);
+    return sim_.nodes_[sim_.idx(pid_)].clock->now(lane_.current_time);
   }
   [[nodiscard]] double local_time() const override {
     return physical_time() + corr();
@@ -35,34 +38,34 @@ class SimContext final : public proc::AdversaryContext {
   [[nodiscard]] double corr() const override {
     return sim_.nodes_[sim_.idx(pid_)].corr.current_target();
   }
-  void add_corr(double adj) override { sim_.do_add_corr(pid_, adj, 0.0); }
+  void add_corr(double adj) override { sim_.do_add_corr(lane_, pid_, adj, 0.0); }
   void add_corr_amortized(double adj, double duration) override {
-    sim_.do_add_corr(pid_, adj, duration);
+    sim_.do_add_corr(lane_, pid_, adj, duration);
   }
   [[nodiscard]] std::span<const std::int32_t> neighbors() const override {
     return sim_.neighbors_of(pid_);
   }
   void broadcast(std::int32_t tag, double value, std::int32_t aux) override {
-    sim_.do_broadcast(pid_, tag, value, aux);
+    sim_.do_broadcast(lane_, pid_, tag, value, aux);
   }
   void send(std::int32_t to, std::int32_t tag, double value,
             std::int32_t aux) override {
-    sim_.do_send(pid_, to, tag, value, aux);
+    sim_.do_send(lane_, pid_, to, tag, value, aux);
   }
   void set_timer(double logical_time, std::int32_t tag) override {
-    sim_.do_set_timer_logical(pid_, logical_time, tag);
+    sim_.do_set_timer_logical(lane_, pid_, logical_time, tag);
   }
   void set_timer_physical(double physical_time, std::int32_t tag) override {
-    sim_.do_set_timer_physical(pid_, physical_time, tag);
+    sim_.do_set_timer_physical(lane_, pid_, physical_time, tag);
   }
   void annotate(const proc::Annotation& annotation) override {
-    for (TraceSink* sink : sim_.sinks_) {
-      sink->on_annotation(pid_, sim_.current_time_, annotation);
+    for (TraceSink* sink : lane_.sinks) {
+      sink->on_annotation(pid_, lane_.current_time, annotation);
     }
     if (sim_.observer_ != nullptr &&
         annotation.type == proc::Annotation::Type::kRoundBegin) {
       sim_.observer_->on_round_begin(pid_, annotation.round,
-                                     sim_.current_time_);
+                                     lane_.current_time);
       // A round boundary may open a sampling window (the steady-state
       // anchor); re-read the next instant of interest.
       sim_.observer_next_ = sim_.observer_->next_interest();
@@ -72,11 +75,11 @@ class SimContext final : public proc::AdversaryContext {
   // --- adversary-only powers ---
   [[nodiscard]] double real_time() const override {
     require_faulty();
-    return sim_.current_time_;
+    return lane_.current_time;
   }
   void set_timer_real(double real_time, std::int32_t tag) override {
     require_faulty();
-    sim_.do_set_timer_real(pid_, real_time, tag);
+    sim_.do_set_timer_real(lane_, pid_, real_time, tag);
   }
 
  private:
@@ -88,6 +91,7 @@ class SimContext final : public proc::AdversaryContext {
   }
 
   Simulator& sim_;
+  Simulator::Lane& lane_;
   std::int32_t pid_;
   bool faulty_;
 };
@@ -95,12 +99,11 @@ class SimContext final : public proc::AdversaryContext {
 Simulator::Simulator(SimConfig config, std::unique_ptr<DelayModel> delay)
     : config_(std::move(config)),
       delay_(delay ? std::move(delay)
-                   : make_uniform_delay(config_.delta, config_.eps)),
-      rng_(config_.seed),
-      scheduler_(engine::make_scheduler(config_.scheduler, pool_)) {
+                   : make_uniform_delay(config_.delta, config_.eps)) {
   if (config_.eps < 0 || config_.delta < config_.eps) {
     throw std::invalid_argument("Simulator: require delta >= eps >= 0 (A3)");
   }
+  main_.scheduler = engine::make_scheduler(config_.scheduler, main_.pool);
 }
 
 Simulator::~Simulator() = default;
@@ -114,23 +117,30 @@ std::size_t Simulator::idx(std::int32_t id) const {
   return static_cast<std::size_t>(id);
 }
 
-void Simulator::push_handle(EventHandle handle) {
-  scheduler_->push(handle);
-  ++queue_pushes_;
-  peak_pending_ = std::max(peak_pending_, scheduler_->size());
+void Simulator::push_handle(Lane& lane, EventHandle handle) {
+  lane.scheduler->push(handle);
+  ++lane.queue_pushes;
+  lane.peak_pending = std::max(lane.peak_pending, lane.scheduler->size());
 }
 
-void Simulator::schedule_event(double time, std::int32_t tier, std::int32_t to,
+void Simulator::schedule_event(Lane& lane, double time, std::int32_t tier,
+                               std::int32_t origin, std::int32_t to,
                                EngineKind engine_kind, const Message& msg) {
-  const EventHandle handle = pool_.acquire();
-  Event& event = pool_[handle];
+  schedule_raw(lane, time, tier, alloc_seq(origin), to, engine_kind, msg);
+}
+
+void Simulator::schedule_raw(Lane& lane, double time, std::int32_t tier,
+                             std::uint64_t seq, std::int32_t to,
+                             EngineKind engine_kind, const Message& msg) {
+  const EventHandle handle = lane.pool.acquire();
+  Event& event = lane.pool[handle];
   event.time = time;
   event.tier = tier;
-  event.seq = next_seq_++;
+  event.seq = seq;
   event.to = to;
   event.engine_kind = engine_kind;
   event.msg = msg;
-  push_handle(handle);
+  push_handle(lane, handle);
 }
 
 std::span<const std::int32_t> Simulator::neighbors_of(std::int32_t id) const {
@@ -142,7 +152,8 @@ std::span<const std::int32_t> Simulator::neighbors_of(std::int32_t id) const {
     }
     return config_.topology->neighbors(id);
   }
-  // Implicit full mesh: an identity list shared by every process.
+  // Implicit full mesh: an identity list shared by every process.  Grown
+  // lazily — the PDES engine warms it before spawning workers.
   if (all_ids_.size() != nodes_.size()) {
     all_ids_.resize(nodes_.size());
     for (std::size_t i = 0; i < all_ids_.size(); ++i) {
@@ -157,20 +168,33 @@ std::int32_t Simulator::add_process(proc::ProcessPtr process,
                                     double initial_corr, bool faulty,
                                     double start_real_time) {
   if (!process || !clock) throw std::invalid_argument("null process or clock");
+  if (nodes_.size() >= (std::size_t{1} << 22)) {
+    // alloc_seq packs the origin id into bits [40, 62); more processes than
+    // that would collide with EventKeyOf's tier bits.
+    throw std::invalid_argument("Simulator: at most 2^22 processes");
+  }
   Node node{std::move(process), std::move(clock), CorrLog(initial_corr), faulty,
-            Nic{}};
+            Nic{}, util::Rng{}, 0};
   nodes_.push_back(std::move(node));
   const auto id = static_cast<std::int32_t>(nodes_.size() - 1);
+  // The sender's private delay stream, derived from the config seed and the
+  // id alone (registration order does not matter).
+  nodes_.back().delay_rng.reseed(
+      config_.seed + 0x9E3779B97F4A7C15ULL *
+                         (static_cast<std::uint64_t>(
+                              static_cast<std::uint32_t>(id)) +
+                          1));
   if (start_real_time >= 0.0) schedule_start(id, start_real_time);
   return id;
 }
 
 void Simulator::schedule_start(std::int32_t id, double real_time) {
-  schedule_event(real_time, /*tier=*/0, id, EngineKind::kDeliver, make_start());
+  schedule_event(owner_lane(id), real_time, /*tier=*/0, /*origin=*/id, id,
+                 EngineKind::kDeliver, make_start());
 }
 
 void Simulator::add_trace_sink(TraceSink* sink) {
-  if (sink != nullptr) sinks_.push_back(sink);
+  if (sink != nullptr) main_.sinks.push_back(sink);
 }
 
 void Simulator::set_observer(Observer* observer) {
@@ -209,8 +233,9 @@ std::size_t Simulator::history_entries() const noexcept {
   return entries;
 }
 
-double Simulator::draw_delay(std::int32_t from, std::int32_t to) {
-  const double delay = delay_->delay(from, to, current_time_, rng_);
+double Simulator::draw_delay(Lane& lane, std::int32_t from, std::int32_t to) {
+  const double delay =
+      delay_->delay(from, to, lane.current_time, nodes_[idx(from)].delay_rng);
   if (delay < config_.delta - config_.eps - kDelayTolerance ||
       delay > config_.delta + config_.eps + kDelayTolerance) {
     throw std::logic_error("delay model produced a delay outside A3 bounds");
@@ -218,27 +243,36 @@ double Simulator::draw_delay(std::int32_t from, std::int32_t to) {
   return delay;
 }
 
-void Simulator::do_send(std::int32_t from, std::int32_t to, std::int32_t tag,
-                        double value, std::int32_t aux) {
+void Simulator::do_send(Lane& lane, std::int32_t from, std::int32_t to,
+                        std::int32_t tag, double value, std::int32_t aux) {
   (void)idx(to);  // validates the recipient id
-  const double deliver_time = current_time_ + draw_delay(from, to);
+  const double deliver_time = lane.current_time + draw_delay(lane, from, to);
   const Message msg = make_app(from, tag, value, aux);
-  ++messages_sent_;
-  for (TraceSink* sink : sinks_) {
-    sink->on_send(from, to, msg, current_time_, deliver_time);
+  ++lane.messages_sent;
+  for (TraceSink* sink : lane.sinks) {
+    sink->on_send(from, to, msg, lane.current_time, deliver_time);
   }
-  schedule_event(deliver_time, /*tier=*/0, to,
-                 config_.nic.has_value() ? EngineKind::kNicArrive
-                                         : EngineKind::kDeliver,
-                 msg);
+  const EngineKind kind = config_.nic.has_value() ? EngineKind::kNicArrive
+                                                  : EngineKind::kDeliver;
+  const std::int32_t dest = lane_index(to);
+  if (!lane_of_.empty() && dest != lane.shard) {
+    // Cross-cut: the delay and seq are already drawn/allocated from the
+    // sender's streams, so the receiving lane schedules exactly the event
+    // the serial engine would have.
+    lane.outbox[static_cast<std::size_t>(dest)].push_back(
+        {deliver_time, alloc_seq(from), to, kind, msg});
+  } else {
+    schedule_event(lane, deliver_time, /*tier=*/0, /*origin=*/from, to, kind,
+                   msg);
+  }
 }
 
-void Simulator::do_broadcast(std::int32_t from, std::int32_t tag, double value,
-                             std::int32_t aux) {
+void Simulator::do_broadcast(Lane& lane, std::int32_t from, std::int32_t tag,
+                             double value, std::int32_t aux) {
   const std::span<const std::int32_t> recipients = neighbors_of(from);
   if (!config_.batch_fanout) {
     // Reference path: one scheduler entry per recipient (the seed engine).
-    for (std::int32_t to : recipients) do_send(from, to, tag, value, aux);
+    for (std::int32_t to : recipients) do_send(lane, from, to, tag, value, aux);
     return;
   }
   if (recipients.empty()) return;
@@ -248,21 +282,38 @@ void Simulator::do_broadcast(std::int32_t from, std::int32_t tag, double value,
   // neighbor order from the same RNG stream, seq numbers are the block the
   // per-recipient loop would have consumed, and on_send fires per
   // recipient at send time.  Only the scheduler sees a difference — one
-  // entry, keyed by the earliest remaining delivery.
+  // entry, keyed by the earliest remaining delivery.  Cross-lane
+  // recipients leave the batch as RemoteEvents carrying their pre-drawn
+  // delay and pre-allocated seq; splitting a batch is invisible because
+  // batching itself is observable-identical to per-recipient sends.
   const Message msg = make_app(from, tag, value, aux);
-  const net::FanoutHandle record_handle = fanouts_.acquire();
-  net::FanoutRecord& record = fanouts_[record_handle];
+  const net::FanoutHandle record_handle = lane.fanouts.acquire();
+  net::FanoutRecord& record = lane.fanouts[record_handle];
   record.msg = msg;
   record.deliveries.clear();
   record.cursor = 0;
   record.deliveries.reserve(recipients.size());
+  const bool sharded = !lane_of_.empty();
+  const EngineKind remote_kind = config_.nic.has_value()
+                                     ? EngineKind::kNicArrive
+                                     : EngineKind::kDeliver;
   for (std::int32_t to : recipients) {
-    const double deliver_time = current_time_ + draw_delay(from, to);
-    ++messages_sent_;
-    for (TraceSink* sink : sinks_) {
-      sink->on_send(from, to, msg, current_time_, deliver_time);
+    const double deliver_time = lane.current_time + draw_delay(lane, from, to);
+    ++lane.messages_sent;
+    for (TraceSink* sink : lane.sinks) {
+      sink->on_send(from, to, msg, lane.current_time, deliver_time);
     }
-    record.deliveries.push_back({deliver_time, next_seq_++, to});
+    const std::int32_t dest = sharded ? lane_of_[idx(to)] : -1;
+    if (sharded && dest != lane.shard) {
+      lane.outbox[static_cast<std::size_t>(dest)].push_back(
+          {deliver_time, alloc_seq(from), to, remote_kind, msg});
+    } else {
+      record.deliveries.push_back({deliver_time, alloc_seq(from), to});
+    }
+  }
+  if (record.deliveries.empty()) {  // every recipient was remote
+    lane.fanouts.release(record_handle);
+    return;
   }
   std::sort(record.deliveries.begin(), record.deliveries.end(),
             [](const net::FanoutDelivery& a, const net::FanoutDelivery& b) {
@@ -271,62 +322,65 @@ void Simulator::do_broadcast(std::int32_t from, std::int32_t tag, double value,
             });
 
   const net::FanoutDelivery& first = record.deliveries.front();
-  const EventHandle handle = pool_.acquire();
-  Event& event = pool_[handle];
+  const EventHandle handle = lane.pool.acquire();
+  Event& event = lane.pool[handle];
   event.time = first.time;
   event.tier = 0;
   event.seq = first.seq;
   event.to = first.to;
   event.engine_kind = EngineKind::kFanout;
   event.link = record_handle;
-  push_handle(handle);
+  push_handle(lane, handle);
 }
 
-void Simulator::do_set_timer_logical(std::int32_t pid, double logical_time,
-                                     std::int32_t tag) {
+void Simulator::do_set_timer_logical(Lane& lane, std::int32_t pid,
+                                     double logical_time, std::int32_t tag) {
   const Node& node = nodes_[idx(pid)];
   // Section 4.2 set-timer(T): physical target is T - CORR for current CORR.
   const double physical_target = logical_time - node.corr.current_target();
-  do_set_timer_physical(pid, physical_target, tag);
+  do_set_timer_physical(lane, pid, physical_target, tag);
 }
 
-void Simulator::do_set_timer_physical(std::int32_t pid, double physical_time,
-                                      std::int32_t tag) {
+void Simulator::do_set_timer_physical(Lane& lane, std::int32_t pid,
+                                      double physical_time, std::int32_t tag) {
   const Node& node = nodes_[idx(pid)];
   const double real = node.clock->to_real(physical_time);
-  do_set_timer_real(pid, real, tag);
+  do_set_timer_real(lane, pid, real, tag);
 }
 
-void Simulator::do_set_timer_real(std::int32_t pid, double real_time,
-                                  std::int32_t tag) {
+void Simulator::do_set_timer_real(Lane& lane, std::int32_t pid,
+                                  double real_time, std::int32_t tag) {
   // Section 2.2: the TIMER is buffered only if its delivery time is in the
   // future; otherwise nothing is placed in the buffer.
-  if (real_time <= current_time_) return;
-  schedule_event(real_time, /*tier=*/1 /* execution property 4 */, pid,
-                 EngineKind::kDeliver, make_timer(tag));
+  if (real_time <= lane.current_time) return;
+  schedule_event(lane, real_time, /*tier=*/1 /* execution property 4 */,
+                 /*origin=*/pid, pid, EngineKind::kDeliver, make_timer(tag));
 }
 
-void Simulator::do_add_corr(std::int32_t pid, double adj, double amortize_duration) {
+void Simulator::do_add_corr(Lane& lane, std::int32_t pid, double adj,
+                            double amortize_duration) {
   Node& node = nodes_[idx(pid)];
   const double old_target = node.corr.current_target();
   const double new_target = old_target + adj;
   if (amortize_duration > 0.0) {
-    node.corr.ramp(current_time_, new_target, amortize_duration);
+    node.corr.ramp(lane.current_time, new_target, amortize_duration);
   } else {
-    node.corr.step(current_time_, new_target);
+    node.corr.step(lane.current_time, new_target);
   }
-  for (TraceSink* sink : sinks_) {
-    sink->on_corr_change(pid, current_time_, old_target, new_target);
+  for (TraceSink* sink : lane.sinks) {
+    sink->on_corr_change(pid, lane.current_time, old_target, new_target);
   }
   if (observer_ != nullptr) {
-    observer_->on_adjustment(pid, current_time_, old_target, new_target);
+    observer_->on_adjustment(pid, lane.current_time, old_target, new_target);
   }
 }
 
-void Simulator::deliver(std::int32_t pid, const Message& msg) {
+void Simulator::deliver(Lane& lane, std::int32_t pid, const Message& msg) {
   Node& node = nodes_[idx(pid)];
-  for (TraceSink* sink : sinks_) sink->on_receive(pid, msg, current_time_);
-  SimContext ctx(*this, pid, node.faulty);
+  for (TraceSink* sink : lane.sinks) {
+    sink->on_receive(pid, msg, lane.current_time);
+  }
+  SimContext ctx(*this, lane, pid, node.faulty);
   switch (msg.kind) {
     case Kind::kStart:
       node.process->on_start(ctx);
@@ -341,39 +395,40 @@ void Simulator::deliver(std::int32_t pid, const Message& msg) {
 }
 
 bool Simulator::step() {
-  if (scheduler_->empty()) return false;
-  ++queue_pops_;
-  dispatch(scheduler_->pop(), std::numeric_limits<double>::infinity());
+  if (main_.scheduler->empty()) return false;
+  ++main_.queue_pops;
+  dispatch(main_, main_.scheduler->pop(),
+           std::numeric_limits<double>::infinity());
   return true;
 }
 
-void Simulator::count_event(EventHandle handle) {
-  if (++events_processed_ > config_.max_events) {
-    pool_.release(handle);
+void Simulator::count_event(Lane& lane, EventHandle handle) {
+  if (++lane.events_processed > config_.max_events) {
+    lane.pool.release(handle);
     throw std::runtime_error("Simulator: max_events exceeded (runaway execution?)");
   }
 }
 
-void Simulator::nic_arrive(std::int32_t pid, const Message& msg) {
+void Simulator::nic_arrive(Lane& lane, std::int32_t pid, const Message& msg) {
   Nic& nic = nodes_[idx(pid)].nic;
   const NicConfig& cfg = *config_.nic;
   ++nic.stats.arrivals;
   // Burst clustering: under batched fan-out a broadcast's whole delivery
   // list can land on one recipient set at a single instant (extremal
   // delays), the Section 9.3 "punished for behaving well" regime.
-  if (current_time_ == nic.last_arrival) {
+  if (lane.current_time == nic.last_arrival) {
     ++nic.burst;
   } else {
-    nic.last_arrival = current_time_;
+    nic.last_arrival = lane.current_time;
     nic.burst = 1;
   }
   nic.stats.max_burst = std::max(nic.stats.max_burst, nic.burst);
 
   if (cfg.capacity > 0 && nic.pending.size() >= cfg.capacity) {
     ++nic.stats.dropped;
-    ++nic_dropped_;
-    for (TraceSink* sink : sinks_) sink->on_nic_drop(pid, current_time_);
-    if (observer_ != nullptr) observer_->on_nic_drop(pid, current_time_);
+    ++lane.nic_dropped;
+    for (TraceSink* sink : lane.sinks) sink->on_nic_drop(pid, lane.current_time);
+    if (observer_ != nullptr) observer_->on_nic_drop(pid, lane.current_time);
     if (cfg.drop == NicDropPolicy::kDropNewest) {
       // Tail drop: the arriving datagram is lost.  The queue is non-empty,
       // so a service event is already in flight.
@@ -386,91 +441,99 @@ void Simulator::nic_arrive(std::int32_t pid, const Message& msg) {
   nic.pending.push_back(msg);
   nic.stats.peak_queue = std::max(nic.stats.peak_queue, nic.pending.size());
   if (!nic.service_scheduled) {
-    schedule_event(std::max(current_time_, nic.next_free), /*tier=*/0, pid,
-                   EngineKind::kNicService, Message{});
+    // Store-and-forward: handing over a datagram takes service_time even
+    // when the NIC is idle.  This also keeps the service event strictly
+    // after its triggering instant, so a same-time burst fully lands before
+    // any handoff — an ordering that would otherwise depend on how event
+    // seqs interleave across senders (per-origin seqs put the receiver's
+    // service event before higher-id senders' arrivals).
+    schedule_event(lane,
+                   std::max(lane.current_time + cfg.service_time, nic.next_free),
+                   /*tier=*/0,
+                   /*origin=*/pid, pid, EngineKind::kNicService, Message{});
     nic.service_scheduled = true;
     ++nic.stats.service_events;
   }
 }
 
-void Simulator::arrive(std::int32_t pid, const Message& msg) {
+void Simulator::arrive(Lane& lane, std::int32_t pid, const Message& msg) {
   if (config_.nic.has_value()) {
-    nic_arrive(pid, msg);
+    nic_arrive(lane, pid, msg);
   } else {
-    deliver(pid, msg);
+    deliver(lane, pid, msg);
   }
 }
 
-void Simulator::dispatch_fanout(EventHandle handle, double limit) {
+void Simulator::dispatch_fanout(Lane& lane, EventHandle handle, double limit) {
   // Slab storage keeps both references valid while handlers broadcast into
   // the same pools.
-  net::FanoutRecord& record = fanouts_[pool_[handle].link];
+  net::FanoutRecord& record = lane.fanouts[lane.pool[handle].link];
   for (;;) {
     const net::FanoutDelivery due = record.next();
-    count_event(handle);
-    current_time_ = due.time;
-    observe_advance();
-    arrive(due.to, record.msg);
+    count_event(lane, handle);
+    lane.current_time = due.time;
+    observe_advance(lane);
+    arrive(lane, due.to, record.msg);
     ++record.cursor;
     if (record.done()) break;
 
     const net::FanoutDelivery& next = record.next();
     bool requeue = next.time > limit;
-    if (!requeue && scheduler_->size() > 0) {
+    if (!requeue && lane.scheduler->size() > 0) {
       // Run extension: deliver the next recipient without a queue
       // round-trip only while its key still precedes every pending event
       // (the handler above may have scheduled earlier ones).
-      const EventKey head = EventKeyOf{}(pool_[scheduler_->peek()]);
+      const EventKey head = EventKeyOf{}(lane.pool[lane.scheduler->peek()]);
       const EventKey ours{next.time, next.seq};  // tier 0: top bits clear
       requeue = !(ours < head);
     }
     if (requeue) {
-      Event& event = pool_[handle];
+      Event& event = lane.pool[handle];
       event.time = next.time;
       event.seq = next.seq;
       event.to = next.to;
-      push_handle(handle);
+      push_handle(lane, handle);
       return;  // the entry stays live, re-armed for the next recipient
     }
-    ++fanout_direct_;
+    ++lane.fanout_direct;
   }
-  fanouts_.release(pool_[handle].link);
-  pool_.release(handle);
+  lane.fanouts.release(lane.pool[handle].link);
+  lane.pool.release(handle);
 }
 
-void Simulator::dispatch(EventHandle handle, double limit) {
+void Simulator::dispatch(Lane& lane, EventHandle handle, double limit) {
   // Slab storage keeps this reference valid while the handler schedules new
   // events into the same pool; the slot is recycled only after dispatch.
-  const Event& event = pool_[handle];
-  if (event.time < current_time_) {
-    pool_.release(handle);
+  const Event& event = lane.pool[handle];
+  if (event.time < lane.current_time) {
+    lane.pool.release(handle);
     throw std::logic_error("Simulator: event scheduled in the past");
   }
   if (event.engine_kind == EngineKind::kFanout) {
-    dispatch_fanout(handle, limit);
+    dispatch_fanout(lane, handle, limit);
     return;
   }
-  count_event(handle);
-  current_time_ = event.time;
-  observe_advance();
+  count_event(lane, handle);
+  lane.current_time = event.time;
+  observe_advance(lane);
   switch (event.engine_kind) {
     case EngineKind::kDeliver:
-      deliver(event.to, event.msg);
+      deliver(lane, event.to, event.msg);
       break;
     case EngineKind::kNicArrive:
-      nic_arrive(event.to, event.msg);
+      nic_arrive(lane, event.to, event.msg);
       break;
     case EngineKind::kNicService: {
       Nic& nic = nodes_[idx(event.to)].nic;
       nic.service_scheduled = false;
       if (nic.pending.empty()) break;
       const Message msg = nic.pending.pop_front();
-      nic.next_free = current_time_ + config_.nic->service_time;
+      nic.next_free = lane.current_time + config_.nic->service_time;
       ++nic.stats.served;
-      deliver(event.to, msg);
+      deliver(lane, event.to, msg);
       if (!nic.pending.empty()) {
-        schedule_event(nic.next_free, /*tier=*/0, event.to,
-                       EngineKind::kNicService, Message{});
+        schedule_event(lane, nic.next_free, /*tier=*/0, /*origin=*/event.to,
+                       event.to, EngineKind::kNicService, Message{});
         nic.service_scheduled = true;
         ++nic.stats.service_events;
       }
@@ -479,17 +542,21 @@ void Simulator::dispatch(EventHandle handle, double limit) {
     case EngineKind::kFanout:
       break;  // handled above
   }
-  pool_.release(handle);
+  lane.pool.release(handle);
+}
+
+void Simulator::run_lane(Lane& lane, double limit) {
+  for (;;) {
+    const EventHandle handle = lane.scheduler->pop_if_not_after(limit);
+    if (handle == EventPool::kInvalidHandle) break;
+    ++lane.queue_pops;
+    dispatch(lane, handle, limit);
+  }
 }
 
 void Simulator::run_until(double real_time) {
-  for (;;) {
-    const EventHandle handle = scheduler_->pop_if_not_after(real_time);
-    if (handle == EventPool::kInvalidHandle) break;
-    ++queue_pops_;
-    dispatch(handle, real_time);
-  }
-  if (real_time > current_time_) current_time_ = real_time;
+  run_lane(main_, real_time);
+  if (real_time > main_.current_time) main_.current_time = real_time;
 }
 
 }  // namespace wlsync::sim

@@ -21,6 +21,7 @@
 // Ethernet datagram behaviour ("if too many arrive at once, the old ones
 // are overwritten").
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -45,7 +46,25 @@ namespace wlsync::core {
 class RoundFastPath;
 }  // namespace wlsync::core
 
+namespace wlsync::engine {
+class PdesEngine;
+}  // namespace wlsync::engine
+
 namespace wlsync::sim {
+
+/// A cross-shard event in flight between PDES lanes (engine/pdes.h): the
+/// sending lane draws the delay and allocates the seq on its side (both are
+/// per-sender streams, so the values are exactly the serial engine's), and
+/// the receiving lane schedules it verbatim.  Always ordinary tier — only
+/// message deliveries cross the cut; timers, STARTs and NIC service events
+/// are self-targeted.
+struct RemoteEvent {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+  std::int32_t to = -1;
+  EngineKind engine_kind = EngineKind::kDeliver;
+  Message msg;
+};
 
 struct SimConfig {
   double delta = 0.01;  ///< median message delay (A3)
@@ -124,7 +143,9 @@ class Simulator {
   /// Processes one event; returns false when the buffer is empty.
   bool step();
 
-  [[nodiscard]] double current_time() const noexcept { return current_time_; }
+  [[nodiscard]] double current_time() const noexcept {
+    return main_.current_time;
+  }
   [[nodiscard]] std::int32_t process_count() const noexcept {
     return static_cast<std::int32_t>(nodes_.size());
   }
@@ -149,11 +170,15 @@ class Simulator {
   /// included); all of 0..n-1 when no topology is configured.
   [[nodiscard]] std::span<const std::int32_t> neighbors_of(std::int32_t id) const;
 
-  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
-  [[nodiscard]] std::uint64_t events_processed() const noexcept {
-    return events_processed_;
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+    return sum_lanes(&Lane::messages_sent);
   }
-  [[nodiscard]] std::uint64_t nic_dropped() const noexcept { return nic_dropped_; }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return sum_lanes(&Lane::events_processed);
+  }
+  [[nodiscard]] std::uint64_t nic_dropped() const noexcept {
+    return sum_lanes(&Lane::nic_dropped);
+  }
   /// Whether the Section 9.3 NIC ingress model is engaged.
   [[nodiscard]] bool nic_enabled() const noexcept {
     return config_.nic.has_value();
@@ -168,13 +193,26 @@ class Simulator {
   // Engine pressure counters (bench_micro / bench_topology):
   /// Scheduler push + pop operations performed so far.
   [[nodiscard]] std::uint64_t queue_ops() const noexcept {
-    return queue_pushes_ + queue_pops_;
+    return sum_lanes(&Lane::queue_pushes) + sum_lanes(&Lane::queue_pops);
   }
-  /// High-water mark of pending scheduler entries.
-  [[nodiscard]] std::size_t peak_pending() const noexcept { return peak_pending_; }
+  /// High-water mark of pending scheduler entries (per lane, maxed).
+  [[nodiscard]] std::size_t peak_pending() const noexcept {
+    std::size_t peak = main_.peak_pending;
+    for (const auto& lane : shard_lanes_) {
+      peak = std::max(peak, lane->peak_pending);
+    }
+    return peak;
+  }
   /// Fan-out deliveries made directly (no queue round-trip) because the
   /// next recipient still preceded every pending event.
-  [[nodiscard]] std::uint64_t fanout_direct() const noexcept { return fanout_direct_; }
+  [[nodiscard]] std::uint64_t fanout_direct() const noexcept {
+    return sum_lanes(&Lane::fanout_direct);
+  }
+  /// Number of attached trace sinks (the analysis layer uses this to decide
+  /// whether a run's sinks are the mergeable set the PDES engine supports).
+  [[nodiscard]] std::size_t trace_sink_count() const noexcept {
+    return main_.sinks.size();
+  }
 
  private:
   friend class SimContext;
@@ -183,6 +221,10 @@ class Simulator {
   // same internals SimContext touches plus the scheduler/pool for its
   // inject-and-bail protocol.
   friend class core::RoundFastPath;
+  // The conservative parallel engine (engine/pdes.h) shards the event flow
+  // into per-worker Lanes and runs them under epoch barriers; it needs to
+  // create/dissolve lanes and move events between them.
+  friend class engine::PdesEngine;
 
   struct Nic {
     NicQueue pending;
@@ -199,82 +241,165 @@ class Simulator {
     CorrLog corr;
     bool faulty = false;
     Nic nic;
+    /// The sender's private A3 delay stream.  Delay draws consume ONLY this
+    /// generator, in a per-sender order (neighbor order within a broadcast,
+    /// program order across broadcasts) — never a global stream — so a
+    /// sharded engine that executes senders concurrently reproduces the
+    /// serial draws exactly.
+    util::Rng delay_rng;
+    /// Per-origin event sequence counter; see alloc_seq.
+    std::uint64_t next_seq = 0;
   };
+
+  /// One independent slice of the event flow: an event pool + scheduler +
+  /// fan-out pool + clock + pressure counters.  The serial engine is
+  /// exactly one lane (main_); the PDES engine adds one lane per topology
+  /// shard, each driven by its own worker thread.  Everything a dispatch
+  /// touches that is not per-process Node state lives here, so two lanes
+  /// never share mutable state — cross-lane traffic rides the outbox.
+  struct Lane {
+    EventPool pool;
+    std::unique_ptr<engine::SchedulerPolicy> scheduler;
+    net::FanoutPool fanouts;
+    /// Passive observers of this lane's events.  The serial engine's public
+    /// add_trace_sink appends to main_'s list; the PDES engine hands each
+    /// lane its own (mergeable) sinks.
+    std::vector<TraceSink*> sinks;
+    double current_time = 0.0;
+    std::int32_t shard = 0;  ///< index into shard_lanes_ (0 for main_)
+    std::uint64_t messages_sent = 0;
+    std::uint64_t events_processed = 0;
+    std::uint64_t nic_dropped = 0;
+    std::uint64_t queue_pushes = 0;
+    std::uint64_t queue_pops = 0;
+    std::uint64_t fanout_direct = 0;
+    std::size_t peak_pending = 0;
+    /// PDES only: cross-cut events produced this epoch, bucketed by
+    /// destination shard.  Published to the engine's channels at the epoch
+    /// barrier; always empty on the serial path.
+    std::vector<std::vector<RemoteEvent>> outbox;
+  };
+
+  template <typename T>
+  [[nodiscard]] T sum_lanes(T Lane::* member) const noexcept {
+    T total = main_.*member;
+    for (const auto& lane : shard_lanes_) total += (*lane).*member;
+    return total;
+  }
 
   [[nodiscard]] std::size_t idx(std::int32_t id) const;
 
-  /// Builds an event in place in the pool (stamping its seq) and hands the
-  /// handle to the scheduler — the one entry point for all scheduling.
-  void schedule_event(double time, std::int32_t tier, std::int32_t to,
+  /// Shard index owning `pid`: lane_of_ when the PDES engine is active,
+  /// -1 (meaning main_) otherwise.
+  [[nodiscard]] std::int32_t lane_index(std::int32_t pid) const {
+    return lane_of_.empty() ? -1 : lane_of_[idx(pid)];
+  }
+  [[nodiscard]] Lane& owner_lane(std::int32_t pid) {
+    const std::int32_t shard = lane_index(pid);
+    return shard < 0 ? main_ : *shard_lanes_[static_cast<std::size_t>(shard)];
+  }
+
+  /// Allocates the next deterministic tie-break seq for an event originated
+  /// by `origin` (the sender for message deliveries, the owning process for
+  /// timers / STARTs / NIC service).  Packed (origin << 40) | local so seqs
+  /// from different origins never collide, total order is (origin, local
+  /// program order), and the whole value stays below the 2^62 ceiling
+  /// EventKeyOf's tier packing requires (origin < 2^22, enforced at
+  /// registration; 2^40 events per origin dwarfs any max_events budget).
+  /// The resulting order is intrinsic to each process' execution — NOT a
+  /// global insertion count — which is what makes a sharded engine's
+  /// allocation identical to the serial engine's.
+  [[nodiscard]] std::uint64_t alloc_seq(std::int32_t origin) {
+    Node& node = nodes_[idx(origin)];
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(origin))
+            << 40) |
+           node.next_seq++;
+  }
+
+  /// Builds an event in place in the lane's pool (stamping its seq from
+  /// `origin`'s counter) and hands the handle to the lane's scheduler — the
+  /// one entry point for all fresh scheduling.
+  void schedule_event(Lane& lane, double time, std::int32_t tier,
+                      std::int32_t origin, std::int32_t to,
                       EngineKind engine_kind, const Message& msg);
-  /// Wraps scheduler_->push with the pressure counters.
-  void push_handle(EventHandle handle);
+  /// Schedules an event whose seq was already allocated (a RemoteEvent
+  /// crossing lanes, or a leftover event migrating at lane dissolve).
+  void schedule_raw(Lane& lane, double time, std::int32_t tier,
+                    std::uint64_t seq, std::int32_t to, EngineKind engine_kind,
+                    const Message& msg);
+  /// Wraps lane.scheduler->push with the pressure counters.
+  void push_handle(Lane& lane, EventHandle handle);
 
-  /// Executes one popped event: advances the clock, routes by engine kind,
-  /// recycles the slot.  The handle must have just been popped.  Events
-  /// after `limit` must not execute: a fan-out whose next delivery lies
-  /// beyond it is re-armed instead (run_until passes its horizon; step
-  /// passes +infinity).
-  void dispatch(EventHandle handle, double limit);
+  /// Executes one popped event: advances the lane clock, routes by engine
+  /// kind, recycles the slot.  The handle must have just been popped from
+  /// this lane.  Events after `limit` must not execute: a fan-out whose
+  /// next delivery lies beyond it is re-armed instead (run_until passes its
+  /// horizon; step passes +infinity).
+  void dispatch(Lane& lane, EventHandle handle, double limit);
   /// Batched fan-out dispatch (EngineKind::kFanout).
-  void dispatch_fanout(EventHandle handle, double limit);
+  void dispatch_fanout(Lane& lane, EventHandle handle, double limit);
+  /// Pops and dispatches every event with time <= limit (inclusive, like
+  /// pop_if_not_after).  Does NOT advance the lane clock to limit.
+  void run_lane(Lane& lane, double limit);
 
-  /// Per-delivery slice of the max_events runaway guard.
-  void count_event(EventHandle handle);
+  /// Per-delivery slice of the max_events runaway guard (lane-local; the
+  /// PDES engine additionally checks the cross-lane sum at each barrier).
+  void count_event(Lane& lane, EventHandle handle);
 
-  void do_send(std::int32_t from, std::int32_t to, std::int32_t tag, double value,
-               std::int32_t aux);
+  void do_send(Lane& lane, std::int32_t from, std::int32_t to, std::int32_t tag,
+               double value, std::int32_t aux);
   /// Fan-out to the sender's exchange-graph neighborhood — batched into a
-  /// single scheduler entry unless config_.batch_fanout is off.
-  void do_broadcast(std::int32_t from, std::int32_t tag, double value,
-                    std::int32_t aux);
+  /// single scheduler entry unless config_.batch_fanout is off.  Cross-lane
+  /// recipients are split into RemoteEvents (their seqs come out of the
+  /// same per-sender allocation order, so the serial tie-break survives).
+  void do_broadcast(Lane& lane, std::int32_t from, std::int32_t tag,
+                    double value, std::int32_t aux);
   /// Draws the A3-validated per-link delay for a message sent now.
-  [[nodiscard]] double draw_delay(std::int32_t from, std::int32_t to);
-  void do_set_timer_logical(std::int32_t pid, double logical_time, std::int32_t tag);
-  void do_set_timer_physical(std::int32_t pid, double physical_time,
+  [[nodiscard]] double draw_delay(Lane& lane, std::int32_t from, std::int32_t to);
+  void do_set_timer_logical(Lane& lane, std::int32_t pid, double logical_time,
+                            std::int32_t tag);
+  void do_set_timer_physical(Lane& lane, std::int32_t pid, double physical_time,
                              std::int32_t tag);
-  void do_set_timer_real(std::int32_t pid, double real_time, std::int32_t tag);
-  void do_add_corr(std::int32_t pid, double adj, double amortize_duration);
-  /// Message reaches `pid` at current_time_: NIC buffering when configured,
-  /// direct delivery otherwise (the shared arrival path of the per-recipient
-  /// and batched engines).
-  void arrive(std::int32_t pid, const Message& msg);
-  void nic_arrive(std::int32_t pid, const Message& msg);
-  void deliver(std::int32_t pid, const Message& msg);
+  void do_set_timer_real(Lane& lane, std::int32_t pid, double real_time,
+                         std::int32_t tag);
+  void do_add_corr(Lane& lane, std::int32_t pid, double adj,
+                   double amortize_duration);
+  /// Message reaches `pid` at the lane's current time: NIC buffering when
+  /// configured, direct delivery otherwise (the shared arrival path of the
+  /// per-recipient and batched engines).
+  void arrive(Lane& lane, std::int32_t pid, const Message& msg);
+  void nic_arrive(Lane& lane, std::int32_t pid, const Message& msg);
+  void deliver(Lane& lane, std::int32_t pid, const Message& msg);
 
   /// Fires Observer::on_advance when simulated time reached the cached
-  /// next-interest instant.  Called right after current_time_ moves and
+  /// next-interest instant.  Called right after the lane clock moves and
   /// BEFORE the event at that time is delivered, so the observer sees
-  /// every instant strictly before current_time_ as final.  observer_next_
-  /// is +inf with no observer attached: the whole idle cost is this one
-  /// compare.
-  void observe_advance() {
-    if (current_time_ >= observer_next_) {
-      observer_next_ = observer_->on_advance(current_time_);
+  /// every instant strictly before the lane's time as final.  observer_next_
+  /// is +inf with no observer attached (always, for shard lanes — the PDES
+  /// engine requires no observer): the whole idle cost is one compare.
+  void observe_advance(Lane& lane) {
+    if (lane.current_time >= observer_next_) {
+      observer_next_ = observer_->on_advance(lane.current_time);
     }
   }
 
   SimConfig config_;
   std::unique_ptr<DelayModel> delay_;
-  util::Rng rng_;
-  EventPool pool_;
-  std::unique_ptr<engine::SchedulerPolicy> scheduler_;
-  net::FanoutPool fanouts_;
-  std::uint64_t next_seq_ = 0;
   std::vector<Node> nodes_;
-  std::vector<TraceSink*> sinks_;
   Observer* observer_ = nullptr;
   double observer_next_ = std::numeric_limits<double>::infinity();
   /// Identity neighbor list for the implicit full mesh, grown on demand.
+  /// Warm (via neighbors_of) before spawning lane workers.
   mutable std::vector<std::int32_t> all_ids_;
-  double current_time_ = 0.0;
-  std::uint64_t messages_sent_ = 0;
-  std::uint64_t events_processed_ = 0;
-  std::uint64_t nic_dropped_ = 0;
-  std::uint64_t queue_pushes_ = 0;
-  std::uint64_t queue_pops_ = 0;
-  std::uint64_t fanout_direct_ = 0;
-  std::size_t peak_pending_ = 0;
+  /// The serial engine's lane; also the merge target when shard lanes
+  /// dissolve.  Public accessors report main_ plus any live shard lanes.
+  Lane main_;
+  /// PDES mode (engine/pdes.h): one lane per topology shard, unique_ptr so
+  /// lane addresses stay stable (schedulers hold pool references).  Empty
+  /// on the serial path.
+  std::vector<std::unique_ptr<Lane>> shard_lanes_;
+  /// pid -> shard index while shard_lanes_ is live; empty otherwise.
+  std::vector<std::int32_t> lane_of_;
 };
 
 }  // namespace wlsync::sim

@@ -147,6 +147,33 @@ TEST(FastpathPin, DeterministicUnderParallelRunner) {
   }
 }
 
+TEST(FastpathRearm, ReengagesAfterTransientBail) {
+  // A wide initial spread violates round-0 phase separation (last
+  // broadcast + delta + eps >= first update), which is a TRANSIENT bail:
+  // the event engine steps through the irregular round, the algorithm
+  // converges, and the next clean n-broadcast-timer boundary re-arms the
+  // fast path for the remaining rounds.  Still bitwise the event engine.
+  // Wide enough that round 0's last broadcast lands after its first
+  // update, narrow enough that one event-engine round still converges
+  // (beyond beta the A4 precondition is gone and the algorithm is allowed
+  // to diverge — that regime bails forever, correctly).
+  RunSpec spec = base_spec(13, 4);
+  spec.initial_spread = 0.005;
+  spec.rounds = 8;
+  const RunResult event = run_engine(spec, EngineMode::kEvent);
+  const RunResult fast = run_engine(spec, EngineMode::kFastpath);
+  EXPECT_TRUE(fast.fastpath_engaged);
+  EXPECT_GE(fast.fastpath_rearms, 1);
+  EXPECT_GT(fast.fastpath_exchanges, 0);
+  EXPECT_TRUE(results_identical(event, fast));
+
+  // The default spread stays within phase separation from round 0 on: the
+  // fast path never hands off mid-run, so nothing re-arms.
+  const RunResult clean = run_engine(base_spec(13, 4), EngineMode::kFastpath);
+  EXPECT_TRUE(clean.fastpath_engaged);
+  EXPECT_EQ(clean.fastpath_rearms, 0);
+}
+
 // ----------------------------------------------------- fallback triggers ---
 
 TEST(FastpathFallback, FaultsForceTheEventEngine) {

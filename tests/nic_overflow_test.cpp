@@ -216,7 +216,7 @@ TEST(NicOverflow, DropPolicyBiasUnderTwoFacedAttack) {
   // capacity 4 the adversary strike volume collides with the burst
   // backlog: Section 9.3's overwrite-oldest policy keeps the system
   // convergent while tail drop (kDropNewest) loses agreement outright —
-  // the skew delta is ~5 s vs ~2 ms (README "Drop-policy bias").  This is
+  // the skew delta is ~15 s vs ~2 ms (README "Drop-policy bias").  This is
   // genuine drop-policy physics, not the starved-window artifact: the
   // windows never empty (starved_updates stays 0 under both policies), the
   // adversary faces and surviving honest data simply differ.
@@ -226,7 +226,7 @@ TEST(NicOverflow, DropPolicyBiasUnderTwoFacedAttack) {
   spec.fault_count = 2;
   spec.delay = DelayKind::kSlow;
   spec.rounds = 8;
-  spec.seed = 21;
+  spec.seed = 12;
   spec.nic = sim::NicConfig{/*capacity=*/4, /*service_time=*/50e-6};
 
   spec.nic->drop = sim::NicDropPolicy::kDropOldest;
