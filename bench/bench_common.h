@@ -288,6 +288,18 @@ inline const char* engine_name(analysis::EngineMode engine) {
   return "?";
 }
 
+/// Column echo of a RunResult refusal reason (fastpath_refusal /
+/// pdes_refusal): "-" when the engine ran or was never consulted, else the
+/// reason with commas replaced by ';' so the string stays one CSV field.
+inline std::string refusal_csv(const std::string& reason) {
+  if (reason.empty()) return "-";
+  std::string safe = reason;
+  for (char& c : safe) {
+    if (c == ',') c = ';';
+  }
+  return safe;
+}
+
 inline proc::PlacementKind parse_placement(const std::string& name) {
   return parse_name<proc::PlacementKind>(
       name,

@@ -44,9 +44,12 @@
 //               PDES where the cell opted in with workers >= 2).
 //               Bit-identical like --ingest; the wall_s / rounds_per_sec
 //               columns show the speedup per cell, the fastpath column
-//               records whether the fast path engaged, and pdes_epochs /
-//               pdes_stalls record the conservative protocol's windows and
-//               empty windows per trial.
+//               records whether the fast path engaged, the
+//               fastpath_refusal / pdes_refusal columns say why an engine
+//               was declined ("-" when it ran or was never consulted;
+//               commas become ';' so reasons stay one field), and
+//               pdes_epochs / pdes_stalls record the conservative
+//               protocol's windows and empty windows per trial.
 //   --workers   PDES shard/worker-count axis (comma list; 0 = serial, the
 //               default).  Crossed with --engine=pdes it maps wall-clock
 //               vs shard count; under --engine=auto a nonzero value is the
@@ -71,13 +74,21 @@
 // perf-trajectory artifact (BENCH_pdes.json, the engine/pdes.h acceptance
 // workload): the deg-16 k-regular expander per (n, workers) cell, serial
 // event engine as the measured reference, with per-cell epochs/stalls and
-// per-n speedups.  Timing rows are telemetry, not gates (bit-identity is
-// gated by ctest's pdes_test).
+// per-n speedups.  Each cell is timed --reps times (default 3) and the
+// BEST wall clock is reported: a single sample is at the mercy of the host
+// scheduler — the ISSUE 8 audit of an apparently nonmonotonic n=2048 cell
+// (w=4 slower than w=2) found it unreproducible across reruns (w=4 beat
+// w=2 in 4/4 repetitions; epochs/stalls, which ARE deterministic, were
+// unchanged), i.e. pure single-sample noise, not a partition or stall
+// pathology.  Timing rows are telemetry, not gates (bit-identity is gated
+// by ctest's pdes_test; the deterministic stall-rate ceiling by
+// bench_micro --smoke).
 //
 // Every row also carries wall_s, the trial's wall-clock seconds as measured
 // inside run_experiment (per-trial telemetry from the streaming runner),
 // and hist_peak_mb, the peak retained clock/CORR history on observe rows.
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -111,8 +122,8 @@ void write_csv_header(std::ostream& out) {
          "gamma_measured,adj_bound,max_abs_adj,final_skew,validity_holds,"
          "diverged,gradient_slope,gradient_diameter,gradient_far_skew,"
          "nic_dropped,nic_drop_rate,nic_peak_queue,nic_max_burst,"
-         "hist_peak_mb,fastpath,pdes_epochs,pdes_stalls,wall_s,"
-         "rounds_per_sec\n";
+         "hist_peak_mb,fastpath,fastpath_refusal,pdes_epochs,pdes_stalls,"
+         "pdes_refusal,wall_s,rounds_per_sec\n";
 }
 
 // --pdes-json: the PDES perf-trajectory artifact (BENCH_pdes.json).  The
@@ -126,6 +137,8 @@ int run_pdes_json(const util::Flags& flags) {
   const std::string out_path =
       flags.get_string("pdes-json", "BENCH_pdes.json");
   const auto max_n = static_cast<std::int32_t>(flags.get_int("max-n", 2048));
+  const auto reps =
+      static_cast<std::int32_t>(std::max<std::int64_t>(flags.get_int("reps", 3), 1));
 
   struct Cell {
     std::int32_t n;
@@ -148,16 +161,25 @@ int run_pdes_json(const util::Flags& flags) {
       spec.engine = workers == 0 ? analysis::EngineMode::kEvent
                                  : analysis::EngineMode::kPdes;
       spec.pdes_workers = workers;
-      const auto start = std::chrono::steady_clock::now();
-      const analysis::RunResult result = analysis::run_experiment(spec);
-      const double wall =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
+      // Best of --reps: the run itself is deterministic (epochs/stalls are
+      // identical every repetition), so the repetitions only filter host
+      // scheduler noise out of the wall clock.
+      analysis::RunResult result;
+      double wall = 0.0;
+      for (std::int32_t rep = 0; rep < reps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        result = analysis::run_experiment(spec);
+        const double sample =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        if (rep == 0 || sample < wall) wall = sample;
+      }
       cells.push_back({n, workers, result.completed_rounds, result.pdes_epochs,
                        result.pdes_stalls, wall});
       std::cerr << "  n=" << n << " workers=" << workers << " "
-                << result.completed_rounds << " rounds in " << wall << " s\n";
+                << result.completed_rounds << " rounds in " << wall
+                << " s (best of " << reps << ")\n";
     }
   }
 
@@ -169,7 +191,8 @@ int run_pdes_json(const util::Flags& flags) {
   const auto rate = [](const Cell& c) {
     return c.wall_s > 0.0 ? static_cast<double>(c.rounds) / c.wall_s : 0.0;
   };
-  json << "{\n  \"workload\": \"k-regular/16 expander, P=10, seed 9\",\n"
+  json << "{\n  \"workload\": \"k-regular/16 expander, P=10, seed 9, best of "
+       << reps << " reps\",\n"
        << "  \"cells\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
@@ -368,8 +391,10 @@ int main(int argc, char** argv) {
         << r.nic.drop_rate() << ',' << r.nic.peak_queue << ','
         << r.nic.max_burst << ','
         << static_cast<double>(r.observe.peak_history_bytes) / (1024.0 * 1024.0)
-        << ',' << (r.fastpath_engaged ? 1 : 0) << ',' << r.pdes_epochs << ','
-        << r.pdes_stalls << ',' << r.wall_seconds << ','
+        << ',' << (r.fastpath_engaged ? 1 : 0) << ','
+        << bench::refusal_csv(r.fastpath_refusal) << ',' << r.pdes_epochs
+        << ',' << r.pdes_stalls << ','
+        << bench::refusal_csv(r.pdes_refusal) << ',' << r.wall_seconds << ','
         << (r.wall_seconds > 0.0 ? r.completed_rounds / r.wall_seconds : 0.0)
         << '\n';
     if (++done % 50 == 0) {

@@ -29,10 +29,12 @@
 // --engine=event|fastpath|pdes|auto A/Bs the execution engines
 // (core/fastpath.h, engine/pdes.h) the same way --batch A/Bs the fan-out
 // engine: results are bit-identical, only wall-s/round and rounds/sec
-// move.  The fp column records whether the fast path engaged (fault-free
-// arena cells: yes; NIC/observe-bounded cells: event engine); the epochs
-// and stalls columns record the conservative PDES protocol's lookahead
-// windows and empty windows.  --engine=fastpath / --engine=pdes abort on
+// move.  The fp column records whether the fast path engaged (arena cells
+// without NIC/observe-bounded pressure: yes, including staggered and
+// fault-isolating-region cells); the refusal column says WHY a cell fell
+// back to the event engine (RunResult::fastpath_refusal — the ISSUE 8
+// silent-fallback fix); the epochs and stalls columns record the
+// conservative PDES protocol's lookahead windows and empty windows.  --engine=fastpath / --engine=pdes abort on
 // ineligible cells; --workers=K (default 8 for pdes, else 0) sets the
 // shard count the topology is cut into (net/partition.h).
 
@@ -139,7 +141,7 @@ int main(int argc, char** argv) {
 
   util::Table table({"topology", "n", "msgs/round", "q-ops/round",
                      "peak-pend", "direct/round", "drop/round", "burst",
-                     "hist-MB", "fp", "epochs", "stalls", "wall-s",
+                     "hist-MB", "fp", "refusal", "epochs", "stalls", "wall-s",
                      "ms/round", "rounds/sec", "skew"});
   for (std::int32_t n = 64; n <= max_n; n *= 2) {
     std::vector<std::pair<std::string, net::TopologySpec>> cases;
@@ -175,6 +177,9 @@ int main(int argc, char** argv) {
            util::fmt(static_cast<double>(row.hist_bytes) / (1024.0 * 1024.0),
                      3),
            row.result.fastpath_engaged ? "yes" : "no",
+           row.result.fastpath_engaged || row.result.pdes_epochs > 0
+               ? "-"
+               : bench::refusal_csv(row.result.fastpath_refusal),
            std::to_string(row.result.pdes_epochs),
            std::to_string(row.result.pdes_stalls),
            util::fmt(row.wall_ms / 1000.0, 3),

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -105,11 +106,19 @@ proc::ProcessPtr build_algorithm(const RunSpec& spec) {
 /// nullptr when eligible.
 const char* fastpath_spec_block(const RunSpec& spec) {
   if (spec.algo != Algo::kWelchLynch) return "algo is not Welch-Lynch";
-  if (spec.stagger > 0.0) return "staggered broadcasts (Section 9.3)";
   if (spec.ingest != proc::IngestMode::kArena) return "legacy arrival ingestion";
-  if (!spec.fault_mix.empty() ||
-      (spec.fault != FaultKind::kNone && spec.fault_count > 0)) {
-    return "faulty processes configured";
+  const bool faults = !spec.fault_mix.empty() ||
+                      (spec.fault != FaultKind::kNone && spec.fault_count > 0);
+  if (faults) {
+    // Fault-isolating region mode (core/fastpath.h): needs an unstaggered
+    // run on a sparse exchange graph — on the full mesh every honest
+    // process neighbors the adversary, so no fast region exists.  (Whether
+    // the adversaries' actual placement leaves a nonempty honest remainder
+    // is a system-level question; ineligible_reason re-checks it.)
+    if (spec.stagger > 0.0) return "staggered broadcasts with faults present";
+    if (spec.topology.kind == net::TopologyKind::kFullMesh) {
+      return "adversary neighborhood covers the exchange graph";
+    }
   }
   if (spec.nic.has_value()) return "Section 9.3 NIC ingress model engaged";
   if (!spec.retain_history) {
@@ -409,11 +418,20 @@ RunResult Experiment::run() {
       result.fastpath_engaged = fastpath.stats().engaged;
       result.fastpath_exchanges = fastpath.stats().exchanges;
       result.fastpath_rearms = fastpath.stats().rearms;
+      result.fastpath_fast_count = fastpath.stats().fast_count;
+      result.fastpath_region_events = fastpath.stats().region_events;
+      if (!fastpath.stats().engaged) {
+        // Ran but never passed entry validation — the handoff string says
+        // why (e.g. "unexpected initial queue").
+        result.fastpath_refusal = fastpath.stats().handoff;
+      }
     } else if (spec_.engine == EngineMode::kFastpath) {
       throw std::invalid_argument(
           std::string("RunSpec: engine = kFastpath but the spec is "
                       "ineligible: ") +
           blocked);
+    } else {
+      result.fastpath_refusal = blocked;
     }
   }
 
@@ -453,6 +471,8 @@ RunResult Experiment::run() {
           std::string("RunSpec: engine = kPdes but the spec is "
                       "ineligible: ") +
           blocked);
+    } else {
+      result.pdes_refusal = blocked;
     }
   }
 
@@ -617,18 +637,69 @@ StartupResult run_startup(const StartupSpec& spec) {
   const double horizon =
       static_cast<double>(spec.rounds + 2) * round_budget +
       (spec.handoff ? 3.0 * p.P : 0.0) + 1.0;
+
+  // Streaming mode: only the round-boundary stream is consumed (it feeds
+  // b_series below).  The anchor round sits past anything the run can
+  // complete, so the skew grid collapses to finalize's endpoint sample,
+  // and the validity window opens past the horizon so it never samples.
+  std::unique_ptr<StreamingObserver> observer;
+  struct ObserverGuard {
+    sim::Simulator* sim = nullptr;
+    ~ObserverGuard() {
+      if (sim != nullptr) sim->set_observer(nullptr);
+    }
+  } observer_guard;
+  if (spec.observe) {
+    ObserveSpec ospec;
+    ospec.ids = honest;
+    ospec.params = p;
+    ospec.horizon = horizon;
+    ospec.anchor_round = std::numeric_limits<std::int32_t>::max();
+    ospec.max_rounds = spec.rounds;
+    ospec.skew_dt = round_budget;
+    ospec.validity_dt = round_budget;
+    ospec.validity_t0 = horizon + 1.0;
+    ospec.skew_hist_max = 1.0;
+    observer = std::make_unique<StreamingObserver>(sim, std::move(ospec));
+    sim.set_observer(observer.get());
+    observer_guard.sim = &sim;
+  }
+
   sim.run_until(horizon);
 
+  StreamingSummary streamed;
+  if (observer) streamed = observer->finalize(sim.current_time());
+
   StartupResult result;
+  if (observer) result.observe = streamed.stats;
   result.round_slack = core::startup_round_slack(p.rho, p.delta, p.eps);
   result.limit = core::startup_limit(p.rho, p.delta, p.eps);
 
+  // Per-round closing skews B(r), evaluated at each round's last honest
+  // begin — from the streaming round-boundary accumulator in observe mode,
+  // from the post-hoc scan otherwise.  Identical doubles either way (the
+  // observer's eval_round_skew folds the same walkers in the same id order
+  // at the same instant; pinned by tests/startup_test.cpp).
   const std::int32_t last = trace.last_complete_round(honest);
   for (std::int32_t r = 0; r <= last && r < spec.rounds; ++r) {
     const auto times = trace.begin_times(r, honest);
     if (times.empty()) break;
-    const double at = *std::max_element(times.begin(), times.end());
-    result.b_series.push_back(skew_at(sim, honest, at));
+    if (observer) {
+      const auto idx = static_cast<std::size_t>(r);
+      if (idx >= streamed.skew_at_round.size() ||
+          std::isnan(streamed.skew_at_round[idx])) {
+        // Both consumers read the same kRoundBegin annotations; a round the
+        // trace completed but the observer never saw means they
+        // desynchronized — fail loudly rather than fabricate a measurement.
+        throw std::logic_error(
+            "run_startup: streaming observer missed a round the trace "
+            "completed (round " + std::to_string(r) + ")");
+      }
+      result.b_series.push_back(streamed.skew_at_round[idx]);
+    } else {
+      const double at = *std::max_element(times.begin(), times.end());
+      result.b_series.push_back(skew_at(sim, honest, at));
+    }
   }
   result.final_b = result.b_series.empty() ? 1e300 : result.b_series.back();
 
@@ -755,6 +826,56 @@ ReintegrationResult run_reintegration(const ReintegrationSpec& spec) {
                          static_cast<double>(spec.rounds + 1) * p.P *
                              (1.0 + 2.0 * p.rho) +
                          2.0 * d.window + 1.0;
+
+  // Streaming mode: the measurement window ([join + 2P, t_end]) is only
+  // known once the victim rejoins, so step the run in P-sized chunks until
+  // the join annotation lands in the trace, then attach an observer whose
+  // skew window opens unconditionally at that instant (ObserveSpec::
+  // skew_t0) and let the rest of the run stream through it.  Chunked
+  // run_until is the same event sequence as one call, and every observer
+  // query targets t >= join + 2P > attach time, so the mid-run attach is
+  // exact (pinned bitwise by tests/reintegration_test.cpp).
+  std::unique_ptr<StreamingObserver> observer;
+  struct ObserverGuard {
+    sim::Simulator* sim = nullptr;
+    ~ObserverGuard() {
+      if (sim != nullptr) sim->set_observer(nullptr);
+    }
+  } observer_guard;
+  if (spec.observe) {
+    double join_time = -1.0;
+    double next = std::min(spec.wake_at, horizon);
+    for (;;) {
+      sim.run_until(next);
+      for (const RoundEvent& join : trace.joins()) {
+        if (join.pid == 0) {
+          join_time = join.real_time;
+          break;
+        }
+      }
+      if (join_time >= 0.0 || next >= horizon) break;
+      next = std::min(next + p.P, horizon);
+    }
+    if (join_time >= 0.0) {
+      std::vector<std::int32_t> everyone = survivors;
+      everyone.push_back(0);
+      std::sort(everyone.begin(), everyone.end());
+      ObserveSpec ospec;
+      ospec.ids = std::move(everyone);
+      ospec.params = p;
+      ospec.horizon = horizon;
+      ospec.skew_t0 = join_time + 2.0 * p.P;
+      ospec.max_rounds = spec.rounds;
+      ospec.skew_dt = p.P / 25.0;
+      ospec.validity_dt = p.P / 10.0;
+      ospec.validity_t0 = horizon + 1.0;  // never samples
+      ospec.skew_hist_max = 4.0 * d.gamma;
+      observer = std::make_unique<StreamingObserver>(sim, std::move(ospec));
+      sim.set_observer(observer.get());
+      observer_guard.sim = &sim;
+    }
+  }
+
   sim.run_until(horizon);
 
   ReintegrationResult result;
@@ -779,8 +900,18 @@ ReintegrationResult run_reintegration(const ReintegrationSpec& spec) {
   result.spread_with_joiner =
       trace.begin_spread(result.join_round, everyone);
 
+  // Steady skew including the joiner, from join + 2P to the end of the
+  // run.  The streaming accumulators produce the identical doubles: the
+  // drained grid is the same [t_check, t_end) walk plus the same endpoint
+  // sample, folded over the same ids, and when the window degenerates to
+  // the endpoint, final_skew IS skew_at(t_end).
   const double t_check = result.join_time + 2.0 * p.P;
-  if (t_check < sim.current_time()) {
+  if (observer) {
+    const StreamingSummary streamed = observer->finalize(sim.current_time());
+    result.observe = streamed.stats;
+    result.skew_after = t_check < sim.current_time() ? streamed.skew.max_skew
+                                                     : streamed.final_skew;
+  } else if (t_check < sim.current_time()) {
     result.skew_after = skew_series(sim, everyone, t_check, sim.current_time(),
                                     p.P / 25.0)
                             .max_skew;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "analysis/gradient.h"
@@ -69,10 +70,15 @@ enum class DriftKind : std::uint8_t {
 enum class EngineMode : std::uint8_t {
   kEvent = 0,     ///< the event engine only (the measured reference)
   kFastpath = 1,  ///< require the fast path; throws if the spec is ineligible
-  /// Fast path when the spec qualifies (fault-free Welch-Lynch, no NIC, no
-  /// stagger, arena ingestion, retained history); otherwise the PDES engine
-  /// when pdes_workers >= 2 and the spec qualifies (no streaming observer,
-  /// positive lookahead floor); event engine last.
+  /// Fast path when the spec qualifies: Welch-Lynch with arena ingestion,
+  /// no NIC, retained history, and either (a) fault-free — simultaneous or
+  /// staggered (Section 9.3) broadcasts both batch — or (b) faults on a
+  /// sparse unstaggered topology whose adversary closed neighborhood
+  /// leaves a nonempty honest remainder (the fault-isolating region mode;
+  /// core/fastpath.h).  Otherwise the PDES engine when pdes_workers >= 2
+  /// and the spec qualifies (no streaming observer, positive lookahead
+  /// floor); event engine last.  RunResult::fastpath_refusal /
+  /// pdes_refusal record why a declined engine was declined.
   kAuto = 2,
   /// Require the conservative PDES engine (engine/pdes.h); throws if the
   /// spec is ineligible.  Bit-identical to kEvent like the other engines.
@@ -234,6 +240,19 @@ struct RunResult {
   /// Times the fast path re-armed after a clean handoff to the event
   /// engine mid-run (core/fastpath.h).  Telemetry, not physics.
   std::int64_t fastpath_rearms = 0;
+  /// Fast-set size and merged-loop engine dispatches (FastPathStats::
+  /// fast_count / region_events); zero unless the fast path ran.
+  std::int32_t fastpath_fast_count = 0;
+  std::int64_t fastpath_region_events = 0;
+  /// Why engine = kAuto declined (or disengaged from) the fast path / the
+  /// PDES engine: the spec- or system-level block reason, or the entry
+  /// handoff when the fast path ran but never engaged.  Empty when the
+  /// engine engaged or was never a candidate (e.g. pdes_workers < 2).
+  /// Telemetry, NOT part of results_identical — like wall_seconds it
+  /// describes how the run was computed, and the silent-fallback bug it
+  /// fixes was precisely that this information evaporated.
+  std::string fastpath_refusal;
+  std::string pdes_refusal;
   /// PDES telemetry (engine/pdes.h): conservative windows executed and
   /// lane-epochs that dispatched nothing.  Zero when the engine didn't
   /// run.  Like wall_seconds, NOT part of results_identical.
@@ -302,6 +321,13 @@ struct StartupSpec {
   DelayKind delay = DelayKind::kUniform;
   DriftKind drift = DriftKind::kExtremal;
   std::uint64_t seed = 1;
+  /// Streaming in-run observation (analysis/observe.h): measure b_series
+  /// through a StreamingObserver's round-boundary stream instead of the
+  /// post-hoc per-round skew_at scans.  Bit-identical either way
+  /// (tests/startup_test.cpp) — this flag used to be silently ignored by
+  /// run_startup; now it switches the measurement engine like
+  /// RunSpec::observe does for Experiment::run.
+  bool observe = false;
 };
 
 struct StartupResult {
@@ -313,6 +339,9 @@ struct StartupResult {
   double final_b = 0.0;
   bool handoff_done = false;
   double post_handoff_skew = 0.0;  ///< steady skew under maintenance
+  /// Observation telemetry (defaults when StartupSpec::observe is off).
+  /// Like RunResult::observe, NOT part of any identity comparison.
+  ObserveStats observe;
 };
 
 [[nodiscard]] StartupResult run_startup(const StartupSpec& spec);
@@ -328,6 +357,13 @@ struct ReintegrationSpec {
   DelayKind delay = DelayKind::kUniform;
   DriftKind drift = DriftKind::kExtremal;
   std::uint64_t seed = 1;
+  /// Streaming in-run observation: run in P-sized chunks until the victim
+  /// rejoins, then attach a StreamingObserver whose skew window opens at
+  /// join_time + 2P (ObserveSpec::skew_t0) and measure skew_after from its
+  /// accumulators instead of the post-hoc skew_series walk.  Bit-identical
+  /// either way (tests/reintegration_test.cpp); previously this knob did
+  /// not exist and observation requests were silently impossible here.
+  bool observe = false;
 };
 
 struct ReintegrationResult {
@@ -340,6 +376,9 @@ struct ReintegrationResult {
   double beta = 0.0;
   double skew_after = 0.0;  ///< steady skew including the joiner
   double gamma_bound = 0.0;
+  /// Observation telemetry (defaults when ReintegrationSpec::observe is
+  /// off).  NOT part of any identity comparison.
+  ObserveStats observe;
 };
 
 [[nodiscard]] ReintegrationResult run_reintegration(const ReintegrationSpec& spec);

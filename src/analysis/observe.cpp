@@ -62,6 +62,15 @@ StreamingObserver::StreamingObserver(sim::Simulator& sim, ObserveSpec spec)
     gradient_rows_.assign(axis_.distances.size() * gradient_capacity_, 0.0);
   }
 
+  // An explicit window-open instant bypasses the anchor-round trigger (the
+  // on_round_begin anchor block is guarded on skew_open_).
+  if (spec_.skew_t0 >= 0.0) {
+    skew_open_ = true;
+    t_steady_ = spec_.skew_t0;
+    skew_next_ = spec_.skew_t0;
+    stats_.t_steady = spec_.skew_t0;
+  }
+
   // Validity folds start exactly where check_validity starts them.
   validity_next_ = spec_.validity_t0;
   max_upper_ = -std::numeric_limits<double>::infinity();
@@ -260,8 +269,18 @@ void StreamingObserver::on_round_begin(std::int32_t pid, std::int32_t round,
     pending_round_ = round;
     pending_instant_ = t;
   } else {
-    // Straggler begin for an already-flushed round: re-evaluate at the new
-    // (chronologically later, hence larger) instant.
+    // Begin for an earlier round number — a regime change restarted the
+    // numbering (the startup handoff resumes maintenance at its own round
+    // index) or a straggler landed after its round flushed.  The pending
+    // round must be evaluated first: its instant precedes this one, and
+    // the round walkers only move forward.  Then re-evaluate the earlier
+    // round at the new (chronologically later, hence larger) instant —
+    // the post-hoc loop evaluates at the max begin over ALL begins that
+    // carry the round number, whichever regime produced them.
+    if (pending_round_ >= 0) {
+      eval_round_skew(pending_round_, pending_instant_);
+      pending_round_ = -1;
+    }
     eval_round_skew(round, t);
   }
 }

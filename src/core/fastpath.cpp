@@ -7,6 +7,7 @@
 
 #include "clock/physical_clock.h"
 #include "core/welch_lynch.h"
+#include "net/topology.h"
 #include "proc/arrival.h"
 #include "proc/reduce_kernels.h"
 #include "sim/simulator.h"
@@ -91,14 +92,50 @@ RoundFastPath::~RoundFastPath() = default;
 const char* RoundFastPath::ineligible_reason(sim::Simulator& sim) {
   if (sim.process_count() == 0) return "no processes registered";
   if (sim.nic_enabled()) return "Section 9.3 NIC ingress model engaged";
-  for (std::int32_t id = 0; id < sim.process_count(); ++id) {
-    if (sim.is_faulty(id)) return "faulty processes registered";
+  const std::int32_t n = sim.process_count();
+  std::vector<std::int32_t> faulty;
+  for (std::int32_t id = 0; id < n; ++id) {
+    if (sim.is_faulty(id)) faulty.push_back(id);
+  }
+  // The fast set: everyone when fault-free; the honest remainder outside
+  // the adversaries' closed neighborhood otherwise.  A fast pid has no
+  // faulty neighbor by construction, so its collection window can only be
+  // fed by the batched kernel and by honest region senders the merged loop
+  // dispatches at their exact instants.
+  std::vector<char> fast(static_cast<std::size_t>(n), 1);
+  if (!faulty.empty()) {
+    if (!sim.config_.topology.has_value()) {
+      // Implicit full mesh: every honest process is the adversary's
+      // neighbor, so no fast region exists.
+      return "adversary neighborhood covers the exchange graph";
+    }
+    for (std::int32_t r : sim.config_.topology->closed_neighborhood(faulty)) {
+      fast[static_cast<std::size_t>(r)] = 0;
+    }
+    bool any_fast = false;
+    for (std::int32_t id = 0; id < n && !any_fast; ++id) {
+      any_fast = fast[static_cast<std::size_t>(id)] != 0;
+    }
+    if (!any_fast) return "adversary neighborhood covers the exchange graph";
+  }
+  double stagger = 0.0;
+  bool stagger_seen = false;
+  for (std::int32_t id = 0; id < n; ++id) {
+    if (!fast[static_cast<std::size_t>(id)]) continue;
     auto* wl = dynamic_cast<WelchLynchProcess*>(&sim.process(id));
     if (wl == nullptr) return "a process is not WelchLynchProcess";
-    if (wl->config().stagger > 0.0) return "staggered broadcasts (Section 9.3)";
     if (wl->config().ingest != proc::IngestMode::kArena) {
       return "legacy arrival ingestion";
     }
+    if (!stagger_seen) {
+      stagger = wl->config().stagger;
+      stagger_seen = true;
+    } else if (wl->config().stagger != stagger) {
+      return "inconsistent stagger across processes";
+    }
+  }
+  if (stagger > 0.0 && !faulty.empty()) {
+    return "staggered broadcasts with faults present";
   }
   for (sim::TraceSink* sink : sim.main_.sinks) {
     if (sink->wants_message_events()) {
@@ -140,26 +177,42 @@ void RoundFastPath::on_annotate(std::int32_t pid,
   }
 }
 
-void RoundFastPath::on_broadcast(std::int32_t from, std::int32_t /*tag*/,
-                                 double /*value*/, std::int32_t /*aux*/) {
+void RoundFastPath::on_broadcast(std::int32_t from, std::int32_t tag,
+                                 double value, std::int32_t aux) {
   // Mirror of do_broadcast's observable effects: per recipient in neighbor
   // order, draw the A3-validated delay (the engine's only runtime RNG
   // consumer — same stream, same order), count the message and consume one
   // seq (the engine stamps one per delivery whether fanned out batched or
-  // per-recipient).  The payload is not stored: without stagger the
-  // algorithm records arrival TIMES only, never message contents, and the
-  // bail protocol never needs to re-inject a delivery (every bail point
-  // precedes the first draw of its exchange).
+  // per-recipient).  Fast recipients go into the delivery matrix; in
+  // kRegion, recipients inside the tainted region get a real scheduler
+  // entry carrying the pre-drawn delay and pre-allocated seq — exactly the
+  // kDeliver event the serial engine's fan-out would have keyed.  The
+  // payload matters only for those: the fast-side algorithm records
+  // arrival TIMES, and the bail protocol never needs to re-inject a
+  // kernel delivery (every bail point precedes the first draw of its
+  // exchange).
   const std::span<const std::int32_t> recipients = sim_.neighbors_of(from);
   double* row = times_.data() + row_offset_[static_cast<std::size_t>(from)];
+  std::size_t cursor = 0;
+  const bool region = mode_ == Mode::kRegion;
+  sim::Message msg;
+  if (region) msg = sim::make_app(from, tag, value, aux);
   for (std::size_t j = 0; j < recipients.size(); ++j) {
+    const std::int32_t to = recipients[j];
     const double deliver_time =
-        sim_.main_.current_time + sim_.draw_delay(sim_.main_, from, recipients[j]);
+        sim_.main_.current_time + sim_.draw_delay(sim_.main_, from, to);
     ++sim_.main_.messages_sent;
-    (void)sim_.alloc_seq(from);
-    row[j] = deliver_time;
-    deliver_min_ = std::min(deliver_min_, deliver_time);
-    deliver_max_ = std::max(deliver_max_, deliver_time);
+    const std::uint64_t seq = sim_.alloc_seq(from);
+    if (!region || fast_[static_cast<std::size_t>(to)]) {
+      (void)seq;
+      row[cursor++] = deliver_time;
+      deliver_min_ = std::min(deliver_min_, deliver_time);
+      deliver_max_ = std::max(deliver_max_, deliver_time);
+    } else {
+      sim_.schedule_raw(sim_.main_, deliver_time, /*tier=*/0, seq, to,
+                        sim::EngineKind::kDeliver, msg);
+      engine_head_valid_ = false;
+    }
   }
   ++broadcasts_recorded_;
 }
@@ -169,13 +222,41 @@ void RoundFastPath::on_set_timer_logical(std::int32_t pid, double logical_time,
   // Verbatim do_set_timer_logical -> do_set_timer_physical ->
   // do_set_timer_real chain, recording instead of scheduling.  The drop
   // rule consumes no seq in the engine either (schedule_event is never
-  // reached), so seq streams stay aligned.
+  // reached), so seq streams stay aligned.  Records route by tag: update
+  // timers into the active update set; broadcast timers into the phase-1
+  // worklist while it runs (a staggered START arms its broadcast timer for
+  // later in the SAME exchange) or into the next-exchange stratum during
+  // phase 3.
   const auto i = static_cast<std::size_t>(pid);
   const double physical_target =
       logical_time - sim_.nodes_[i].corr.current_target();
   const double real = sim_.nodes_[i].clock->to_real(physical_target);
   if (real <= sim_.main_.current_time) return;
-  record_->push_back({real, sim_.alloc_seq(pid), pid, tag});
+  const std::uint64_t seq = sim_.alloc_seq(pid);
+  if (tag == kBcastTimer) {
+    if (worklist_active_) {
+      worklist_.push_back({real, 1, seq, pid, tag, Kind::kTimer});
+      std::push_heap(worklist_.begin(), worklist_.end(),
+                     [](const PendingEvent& a, const PendingEvent& b) {
+                       if (a.time != b.time) return a.time > b.time;
+                       if (a.tier != b.tier) return a.tier > b.tier;
+                       return a.seq > b.seq;
+                     });
+    } else if (record_bcast_ != nullptr) {
+      record_bcast_->push_back({real, seq, pid, tag});
+    } else {
+      throw std::logic_error(
+          "RoundFastPath: broadcast timer armed outside a replay phase");
+    }
+  } else if (tag == kUpdateTimer) {
+    if (record_update_ == nullptr) {
+      throw std::logic_error(
+          "RoundFastPath: update timer armed outside a replay phase");
+    }
+    record_update_->push_back({real, seq, pid, tag});
+  } else {
+    throw std::logic_error("RoundFastPath: unexpected timer tag");
+  }
 }
 
 // --- setup -----------------------------------------------------------------
@@ -185,14 +266,54 @@ void RoundFastPath::init() {
   const auto n = static_cast<std::size_t>(n_);
   mesh_ = !sim_.config_.topology.has_value();
 
-  wl_.resize(n);
+  // Mode + fast set: mirrors ineligible_reason, which already vetted the
+  // combination (faults imply an explicit topology and a nonempty honest
+  // remainder; stagger implies no faults).
+  std::vector<std::int32_t> faulty;
+  for (std::int32_t id = 0; id < n_; ++id) {
+    if (sim_.is_faulty(id)) faulty.push_back(id);
+  }
+  fast_.assign(n, 1);
+  if (!faulty.empty()) {
+    for (std::int32_t r : sim_.config_.topology->closed_neighborhood(faulty)) {
+      fast_[static_cast<std::size_t>(r)] = 0;
+    }
+  }
+  fast_ids_.clear();
+  for (std::int32_t id = 0; id < n_; ++id) {
+    if (fast_[static_cast<std::size_t>(id)]) fast_ids_.push_back(id);
+  }
+  wl_.assign(n, nullptr);
+  for (std::int32_t id : fast_ids_) {
+    wl_[static_cast<std::size_t>(id)] =
+        dynamic_cast<WelchLynchProcess*>(&sim_.process(id));
+  }
+  stagger_ = wl_[static_cast<std::size_t>(fast_ids_.front())]->config().stagger;
+  mode_ = !faulty.empty() ? Mode::kRegion
+                          : (stagger_ > 0.0 ? Mode::kStaggered : Mode::kPlain);
+  stats_.fast_count = static_cast<std::int32_t>(fast_ids_.size());
+  if (mode_ == Mode::kStaggered) {
+    // The receiver-side normalization the engine applies per time message:
+    // arrival -= (double)from * stagger.  Same product, same double.
+    off_.resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      off_[s] = static_cast<double>(s) * stagger_;
+    }
+  }
+
   row_offset_.assign(n + 1, 0);
   total_deg_ = 0;
   for (std::int32_t id = 0; id < n_; ++id) {
     const auto i = static_cast<std::size_t>(id);
-    wl_[i] = dynamic_cast<WelchLynchProcess*>(&sim_.process(id));
     row_offset_[i] = static_cast<std::size_t>(total_deg_);
-    total_deg_ += sim_.neighbors_of(id).size();
+    if (!fast_[i]) continue;
+    if (mode_ == Mode::kRegion) {
+      for (std::int32_t to : sim_.neighbors_of(id)) {
+        if (fast_[static_cast<std::size_t>(to)]) ++total_deg_;
+      }
+    } else {
+      total_deg_ += sim_.neighbors_of(id).size();
+    }
     // Bind the arena up front (the engine binds lazily at the first
     // delivery, with the same arguments and the same all-sentinel fill, so
     // the observable state and the rebind counter are identical).
@@ -205,15 +326,16 @@ void RoundFastPath::init() {
 
   if (!mesh_) {
     // Receiver-major view of the delivery matrix, built once: for each
-    // sender row entry (s -> to), the receiving arena slot of s.  Entries
-    // whose sender is not in the receiver's neighborhood (slot < 0) are
-    // skipped outright — ArrivalArena::record drops them the same way.
+    // kernel entry (s -> to), the receiving arena slot of s (plus s's
+    // stagger offset when staggered).  Entries whose sender is not in the
+    // receiver's neighborhood (slot < 0) are skipped outright —
+    // ArrivalArena::record drops them the same way.
     std::vector<std::size_t> counts(n + 1, 0);
-    for (std::int32_t s = 0; s < n_; ++s) {
+    for (std::int32_t s : fast_ids_) {
       for (std::int32_t to : sim_.neighbors_of(s)) {
-        if (wl_[static_cast<std::size_t>(to)]->arena_.slot_of(s) >= 0) {
-          ++counts[static_cast<std::size_t>(to)];
-        }
+        const auto r = static_cast<std::size_t>(to);
+        if (!fast_[r]) continue;
+        if (wl_[r]->arena_.slot_of(s) >= 0) ++counts[r];
       }
     }
     recv_offset_.assign(n + 1, 0);
@@ -222,16 +344,24 @@ void RoundFastPath::init() {
     }
     recv_flat_.resize(recv_offset_[n]);
     recv_slot_.resize(recv_offset_[n]);
+    recv_off_.assign(mode_ == Mode::kStaggered ? recv_offset_[n] : 0, 0.0);
     std::vector<std::size_t> cursor(recv_offset_.begin(), recv_offset_.end() - 1);
-    for (std::int32_t s = 0; s < n_; ++s) {
+    for (std::int32_t s : fast_ids_) {
       const std::span<const std::int32_t> recipients = sim_.neighbors_of(s);
+      std::size_t pos = row_offset_[static_cast<std::size_t>(s)];
       for (std::size_t j = 0; j < recipients.size(); ++j) {
         const auto r = static_cast<std::size_t>(recipients[j]);
+        if (mode_ == Mode::kRegion && !fast_[r]) continue;  // scheduled, not matrixed
         const std::int32_t slot = wl_[r]->arena_.slot_of(s);
-        if (slot < 0) continue;
-        recv_flat_[cursor[r]] = row_offset_[static_cast<std::size_t>(s)] + j;
-        recv_slot_[cursor[r]] = slot;
-        ++cursor[r];
+        if (slot >= 0) {
+          recv_flat_[cursor[r]] = pos;
+          recv_slot_[cursor[r]] = slot;
+          if (mode_ == Mode::kStaggered) {
+            recv_off_[cursor[r]] = off_[static_cast<std::size_t>(s)];
+          }
+          ++cursor[r];
+        }
+        ++pos;
       }
     }
   }
@@ -239,53 +369,103 @@ void RoundFastPath::init() {
   pending_.reserve(n);
   timers_.reserve(n);
   next_timers_.reserve(n);
+  entry_updates_.reserve(n);
   pred_update_.resize(n);
   pred_wend_.resize(n);
 }
 
 bool RoundFastPath::take_entry_events() {
-  // The entry stratum must be exactly one START per process (the A4
-  // schedule Experiment::build lays down) OR one tier-1 broadcast timer per
-  // process — the shape of a clean exchange boundary, which is what re-arm
-  // finds mid-run.  Anything else — a partially run simulator, a
-  // reintegration wake-up, extra app events — goes back into the scheduler
-  // untouched: the handles still hold their seqs, so pushing them back
-  // reconstructs the identical queue.
+  // The entry stratum must be a clean exchange boundary.  kPlain: exactly
+  // one START (the A4 schedule Experiment::build lays down) or one tier-1
+  // broadcast timer per process.  kStaggered additionally accepts the
+  // steady-state 2n-1 shape: one broadcast timer per process plus the
+  // pre-armed update timer begin_exchange gave every p > 0 (p = 0 arms its
+  // update at its broadcast).  kRegion extracts one START-or-broadcast-
+  // timer per FAST pid and leaves region events scheduled; any pending
+  // fast-pid update timer means the fast set is mid-exchange — not a
+  // boundary.  Anything else goes back into the scheduler untouched: the
+  // handles still hold their seqs, so pushing them back reconstructs the
+  // identical queue.
   const auto n = static_cast<std::size_t>(n_);
-  std::vector<sim::EventHandle> handles;
+  engine_head_valid_ = false;
+  sim::Simulator::Lane& lane = sim_.main_;
+  std::vector<sim::EventHandle> handles;   // boundary candidates
+  std::vector<sim::EventHandle> others;    // kRegion: stays with the engine
   handles.reserve(n);
-  while (!sim_.main_.scheduler->empty()) {
-    handles.push_back(sim_.main_.scheduler->pop());
-    ++sim_.main_.queue_pops;
-  }
-  bool ok = handles.size() == n;
+  bool ok = true;
+  bool any_start = false;
+  std::size_t bcount = 0;
+  std::size_t ucount = 0;
   seen_.assign(n, 0);
-  for (const sim::EventHandle h : handles) {
-    if (!ok) break;
-    const sim::Event& e = sim_.main_.pool[h];
-    const bool start = e.engine_kind == sim::EngineKind::kDeliver &&
-                       e.msg.kind == sim::Kind::kStart && e.tier == 0;
-    const bool bcast_timer = e.engine_kind == sim::EngineKind::kDeliver &&
-                             e.msg.kind == sim::Kind::kTimer && e.tier == 1 &&
-                             e.msg.tag == kBcastTimer;
-    const bool fresh = e.to >= 0 && e.to < n_ &&
-                       seen_[static_cast<std::size_t>(e.to)] == 0;
-    ok = (start || bcast_timer) && fresh;
-    if (fresh) seen_[static_cast<std::size_t>(e.to)] = 1;
+  std::vector<char> upd(n, 0);
+  while (!lane.scheduler->empty()) {
+    const sim::EventHandle h = lane.scheduler->pop();
+    ++lane.queue_pops;
+    const sim::Event& e = lane.pool[h];
+    const bool deliver = e.engine_kind == sim::EngineKind::kDeliver;
+    const bool in_range = e.to >= 0 && e.to < n_;
+    const bool start = deliver && e.msg.kind == sim::Kind::kStart && e.tier == 0;
+    const bool bcast_timer = deliver && e.msg.kind == sim::Kind::kTimer &&
+                             e.tier == 1 && e.msg.tag == kBcastTimer;
+    const bool update_timer = deliver && e.msg.kind == sim::Kind::kTimer &&
+                              e.tier == 1 && e.msg.tag == kUpdateTimer;
+    if (mode_ == Mode::kRegion) {
+      const bool to_fast =
+          in_range && fast_[static_cast<std::size_t>(e.to)] != 0;
+      if (to_fast && (start || bcast_timer)) {
+        if (seen_[static_cast<std::size_t>(e.to)] != 0) ok = false;
+        seen_[static_cast<std::size_t>(e.to)] = 1;
+        ++bcount;
+        handles.push_back(h);
+      } else {
+        // A fast-pid timer that is not a boundary broadcast timer (its
+        // update timer, in particular) means we are mid-exchange.
+        if (to_fast && deliver && e.msg.kind == sim::Kind::kTimer) ok = false;
+        others.push_back(h);
+      }
+      continue;
+    }
+    handles.push_back(h);
+    if ((start || bcast_timer) && in_range &&
+        seen_[static_cast<std::size_t>(e.to)] == 0) {
+      seen_[static_cast<std::size_t>(e.to)] = 1;
+      ++bcount;
+      any_start = any_start || start;
+    } else if (update_timer && mode_ == Mode::kStaggered && in_range &&
+               e.to > 0 && upd[static_cast<std::size_t>(e.to)] == 0) {
+      upd[static_cast<std::size_t>(e.to)] = 1;
+      ++ucount;
+    } else {
+      ok = false;
+    }
+  }
+  ok = ok && bcount == fast_ids_.size();
+  if (mode_ != Mode::kRegion && ucount != 0) {
+    // The pre-armed shape is all-or-nothing: n broadcast timers (no
+    // STARTs) and one update timer for every p > 0.
+    ok = ok && mode_ == Mode::kStaggered && !any_start && ucount == n - 1;
   }
   if (!ok) {
-    for (const sim::EventHandle h : handles) sim_.push_handle(sim_.main_, h);
-    stats_.handoff = "unexpected initial queue";
+    for (const sim::EventHandle h : handles) sim_.push_handle(lane, h);
+    for (const sim::EventHandle h : others) sim_.push_handle(lane, h);
+    stats_.handoff = mode_ == Mode::kRegion ? "fast region boundary not clean"
+                                            : "unexpected initial queue";
     return false;
   }
+  for (const sim::EventHandle h : others) sim_.push_handle(lane, h);
   pending_.clear();
+  entry_updates_.clear();
   for (const sim::EventHandle h : handles) {
-    const sim::Event& e = sim_.main_.pool[h];
-    const bool start = e.msg.kind == sim::Kind::kStart;
-    pending_.push_back({e.time, e.tier, e.seq, e.to,
-                        start ? 0 : e.msg.tag,
-                        start ? Kind::kStart : Kind::kTimer});
-    sim_.main_.pool.release(h);
+    const sim::Event& e = lane.pool[h];
+    if (e.msg.kind == sim::Kind::kTimer && e.msg.tag == kUpdateTimer) {
+      entry_updates_.push_back({e.time, e.seq, e.to, e.msg.tag});
+    } else {
+      const bool start = e.msg.kind == sim::Kind::kStart;
+      pending_.push_back({e.time, e.tier, e.seq, e.to,
+                          start ? 0 : e.msg.tag,
+                          start ? Kind::kStart : Kind::kTimer});
+    }
+    lane.pool.release(h);
   }
   return true;
 }
@@ -304,11 +484,31 @@ bool RoundFastPath::try_rearm(double horizon) {
     // consumed at least one event can a genuinely new boundary emerge.
     if (lane.scheduler->empty()) return false;
     if (lane.pool[lane.scheduler->peek()].time > horizon) return false;
+    bool attempt = false;
+    if (mode_ == Mode::kRegion) {
+      // While disengaged the fast pids run on the engine like everyone
+      // else; a boundary can only complete right after a fast pid's
+      // update (arming its next broadcast timer) or START.
+      const sim::Event& e = lane.pool[lane.scheduler->peek()];
+      attempt = e.engine_kind == sim::EngineKind::kDeliver && e.to >= 0 &&
+                e.to < n_ && fast_[static_cast<std::size_t>(e.to)] != 0 &&
+                ((e.msg.kind == sim::Kind::kTimer && e.tier == 1 &&
+                  e.msg.tag == kUpdateTimer) ||
+                 e.msg.kind == sim::Kind::kStart);
+    }
     // One engine event, exactly as run_until would dispatch it (count_event
     // enforces the budget and throws where the engine would).
     ++lane.queue_pops;
     sim_.dispatch(lane, lane.scheduler->pop(), horizon);
-    if (lane.scheduler->size() == n) {
+    if (mode_ == Mode::kRegion) {
+      if (attempt) {
+        if (take_entry_events()) return true;
+        stats_.handoff = bail;
+      }
+      continue;
+    }
+    if (lane.scheduler->size() == n ||
+        (mode_ == Mode::kStaggered && lane.scheduler->size() == 2 * n - 1)) {
       // Cheap pre-check before draining: a boundary's head is a tier-1
       // broadcast timer (or a START, for systems still waking up).
       const sim::Event& head = lane.pool[lane.scheduler->peek()];
@@ -324,11 +524,18 @@ bool RoundFastPath::try_rearm(double horizon) {
 }
 
 void RoundFastPath::inject_pending(const char* reason) {
+  engine_head_valid_ = false;
   stats_.handoff = reason;
   // A deliver/timer event keyed (time, tier, seq) is indistinguishable from
   // the scheduler entry the engine would have held — same EventKey, same
-  // dispatch.  The run_exchange invariants keep every pending time at or
-  // after current_time_; the min() is defensive only.
+  // dispatch.  Pre-armed staggered update timers held across the boundary
+  // are part of the stratum and go back with it.  The run_exchange
+  // invariants keep every pending time at or after current_time_; the
+  // min() is defensive only.
+  for (const PendingTimer& t : entry_updates_) {
+    pending_.push_back({t.time, 1, t.seq, t.pid, t.tag, Kind::kTimer});
+  }
+  entry_updates_.clear();
   double tmin = sim_.main_.current_time;
   for (const PendingEvent& e : pending_) tmin = std::min(tmin, e.time);
   sim_.main_.current_time = tmin;
@@ -345,6 +552,57 @@ void RoundFastPath::inject_pending(const char* reason) {
     sim_.push_handle(sim_.main_, h);
   }
   pending_.clear();
+}
+
+void RoundFastPath::advance_engine_to(double time, std::int32_t tier,
+                                      std::uint64_t seq) {
+  // kRegion merged loop: everything the scheduler holds strictly before the
+  // fast event's (time, tier, seq) key runs through the regular engine
+  // first — region timers and fan-outs, deliveries into the fast arenas,
+  // adversary sends — so observable state at the fast replay instant is
+  // exactly the serial engine's.  The fast event's time caps fan-out run
+  // extension (dispatch_fanout requeues past the limit), so nothing leaks
+  // beyond the boundary key.
+  sim::Simulator::Lane& lane = sim_.main_;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tier)) << 62) | seq;
+  if (engine_head_valid_ &&
+      !(engine_head_time_ < time ||
+        (engine_head_time_ == time && engine_head_key_ < key))) {
+    return;  // head unchanged since last look and not yet due
+  }
+  while (!lane.scheduler->empty()) {
+    const sim::Event& head = lane.pool[lane.scheduler->peek()];
+    const std::uint64_t head_key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(head.tier))
+         << 62) |
+        head.seq;
+    if (!(head.time < time || (head.time == time && head_key < key))) break;
+    if (head.engine_kind == sim::EngineKind::kDeliver &&
+        head.msg.kind == sim::Kind::kTimer && head.to >= 0 && head.to < n_ &&
+        fast_[static_cast<std::size_t>(head.to)] != 0) {
+      // While engaged, every fast-pid timer lives in pending_/timers_ —
+      // processes only arm their own timers, so one in the scheduler means
+      // the replay diverged.  Fail loudly rather than desynchronize.
+      throw std::logic_error(
+          "RoundFastPath: fast-region timer escaped to the scheduler");
+    }
+    ++lane.queue_pops;
+    ++stats_.region_events;
+    sim_.dispatch(lane, lane.scheduler->pop(), time);
+  }
+  if (lane.scheduler->empty()) {
+    engine_head_time_ = std::numeric_limits<double>::infinity();
+    engine_head_key_ = ~std::uint64_t{0};
+  } else {
+    const sim::Event& head = lane.pool[lane.scheduler->peek()];
+    engine_head_time_ = head.time;
+    engine_head_key_ =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(head.tier))
+         << 62) |
+        head.seq;
+  }
+  engine_head_valid_ = true;
 }
 
 // --- the per-exchange loop -------------------------------------------------
@@ -368,11 +626,12 @@ void RoundFastPath::run(double horizon) {
   }
 }
 
+
 bool RoundFastPath::run_exchange(double horizon) {
-  const auto n = static_cast<std::size_t>(n_);
+  const std::size_t nf = fast_ids_.size();
 
   // --- phase 0: validate the stratum and predict the whole exchange ---
-  if (pending_.size() != n) {
+  if (pending_.size() != nf) {
     inject_pending("pending stratum incomplete");
     return false;
   }
@@ -382,24 +641,47 @@ bool RoundFastPath::run_exchange(double horizon) {
               if (a.tier != b.tier) return a.tier < b.tier;
               return a.seq < b.seq;
             });
-  seen_.assign(n, 0);
+  seen_.assign(static_cast<std::size_t>(n_), 0);
+  double b_max = -std::numeric_limits<double>::infinity();
   for (const PendingEvent& e : pending_) {
     const bool legal =
         e.kind == Kind::kStart || (e.kind == Kind::kTimer && e.tag == kBcastTimer);
     if (!legal || e.pid < 0 || e.pid >= n_ ||
+        !fast_[static_cast<std::size_t>(e.pid)] ||
         seen_[static_cast<std::size_t>(e.pid)] != 0) {
       inject_pending("pending stratum malformed");
       return false;
     }
     seen_[static_cast<std::size_t>(e.pid)] = 1;
+    // The broadcast instant this event leads to.  A staggered START does
+    // not broadcast at its own time: begin_exchange arms a broadcast timer
+    // at broadcast_label for p > 0 — predict it through the same
+    // CORR/to_real chain set_timer will use (CORR cannot change first).
+    double b = e.time;
+    if (mode_ == Mode::kStaggered && e.kind == Kind::kStart && e.pid > 0) {
+      const auto i = static_cast<std::size_t>(e.pid);
+      FastPathContext ctx(*this, e.pid);
+      const double bl = wl_[i]->broadcast_label(ctx);
+      const double physical = bl - sim_.nodes_[i].corr.current_target();
+      b = sim_.nodes_[i].clock->to_real(physical);
+      if (!(b > e.time)) {
+        // The engine would drop the timer and the pid would never
+        // broadcast — a shape this phase structure cannot represent.
+        inject_pending("pending stratum malformed");
+        return false;
+      }
+    }
+    b_max = std::max(b_max, b);
   }
-  const double b_max = pending_.back().time;
   if (b_max > horizon) {
     inject_pending(kBailHorizon);
     return false;
   }
-  if (sim_.main_.events_processed + n + total_deg_ + n > sim_.config_.max_events) {
-    // The engine must own the exact event at which max_events trips.
+  if (sim_.main_.events_processed + nf + total_deg_ + nf >
+      sim_.config_.max_events) {
+    // The engine must own the exact event at which max_events trips.  (In
+    // kRegion the merged loop's engine events may still trip it mid-
+    // exchange; count_event throws there exactly as the serial run would.)
     inject_pending(kBailBudget);
     return false;
   }
@@ -410,7 +692,7 @@ bool RoundFastPath::run_exchange(double horizon) {
   // do_set_timer_logical will compute in phase 1.
   double u_min = std::numeric_limits<double>::infinity();
   double u_max = -std::numeric_limits<double>::infinity();
-  for (std::int32_t pid = 0; pid < n_; ++pid) {
+  for (std::int32_t pid : fast_ids_) {
     const auto i = static_cast<std::size_t>(pid);
     FastPathContext ctx(*this, pid);
     const double wend = wl_[i]->window_end(ctx);
@@ -421,13 +703,31 @@ bool RoundFastPath::run_exchange(double horizon) {
     u_min = std::min(u_min, u);
     u_max = std::max(u_max, u);
   }
+  if (!entry_updates_.empty()) {
+    // kStaggered steady state: one pre-armed update timer per p > 0, each
+    // at its predicted instant bit-for-bit (armed by the same formula with
+    // the same inputs).  Anything else is not the boundary we took.
+    bool valid = mode_ == Mode::kStaggered && entry_updates_.size() == nf - 1;
+    seen_.assign(static_cast<std::size_t>(n_), 0);
+    for (const PendingTimer& t : entry_updates_) {
+      valid = valid && t.pid > 0 && t.pid < n_ && t.tag == kUpdateTimer &&
+              seen_[static_cast<std::size_t>(t.pid)] == 0 &&
+              t.time == pred_update_[static_cast<std::size_t>(t.pid)];
+      if (!valid) break;
+      seen_[static_cast<std::size_t>(t.pid)] = 1;
+    }
+    if (!valid) {
+      inject_pending("pending stratum malformed");
+      return false;
+    }
+  }
   if (u_max > horizon) {
     inject_pending(kBailHorizon);
     return false;
   }
-  // Strict phase separation: every delivery (<= send + delta + eps + the
-  // delay tolerance) must precede every update, or the engine's global
-  // order would interleave collection with adjustment.
+  // Strict phase separation: every kernel delivery (<= send + delta + eps +
+  // the delay tolerance) must precede every fast update, or the engine's
+  // global order would interleave collection with adjustment.
   if (!(b_max + sim_.config_.delta + sim_.config_.eps + kSeparationSlack <=
         u_min)) {
     inject_pending("phase separation violated");
@@ -435,12 +735,31 @@ bool RoundFastPath::run_exchange(double horizon) {
   }
 
   // --- phase 1: broadcasts through the real process code ---
-  timers_.clear();
-  record_ = &timers_;
+  // Swap, not move-assign: a moved-from vector has no capacity, and these
+  // four buffers (timers_/entry_updates_, worklist_/pending_) rotate every
+  // exchange — moving would regrow them by doubling each round, breaking
+  // the steady-state zero-allocation guarantee bench_micro --smoke pins.
+  std::swap(timers_, entry_updates_);
+  entry_updates_.clear();
+  record_update_ = &timers_;
+  record_bcast_ = nullptr;
+  std::swap(worklist_, pending_);
+  pending_.clear();
+  const auto after = [](const PendingEvent& a, const PendingEvent& b) {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.tier != b.tier) return a.tier > b.tier;
+    return a.seq > b.seq;
+  };
+  std::make_heap(worklist_.begin(), worklist_.end(), after);
+  worklist_active_ = true;
   broadcasts_recorded_ = 0;
   deliver_min_ = std::numeric_limits<double>::infinity();
   deliver_max_ = -std::numeric_limits<double>::infinity();
-  for (const PendingEvent& e : pending_) {
+  while (!worklist_.empty()) {
+    std::pop_heap(worklist_.begin(), worklist_.end(), after);
+    const PendingEvent e = worklist_.back();
+    worklist_.pop_back();
+    if (mode_ == Mode::kRegion) advance_engine_to(e.time, e.tier, e.seq);
     ++sim_.main_.events_processed;
     sim_.main_.current_time = e.time;
     sim_.observe_advance(sim_.main_);
@@ -451,11 +770,12 @@ bool RoundFastPath::run_exchange(double horizon) {
       wl_[static_cast<std::size_t>(e.pid)]->on_timer(ctx, e.tag);
     }
   }
+  worklist_active_ = false;
   // Contract, not a dynamic condition: eligibility pinned the process type,
-  // so each broadcast event yields exactly one fanout and one update timer
-  // at its predicted instant.  A violation means the replay diverged — fail
-  // loudly rather than desynchronize silently.
-  if (broadcasts_recorded_ != n || timers_.size() != n) {
+  // so each broadcast event yields exactly one fanout and each fast pid one
+  // update timer at its predicted instant.  A violation means the replay
+  // diverged — fail loudly rather than desynchronize silently.
+  if (broadcasts_recorded_ != nf || timers_.size() != nf) {
     throw std::logic_error("RoundFastPath: broadcast phase contract violated");
   }
   for (const PendingTimer& t : timers_) {
@@ -470,9 +790,9 @@ bool RoundFastPath::run_exchange(double horizon) {
   stats_.deliveries += total_deg_;
   do_batched_deliveries();
 
-  // Round-overlap guard, BEFORE updates consume seqs: if any process'
-  // NEXT broadcast could fire at or before this round's last update, the
-  // engine would interleave the two rounds' seq allocations and our
+  // Round-overlap guard, BEFORE updates consume seqs: if any fast process'
+  // NEXT broadcast could fire at or before this round's last fast update,
+  // the engine would interleave the two rounds' seq allocations and our
   // phase-ordered replay could diverge on exact-time ties.  Bound the next
   // broadcast from below without running the update: ADJ = base + delta -
   // AV with AV inside the arena's [min, max] (the reduction is an order
@@ -480,7 +800,83 @@ bool RoundFastPath::run_exchange(double horizon) {
   // (1 + rho).  Conservative: a false alarm just hands the round's update
   // stratum to the event engine.
   {
-    for (std::int32_t pid = 0; pid < n_; ++pid) {
+    // kRegion: region senders' deliveries for this window may still sit in
+    // the scheduler, so fast arena slots can hold sentinels or the PREVIOUS
+    // window's values at guard time.  Two discharge routes, tried in order:
+    //
+    //   1. Overwrite proof.  Every stale slot's sender is honest (faulty
+    //      pids have no fast neighbors — the region is their closed
+    //      neighborhood) and engine-run, so its current-window activity is
+    //      still queued: a fan-out mid-delivery, an undelivered unicast,
+    //      or a broadcast timer / START yet to fire.  One drain of the
+    //      scheduler bounds when the last such write can land; if that
+    //      precedes every fast update, every stale slot is overwritten —
+    //      with an ARR >= the receiver's current local time (now() is
+    //      monotone and CORR is fixed until its update) — before any
+    //      reduction reads it, so no slot counts against the clip budget.
+    //   2. Clip budget.  Failing the proof, garbage slots that fit inside
+    //      the reduction's f-clip are discarded whatever they hold, so AV
+    //      still comes from the survivors.
+    //
+    // Either way AV >= m_lb = min(current-window values, local time) below.
+    // The scan drains and rebuilds the whole queue, so it runs lazily — only
+    // once the cheap budget test actually fails for some pid — and its
+    // verdict is memoized for the rest of the loop.
+    int overwrite_proven = -1;  // -1 unknown, 0 disproven, 1 proven
+    const auto prove_overwrites = [this, u_min]() -> bool {
+      sim::Simulator::Lane& lane = sim_.main_;
+      double writes_by = -std::numeric_limits<double>::infinity();
+      scan_handles_.clear();
+      while (!lane.scheduler->empty()) {
+        const sim::EventHandle h = lane.scheduler->pop();
+        scan_handles_.push_back(h);
+        const sim::Event& e = lane.pool[h];
+        if (e.engine_kind == sim::EngineKind::kFanout) {
+          // Remaining deliveries are [cursor, end), sorted ascending; only
+          // the ones landing on fast pids write fast arenas.  (A faulty
+          // sender's fan-out has no fast recipients at all.)
+          const net::FanoutRecord& rec = lane.fanouts[e.link];
+          for (std::size_t d = rec.cursor; d < rec.deliveries.size(); ++d) {
+            const std::int32_t to = rec.deliveries[d].to;
+            if (to >= 0 && to < n_ && fast_[static_cast<std::size_t>(to)]) {
+              writes_by = std::max(writes_by, rec.deliveries[d].time);
+            }
+          }
+        } else if (e.engine_kind != sim::EngineKind::kDeliver) {
+          writes_by = std::numeric_limits<double>::infinity();
+        } else if (e.msg.kind == sim::Kind::kApp) {
+          // A unicast writes its recipient's arena at dispatch time.
+          if (e.to >= 0 && e.to < n_ && fast_[static_cast<std::size_t>(e.to)]) {
+            writes_by = std::max(writes_by, e.time);
+          }
+        } else if (e.to >= 0 && e.to < n_ && sim_.is_faulty(e.to)) {
+          // An adversary's own timers/START drive sends into the region
+          // only: every neighbor of a faulty pid is inside the closed
+          // neighborhood, so nothing it does can touch a fast arena.
+        } else if (e.msg.kind == sim::Kind::kStart ||
+                   (e.msg.kind == sim::Kind::kTimer && e.tier == 1 &&
+                    e.msg.tag == kBcastTimer)) {
+          // Fires, broadcasts, and every delivery lands within the delay
+          // ceiling — the same bound the phase-separation predicate uses.
+          writes_by = std::max(
+              writes_by, e.time + sim_.config_.delta + sim_.config_.eps);
+        } else if (!(e.msg.kind == sim::Kind::kTimer && e.tier == 1 &&
+                     e.msg.tag == kUpdateTimer)) {
+          // An honest pid's update timer sends nothing before its NEXT
+          // window (that window's broadcast already happened, so its
+          // deliveries are accounted above or already landed).  Anything
+          // else we cannot bound — give up on the proof, keep scanning so
+          // the queue is rebuilt whole.
+          writes_by = std::numeric_limits<double>::infinity();
+        }
+      }
+      // Handles still hold their seqs; pushing them back reconstructs the
+      // identical queue (the take_entry_events contract).
+      for (const std::uint32_t h : scan_handles_) sim_.push_handle(lane, h);
+      engine_head_valid_ = false;
+      return writes_by + kSeparationSlack <= u_min;
+    };
+    for (std::int32_t pid : fast_ids_) {
       const auto i = static_cast<std::size_t>(pid);
       const WelchLynchProcess& wl = *wl_[i];
       FastPathContext ctx(*this, pid);
@@ -491,9 +887,46 @@ bool RoundFastPath::run_exchange(double horizon) {
       const double next_base = e2 >= wl.config_.k_exchanges
                                    ? wl.label_ + wl.config_.params.P
                                    : wl.label_ + static_cast<double>(e2) * sub;
-      double arr_min = std::numeric_limits<double>::infinity();
-      for (const double v : wl.arena_.values()) arr_min = std::min(arr_min, v);
-      const double adj_hi = base + wl.config_.params.delta - arr_min;
+      double adj_hi;
+      if (mode_ == Mode::kRegion) {
+        // "Current window" = within half a period of base: stale values sit
+        // a full period back, and a spread wide enough to blur that line
+        // misclassifies toward MORE garbage, i.e. toward bailing.  A
+        // starved window skips the UPDATE entirely (ADJ = 0) — hence the
+        // max() with zero on adj_hi.
+        double m_lb = ctx.local_time();
+        std::int32_t garbage = 0;
+        const double window_floor = base - 0.5 * wl.config_.params.P;
+        for (const double v : wl.arena_.values()) {
+          if (v >= window_floor) {
+            m_lb = std::min(m_lb, v);
+          } else {
+            ++garbage;
+          }
+        }
+        std::int32_t clip_budget = wl.config_.params.f;
+        const auto arena_n = static_cast<std::int32_t>(wl.arena_.size());
+        if (arena_n != n_) {
+          // update_arena's own clamp for neighborhood-sized arenas.
+          clip_budget = std::min(clip_budget, (arena_n - 1) / 3);
+        }
+        if (garbage > clip_budget) {
+          if (overwrite_proven < 0) overwrite_proven = prove_overwrites() ? 1 : 0;
+        }
+        if (garbage > clip_budget && overwrite_proven != 1) {
+          pending_.clear();
+          for (const PendingTimer& t : timers_) {
+            pending_.push_back({t.time, 1, t.seq, t.pid, t.tag, Kind::kTimer});
+          }
+          inject_pending("round overlap risk");
+          return false;
+        }
+        adj_hi = std::max(base + wl.config_.params.delta - m_lb, 0.0);
+      } else {
+        double arr_min = std::numeric_limits<double>::infinity();
+        for (const double v : wl.arena_.values()) arr_min = std::min(arr_min, v);
+        adj_hi = base + wl.config_.params.delta - arr_min;
+      }
       const double physical_gap = (next_base - pred_wend_[i]) - adj_hi;
       const double bound =
           pred_update_[i] + physical_gap / (1.0 + wl.config_.params.rho);
@@ -515,18 +948,21 @@ bool RoundFastPath::run_exchange(double horizon) {
               return a.seq < b.seq;  // all tier 1
             });
   next_timers_.clear();
-  record_ = &next_timers_;
+  entry_updates_.clear();
+  record_bcast_ = &next_timers_;
+  record_update_ = &entry_updates_;  // staggered p > 0 arms both for next round
   for (const PendingTimer& t : timers_) {
+    if (mode_ == Mode::kRegion) advance_engine_to(t.time, 1, t.seq);
     ++sim_.main_.events_processed;
     sim_.main_.current_time = t.time;
     sim_.observe_advance(sim_.main_);
     FastPathContext ctx(*this, t.pid);
     wl_[static_cast<std::size_t>(t.pid)]->on_timer(ctx, t.tag);
   }
-  for (const PendingTimer& t : next_timers_) {
-    if (t.tag != kBcastTimer) {
-      throw std::logic_error("RoundFastPath: update phase contract violated");
-    }
+  record_bcast_ = nullptr;
+  record_update_ = nullptr;
+  if (mode_ != Mode::kStaggered && !entry_updates_.empty()) {
+    throw std::logic_error("RoundFastPath: update phase contract violated");
   }
   pending_.clear();
   for (const PendingTimer& t : next_timers_) {
@@ -552,7 +988,11 @@ void RoundFastPath::deliver_generic(double t0, double t1) {
   // matrix, evaluate ARR = local-time(t) with the affine kernel (or exact
   // per-point now() when a drift breakpoint splits the window), scatter
   // into the arena slots.  Degrees are small; the strided gather is cheap.
-  for (std::int32_t r = 0; r < n_; ++r) {
+  // In kStaggered the receiver subtracts the sender's known offset with
+  // the engine's exact expression (local - s*sigma); recv_off_ carries the
+  // per-entry offsets contiguously per receiver.
+  const bool staggered = mode_ == Mode::kStaggered;
+  for (std::int32_t r : fast_ids_) {
     const auto i = static_cast<std::size_t>(r);
     const std::size_t begin = recv_offset_[i];
     const std::size_t end = recv_offset_[i + 1];
@@ -568,11 +1008,23 @@ void RoundFastPath::deliver_generic(double t0, double t1) {
     }
     clk::PhysicalClock::AffineSpan span;
     if (clock.affine_span(t0, t1, span)) {
-      proc::kernels::affine_arrival_eval(gather_v_.data(), gather_t_.data(), m,
-                                         span.real, span.clock, span.rate, corr);
+      if (staggered) {
+        proc::kernels::affine_arrival_eval_offset(
+            gather_v_.data(), gather_t_.data(), recv_off_.data() + begin, m,
+            span.real, span.clock, span.rate, corr);
+      } else {
+        proc::kernels::affine_arrival_eval(gather_v_.data(), gather_t_.data(),
+                                           m, span.real, span.clock, span.rate,
+                                           corr);
+      }
     } else {
       for (std::size_t k = 0; k < m; ++k) {
         gather_v_[k] = clock.now(gather_t_[k]) + corr;
+      }
+      if (staggered) {
+        for (std::size_t k = 0; k < m; ++k) {
+          gather_v_[k] -= recv_off_[begin + k];
+        }
       }
     }
     for (std::size_t k = 0; k < m; ++k) {
@@ -589,9 +1041,12 @@ void RoundFastPath::deliver_mesh(double t0, double t1) {
   // sender rows once (contiguous loads) and append slot s to each
   // receiver's arena (each arena advances sequentially, one cache line per
   // eight senders).  The inner expression is affine_arrival_eval's, kept
-  // inline so the compiler vectorizes across the receiver block.
+  // inline so the compiler vectorizes across the receiver block; the
+  // staggered variant appends the engine's receiver-side normalization
+  // (- s*sigma) as the last operation, exactly as on_message does.
   constexpr std::size_t kBlock = 64;
   const auto n = static_cast<std::size_t>(n_);
+  const bool staggered = mode_ == Mode::kStaggered;
   double a_c[kBlock];   // segment clock reading
   double o_c[kBlock];   // segment real start
   double r_c[kBlock];   // segment rate
@@ -614,10 +1069,20 @@ void RoundFastPath::deliver_mesh(double t0, double t1) {
       all_affine = all_affine && affine[i];
     }
     if (all_affine) {
-      for (std::size_t s = 0; s < n; ++s) {
-        const double* trow = times_.data() + s * n + rb;
-        for (std::size_t i = 0; i < blk; ++i) {
-          dst[i][s] = (a_c[i] + (trow[i] - o_c[i]) * r_c[i]) + c_c[i];
+      if (staggered) {
+        for (std::size_t s = 0; s < n; ++s) {
+          const double* trow = times_.data() + s * n + rb;
+          const double off_s = off_[s];
+          for (std::size_t i = 0; i < blk; ++i) {
+            dst[i][s] = ((a_c[i] + (trow[i] - o_c[i]) * r_c[i]) + c_c[i]) - off_s;
+          }
+        }
+      } else {
+        for (std::size_t s = 0; s < n; ++s) {
+          const double* trow = times_.data() + s * n + rb;
+          for (std::size_t i = 0; i < blk; ++i) {
+            dst[i][s] = (a_c[i] + (trow[i] - o_c[i]) * r_c[i]) + c_c[i];
+          }
         }
       }
       continue;
@@ -630,12 +1095,14 @@ void RoundFastPath::deliver_mesh(double t0, double t1) {
       if (affine[i]) {
         for (std::size_t s = 0; s < n; ++s) {
           const double t = times_[s * n + r];
-          dst[i][s] = (a_c[i] + (t - o_c[i]) * r_c[i]) + c_c[i];
+          const double v = (a_c[i] + (t - o_c[i]) * r_c[i]) + c_c[i];
+          dst[i][s] = staggered ? v - off_[s] : v;
         }
       } else {
         const clk::PhysicalClock& clock = *sim_.nodes_[r].clock;
         for (std::size_t s = 0; s < n; ++s) {
-          dst[i][s] = clock.now(times_[s * n + r]) + c_c[i];
+          const double v = clock.now(times_[s * n + r]) + c_c[i];
+          dst[i][s] = staggered ? v - off_[s] : v;
         }
       }
     }

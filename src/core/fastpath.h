@@ -1,14 +1,14 @@
 #pragma once
 // Round-synchronous fast path over the event engine.
 //
-// In the fault-free, NIC-free regime the Section 4.2 execution has a rigid
-// shape: every nonfaulty process broadcasts once per exchange, every message
-// lands within (delta - eps, delta + eps) of its send, and every process
-// updates once after its collection window — so the event queue holds the
-// same three strata (n broadcasts, sum-of-degree deliveries, n updates)
-// round after round.  The event engine pays a scheduler round-trip, a
-// virtual dispatch and a clock locate per delivery; at n = 4096 on the full
-// mesh that is ~16.7M heap-ordered events per round.
+// In the NIC-free regime the Section 4.2 execution has a rigid shape: every
+// nonfaulty process broadcasts once per exchange, every message lands within
+// (delta - eps, delta + eps) of its send, and every process updates once
+// after its collection window — so the event queue holds the same three
+// strata (n broadcasts, sum-of-degree deliveries, n updates) round after
+// round.  The event engine pays a scheduler round-trip, a virtual dispatch
+// and a clock locate per delivery; at n = 4096 on the full mesh that is
+// ~16.7M heap-ordered events per round.
 //
 // RoundFastPath advances the system one whole exchange at a time instead:
 //
@@ -19,7 +19,7 @@
 //            timer would carry) and verify strict phase separation:
 //            last broadcast + delta + eps < first update.  Any violation
 //            bails BEFORE mutating anything.
-//   phase 1  run the n broadcast events in (time, tier, seq) order through
+//   phase 1  run the broadcast events in (time, tier, seq) order through
 //            the REAL WelchLynchProcess::on_start/on_timer with a mirrored
 //            Context: delays are drawn per link in the engine's exact RNG
 //            order and recorded into a flat delivery matrix instead of
@@ -35,10 +35,36 @@
 //            seqs and the streaming observer's drains are idempotent, so
 //            draining in bigger steps at broadcast/update instants leaves
 //            identical observer state at every interaction point.
-//   phase 3  run the n update events in order through the real process
-//            code (CORR steps, annotations and trace callbacks fire at
-//            their exact instants); the next broadcast timers they set
-//            become the next iteration's pending stratum.
+//   phase 3  run the update events in order through the real process code
+//            (CORR steps, annotations and trace callbacks fire at their
+//            exact instants); the next broadcast timers they set become
+//            the next iteration's pending stratum.
+//
+// Three operating modes widen the eligible region (ISSUE 8):
+//
+//   * kPlain — the PR 6 regime: simultaneous broadcasts, no faults.
+//   * kStaggered — the Section 9.3 variant (stagger > 0, fault-free).
+//     Process p broadcasts at base + p*sigma, so a steady-state exchange
+//     boundary holds 2n-1 events: n broadcast timers plus one PRE-ARMED
+//     update timer per p > 0 (begin_exchange arms both together; p = 0
+//     arms its update at its broadcast).  Phase 1 runs a worklist ordered
+//     by (time, tier, seq) so broadcast timers armed by replayed STARTs
+//     fire inside the same exchange, and the delivery kernel subtracts the
+//     receiver-side normalization off[s] = s * sigma with the engine's
+//     exact FP expression.  Only the phase-separation predicate and the
+//     predicted instants change; the matrix machinery is shared.
+//   * kRegion — fault-isolating regions (faults present, stagger = 0, a
+//     sparse exchange graph).  The tainted region is the union of the
+//     adversaries' closed neighborhoods (Topology::closed_neighborhood);
+//     the honest remainder — the FAST set, whose members have no faulty
+//     neighbors by construction — runs through the batched kernel, while
+//     region events stay in the scheduler and are dispatched by a merged
+//     loop in global (time, tier, seq) order before each fast replay step
+//     (advance_engine_to), re-merging at update instants.  Fast-to-region
+//     deliveries are scheduled as ordinary events with their pre-drawn
+//     delays and pre-allocated seqs; region-to-fast deliveries ride the
+//     engine into the fast arenas at their exact instants.  Any
+//     cross-boundary surprise bails to full event replay.
 //
 // The moment any precondition breaks — pending stratum malformed, horizon
 // or max_events budget reached, phase separation violated, or a next-round
@@ -74,8 +100,15 @@ struct FastPathStats {
   /// Times the fast path re-engaged after a transient bail: the event
   /// engine stepped through the irregular stretch (e.g. a round-0 phase
   /// separation violated by a large initial spread) and handed back a
-  /// clean n-broadcast boundary.
+  /// clean exchange boundary.
   std::int64_t rearms = 0;
+  /// Size of the fast set: n in kPlain/kStaggered, the honest pids outside
+  /// the adversary's closed neighborhood in kRegion.
+  std::int32_t fast_count = 0;
+  /// kRegion only: scheduler entries the merged loop dispatched through the
+  /// event engine while engaged (region timers, region fan-outs, deliveries
+  /// crossing the region boundary).
+  std::int64_t region_events = 0;
 };
 
 class RoundFastPath {
@@ -87,9 +120,11 @@ class RoundFastPath {
   RoundFastPath& operator=(const RoundFastPath&) = delete;
 
   /// Static eligibility: nullptr when the registered system can run on the
-  /// fast path, else a human-readable reason.  Requires: no NIC, no faulty
-  /// processes, every process a WelchLynchProcess with stagger = 0 and
-  /// arena ingestion, and no trace sink consuming per-message events.
+  /// fast path, else a human-readable reason.  Requires: no NIC, every fast
+  /// process a WelchLynchProcess with arena ingestion and one consistent
+  /// stagger, no trace sink consuming per-message events, and — when faults
+  /// are registered — an unstaggered run on an explicit topology where the
+  /// adversaries' closed neighborhood leaves a nonempty honest remainder.
   /// Dynamic conditions (queue shape, phase separation, budgets) are
   /// handled by run()'s bail protocol, not here.  The caller must also
   /// guarantee retained history (analysis::RunSpec::retain_history): a
@@ -109,6 +144,7 @@ class RoundFastPath {
   friend class FastPathContext;
 
   enum class Kind : std::uint8_t { kStart, kTimer };
+  enum class Mode : std::uint8_t { kPlain, kStaggered, kRegion };
 
   /// A queue entry held outside the scheduler: enough to replay it (pid +
   /// payload) and to re-inject it losslessly (time, tier, seq).
@@ -129,10 +165,14 @@ class RoundFastPath {
   };
 
   void init();
-  /// Drains the scheduler and validates the entry stratum — exactly one
-  /// START or one tier-1 broadcast timer per process (the latter is what a
-  /// clean exchange boundary looks like mid-run); pushes everything back
-  /// untouched (same handles, same seqs) on any surprise.
+  /// Drains the scheduler and validates the entry stratum; pushes
+  /// everything back untouched (same handles, same seqs) on any surprise.
+  /// kPlain accepts exactly one START or tier-1 broadcast timer per
+  /// process; kStaggered additionally accepts the 2n-1 steady-state shape
+  /// (broadcast timers plus pre-armed update timers for p > 0); kRegion
+  /// extracts one START-or-broadcast-timer per FAST pid and leaves every
+  /// region event in place (in-flight deliveries into the fast set
+  /// included — the merged loop dispatches those at their exact keys).
   [[nodiscard]] bool take_entry_events();
   /// After a transient bail: advance the event engine one event at a time
   /// (never past `horizon` or the event budget) until the queue is again a
@@ -142,6 +182,10 @@ class RoundFastPath {
   /// One exchange; false = bailed (pending events re-injected).
   [[nodiscard]] bool run_exchange(double horizon);
   void inject_pending(const char* reason);
+  /// kRegion: dispatch every scheduler event strictly before the key
+  /// (time, tier, seq) through the regular engine, so region activity and
+  /// fast replays interleave in the global deterministic order.
+  void advance_engine_to(double time, std::int32_t tier, std::uint64_t seq);
   void do_batched_deliveries();
   void deliver_mesh(double t0, double t1);
   void deliver_generic(double t0, double t1);
@@ -159,28 +203,49 @@ class RoundFastPath {
 
   sim::Simulator& sim_;
   FastPathStats stats_;
+  Mode mode_ = Mode::kPlain;
   std::int32_t n_ = 0;
   bool mesh_ = false;  ///< implicit full mesh: sender id IS the dense slot
-  std::uint64_t total_deg_ = 0;          ///< deliveries per exchange
-  std::vector<WelchLynchProcess*> wl_;   ///< per-pid, downcast once
+  double stagger_ = 0.0;          ///< kStaggered: the shared sigma
+  std::uint64_t total_deg_ = 0;   ///< kernel-evaluated deliveries per exchange
+  std::vector<WelchLynchProcess*> wl_;   ///< per-pid; nullptr outside the fast set
+  std::vector<char> fast_;               ///< pid -> in the fast set
+  std::vector<std::int32_t> fast_ids_;   ///< ascending fast pids
+  std::vector<double> off_;              ///< kStaggered: off[s] = s * sigma
   std::vector<std::size_t> row_offset_;  ///< sender -> first flat index
   std::vector<double> times_;            ///< flat deliver-time matrix
   // Generic-topology receiver view: entries k in [recv_offset_[r],
-  // recv_offset_[r+1]) give (flat position, dense arena slot) of every
-  // delivery receiver r collects, senders ascending.
+  // recv_offset_[r+1]) give (flat position, dense arena slot, sender
+  // stagger offset) of every kernel delivery receiver r collects, senders
+  // ascending.  kRegion restricts both sides to the fast set.
   std::vector<std::size_t> recv_offset_;
   std::vector<std::size_t> recv_flat_;
   std::vector<std::int32_t> recv_slot_;
+  std::vector<double> recv_off_;
 
   std::vector<PendingEvent> pending_;    ///< current broadcast stratum
-  std::vector<PendingTimer> timers_;     ///< update timers set in phase 1
+  std::vector<PendingEvent> worklist_;   ///< phase-1 min-heap (staggered STARTs
+                                         ///< arm broadcast timers mid-phase)
+  bool worklist_active_ = false;         ///< route kBcastTimer records to it
+  std::vector<PendingTimer> timers_;     ///< update timers due this exchange
+  std::vector<PendingTimer> entry_updates_;  ///< kStaggered: pre-armed updates
+                                             ///< held across the boundary
   std::vector<PendingTimer> next_timers_;  ///< broadcast timers from phase 3
-  std::vector<PendingTimer>* record_ = nullptr;  ///< active set_timer target
+  std::vector<PendingTimer>* record_bcast_ = nullptr;   ///< phase-3 target
+  std::vector<PendingTimer>* record_update_ = nullptr;  ///< active target
   std::vector<double> pred_update_;  ///< exact predicted update instants
   std::vector<double> pred_wend_;    ///< window-end logical times (overlap guard)
   std::vector<double> gather_t_;     ///< per-receiver gather scratch
   std::vector<double> gather_v_;
   std::vector<char> seen_;           ///< pid-uniqueness scratch
+  std::vector<std::uint32_t> scan_handles_;  ///< kRegion guard queue scan
+  /// Cached scheduler head for advance_engine_to's fast-out (kRegion): the
+  /// head only moves when the merged loop dispatches or a region send is
+  /// scheduled, so consecutive fast events between engine events skip the
+  /// peek entirely.  Invalidated on every queue mutation outside dispatch.
+  double engine_head_time_ = 0.0;
+  std::uint64_t engine_head_key_ = 0;
+  bool engine_head_valid_ = false;
   std::uint64_t broadcasts_recorded_ = 0;
   double deliver_min_ = 0.0;
   double deliver_max_ = 0.0;

@@ -272,6 +272,23 @@ std::vector<std::int32_t> Topology::bridge_endpoints() const {
   return cut_structure().bridge_ends;
 }
 
+std::vector<std::int32_t> Topology::closed_neighborhood(
+    std::span<const std::int32_t> seeds) const {
+  std::vector<char> in(static_cast<std::size_t>(n()), 0);
+  for (std::int32_t s : seeds) {
+    if (s < 0 || s >= n()) {
+      throw std::invalid_argument(
+          "Topology::closed_neighborhood: seed id out of range");
+    }
+    for (std::int32_t q : neighbors(s)) in[static_cast<std::size_t>(q)] = 1;
+  }
+  std::vector<std::int32_t> region;
+  for (std::int32_t p = 0; p < n(); ++p) {
+    if (in[static_cast<std::size_t>(p)]) region.push_back(p);
+  }
+  return region;
+}
+
 std::vector<std::int32_t> Topology::degree_ranking() const {
   std::vector<std::int32_t> ids(static_cast<std::size_t>(n()));
   for (std::int32_t p = 0; p < n(); ++p) ids[static_cast<std::size_t>(p)] = p;

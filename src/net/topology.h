@@ -133,6 +133,14 @@ class Topology {
   /// clique_size + 1 vs clique_size inside).
   [[nodiscard]] std::vector<std::int32_t> degree_ranking() const;
 
+  /// Union of the closed neighborhoods N[s] of the seed vertices, sorted
+  /// ascending and deduplicated (seeds themselves included — the lists
+  /// carry self-loops).  This is the fault-isolating fast path's "tainted
+  /// region": everything a Byzantine seed can deliver to over an exchange
+  /// edge.  Out-of-range seed ids throw.
+  [[nodiscard]] std::vector<std::int32_t> closed_neighborhood(
+      std::span<const std::int32_t> seeds) const;
+
  private:
   void ensure_distance_row(std::int32_t p) const;
 

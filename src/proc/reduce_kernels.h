@@ -74,4 +74,19 @@ inline void affine_arrival_eval(double* dst, const double* t, std::size_t m,
   }
 }
 
+/// Staggered-broadcast variant (Section 9.3): the receiver normalizes each
+/// arrival by the sender's known offset, so
+///   dst[i] = ((seg_clock + (t[i] - seg_real) * seg_rate) + corr) - off[i]
+/// — affine_arrival_eval followed by WelchLynchProcess::on_message's
+/// `arrival -= from * stagger`, term for term, keeping the doubles
+/// bit-identical to the event engine's staggered per-message path.
+inline void affine_arrival_eval_offset(double* dst, const double* t,
+                                       const double* off, std::size_t m,
+                                       double seg_real, double seg_clock,
+                                       double seg_rate, double corr) {
+  for (std::size_t i = 0; i < m; ++i) {
+    dst[i] = ((seg_clock + (t[i] - seg_real) * seg_rate) + corr) - off[i];
+  }
+}
+
 }  // namespace wlsync::proc::kernels

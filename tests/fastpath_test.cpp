@@ -5,10 +5,14 @@
 // variants, topologies, delay models, and drift regimes on deterministic
 // seeds.  This is the same standard the batched fan-out and arena-ingest
 // refactors were held to: the engine may only move nanoseconds, never a
-// double.  The second half proves the dispatcher's fallback: specs the
-// fast path must not touch (faults, NIC, stagger, legacy ingest, bounded
-// history, non-WL algorithms) run the event engine under kAuto and throw
-// under kFastpath.
+// double.  ISSUE 8 widened the eligible region: staggered broadcasts
+// (Section 9.3) and fault-isolating regions (faults on a sparse topology,
+// honest remainder batched, tainted region event-replayed) are pinned here
+// across stagger values, topologies and adversary placements — including
+// an adversary sitting ON a region boundary (a bridge endpoint).  The
+// fallback half proves the dispatcher still refuses what it must: NIC,
+// legacy ingest, bounded history, non-WL algorithms, stagger+faults, and
+// faults whose neighborhood covers the whole graph (any full mesh).
 
 #include <gtest/gtest.h>
 
@@ -147,6 +151,102 @@ TEST(FastpathPin, DeterministicUnderParallelRunner) {
   }
 }
 
+TEST(FastpathPin, StaggeredBroadcasts) {
+  // Section 9.3: process p broadcasts at base + p*sigma, receivers
+  // normalize arrivals by sender id.  The steady-state boundary is 2n-1
+  // events (pre-armed update timers for every p > 0) and the delivery
+  // kernel subtracts off[s] = s*sigma with the engine's exact expression.
+  for (const double sigma : {0.0005, 0.004}) {
+    RunSpec spec = base_spec(10, 3);
+    spec.stagger = sigma;
+    expect_engines_identical(spec, "staggered full mesh");
+  }
+
+  RunSpec cliques = base_spec(24, 7);
+  cliques.stagger = 0.002;
+  cliques.topology.kind = net::TopologyKind::kRingOfCliques;
+  cliques.topology.clique_size = 6;
+  expect_engines_identical(cliques, "staggered ring of cliques");
+
+  RunSpec kreg = base_spec(16, 5);
+  kreg.stagger = 0.001;
+  kreg.topology.kind = net::TopologyKind::kKRegular;
+  kreg.topology.degree = 6;
+  expect_engines_identical(kreg, "staggered k-regular expander");
+}
+
+/// Region pin: engages with a PROPER fast subset (0 < fast_count < n) and
+/// a live merged loop (region_events > 0 — the adversary's honest
+/// neighbors still broadcast through the engine), bitwise the event engine.
+void expect_region_identical(const RunSpec& spec, const char* what) {
+  const RunResult event = run_engine(spec, EngineMode::kEvent);
+  const RunResult fast = run_engine(spec, EngineMode::kFastpath);
+  const RunResult autod = run_engine(spec, EngineMode::kAuto);
+  EXPECT_FALSE(event.fastpath_engaged) << what;
+  EXPECT_TRUE(fast.fastpath_engaged) << what;
+  EXPECT_GT(fast.fastpath_exchanges, 0) << what;
+  EXPECT_GT(fast.fastpath_fast_count, 0) << what;
+  EXPECT_LT(fast.fastpath_fast_count, spec.params.n) << what;
+  EXPECT_GT(fast.fastpath_region_events, 0) << what;
+  EXPECT_TRUE(autod.fastpath_engaged) << what;
+  EXPECT_EQ(autod.fastpath_exchanges, fast.fastpath_exchanges) << what;
+  EXPECT_TRUE(results_identical(event, fast)) << what;
+  EXPECT_TRUE(results_identical(event, autod)) << what;
+}
+
+TEST(FastpathPin, FaultIsolatingRegions) {
+  // Trailing silent faults on a ring of cliques: the tainted region is the
+  // last clique plus the bridge neighbors; the rest batches.
+  RunSpec silent = base_spec(24, 7);
+  silent.topology.kind = net::TopologyKind::kRingOfCliques;
+  silent.topology.clique_size = 6;
+  silent.fault = FaultKind::kSilent;
+  silent.fault_count = 2;
+  expect_region_identical(silent, "silent faults, ring of cliques");
+
+  // Two-faced adversaries at random positions of an expander, lying to
+  // their honest neighborhoods (positional placement switches the
+  // neighbor-scoped attack on).
+  RunSpec twofaced = base_spec(24, 7);
+  twofaced.topology.kind = net::TopologyKind::kKRegular;
+  twofaced.topology.degree = 6;
+  twofaced.fault = FaultKind::kTwoFaced;
+  twofaced.fault_count = 2;
+  twofaced.placement = proc::PlacementKind::kRandom;
+  expect_region_identical(twofaced, "two-faced faults, random placement");
+
+  // The adversary ON a region boundary: bridge placement puts it at an
+  // inter-clique joint, so its closed neighborhood spans two cliques and
+  // the cut between fast set and region crosses the bridge edge itself.
+  RunSpec bridge = base_spec(24, 7);
+  bridge.topology.kind = net::TopologyKind::kRingOfCliques;
+  bridge.topology.clique_size = 6;
+  bridge.fault = FaultKind::kTwoFaced;
+  bridge.fault_count = 1;
+  bridge.placement = proc::PlacementKind::kBridge;
+  expect_region_identical(bridge, "two-faced fault on a bridge endpoint");
+
+  // Spam floods junk mid-window from inside the region; every flood
+  // message crosses the merged loop at its exact key.
+  RunSpec spam = base_spec(24, 7);
+  spam.topology.kind = net::TopologyKind::kRingOfCliques;
+  spam.topology.clique_size = 6;
+  spam.fault = FaultKind::kSpam;
+  spam.fault_count = 1;
+  spam.placement = proc::PlacementKind::kRandom;
+  expect_region_identical(spam, "spam fault, random placement");
+
+  // A liar is an honest WL instance on a shifted schedule: its region
+  // neighbors keep hearing plausible-but-wrong broadcasts through the
+  // engine while the far side batches.
+  RunSpec liar = base_spec(24, 7);
+  liar.topology.kind = net::TopologyKind::kKRegular;
+  liar.topology.degree = 6;
+  liar.fault = FaultKind::kLiar;
+  liar.fault_count = 1;
+  expect_region_identical(liar, "liar fault, k-regular");
+}
+
 TEST(FastpathRearm, ReengagesAfterTransientBail) {
   // A wide initial spread violates round-0 phase separation (last
   // broadcast + delta + eps >= first update), which is a TRANSIENT bail:
@@ -176,15 +276,52 @@ TEST(FastpathRearm, ReengagesAfterTransientBail) {
 
 // ----------------------------------------------------- fallback triggers ---
 
-TEST(FastpathFallback, FaultsForceTheEventEngine) {
+TEST(FastpathFallback, FaultsOnTheFullMeshForceTheEventEngine) {
+  // On the full mesh every honest process neighbors the adversary: no fast
+  // region exists and kAuto must record why.
   RunSpec faulty = base_spec(13, 4);
   faulty.fault = FaultKind::kTwoFaced;
   faulty.fault_count = 2;
-  expect_event_fallback(faulty, "two-faced faults");
+  expect_event_fallback(faulty, "two-faced faults, full mesh");
+  EXPECT_EQ(run_engine(faulty, EngineMode::kAuto).fastpath_refusal,
+            "adversary neighborhood covers the exchange graph");
 
   RunSpec mixed = base_spec(16, 5);
   mixed.fault_mix = {{FaultKind::kSilent, 1}, {FaultKind::kSpam, 1}};
-  expect_event_fallback(mixed, "heterogeneous fault mix");
+  expect_event_fallback(mixed, "heterogeneous fault mix, full mesh");
+}
+
+TEST(FastpathFallback, StaggerWithFaultsForcesTheEventEngine) {
+  // Both widenings at once are out of scope: the staggered kernel assumes
+  // a fault-free window and the region replay assumes sigma = 0.
+  RunSpec spec = base_spec(24, 7);
+  spec.topology.kind = net::TopologyKind::kRingOfCliques;
+  spec.topology.clique_size = 6;
+  spec.stagger = 0.002;
+  spec.fault = FaultKind::kSilent;
+  spec.fault_count = 2;
+  expect_event_fallback(spec, "staggered broadcasts with faults");
+  EXPECT_EQ(run_engine(spec, EngineMode::kAuto).fastpath_refusal,
+            "staggered broadcasts with faults present");
+}
+
+TEST(FastpathFallback, CoveringAdversaryForcesTheEventEngine) {
+  // A sparse custom graph whose highest id (the trailing fault slot) is a
+  // hub adjacent to everyone: the closed neighborhood covers the graph, so
+  // the system-level check refuses even though the spec-level gate (sparse
+  // topology, no stagger) passes.
+  RunSpec spec = base_spec(8, 2);
+  spec.topology.kind = net::TopologyKind::kCustom;
+  spec.topology.custom.assign(8, {});
+  for (std::int32_t id = 0; id < 8; ++id) {
+    spec.topology.custom[static_cast<std::size_t>(id)] = {
+        (id + 7) % 8, id, (id + 1) % 8, 7};
+  }
+  spec.fault = FaultKind::kSilent;
+  spec.fault_count = 1;
+  expect_event_fallback(spec, "hub adversary covers the graph");
+  EXPECT_EQ(run_engine(spec, EngineMode::kAuto).fastpath_refusal,
+            "adversary neighborhood covers the exchange graph");
 }
 
 TEST(FastpathFallback, NicForcesTheEventEngine) {
@@ -193,16 +330,12 @@ TEST(FastpathFallback, NicForcesTheEventEngine) {
   expect_event_fallback(nic, "NIC ingress model");
 }
 
-TEST(FastpathFallback, StaggerForcesTheEventEngine) {
-  RunSpec staggered = base_spec(10, 3);
-  staggered.stagger = 0.004;
-  expect_event_fallback(staggered, "staggered broadcasts");
-}
-
 TEST(FastpathFallback, LegacyIngestForcesTheEventEngine) {
   RunSpec legacy = base_spec(13, 4);
   legacy.ingest = proc::IngestMode::kLegacy;
   expect_event_fallback(legacy, "legacy sparse ingestion");
+  EXPECT_EQ(run_engine(legacy, EngineMode::kAuto).fastpath_refusal,
+            "legacy arrival ingestion");
 }
 
 TEST(FastpathFallback, BoundedHistoryForcesTheEventEngine) {

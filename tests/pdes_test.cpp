@@ -179,26 +179,46 @@ TEST(PdesDispatch, AutoPrefersTheFastPath) {
   EXPECT_TRUE(results_identical(run_engine(spec, EngineMode::kEvent), autod));
 }
 
-TEST(PdesDispatch, AutoFallsBackToPdes) {
-  // Faults block the fast path; with pdes_workers >= 2 kAuto shards.
+TEST(PdesDispatch, AutoPrefersRegionFastPathOverPdes) {
+  // Faults on a sparse topology are fast-path eligible since ISSUE 8 (the
+  // fault-isolating region mode); kAuto must pick the fast path ahead of
+  // PDES even when the spec also opted into workers.
   RunSpec spec = cliques_spec(24, 7);
   spec.fault = FaultKind::kSilent;
   spec.fault_count = 2;
   const RunResult autod = run_engine(spec, EngineMode::kAuto, /*workers=*/4);
+  EXPECT_TRUE(autod.fastpath_engaged);
+  EXPECT_EQ(autod.pdes_epochs, 0);
+  EXPECT_TRUE(results_identical(run_engine(spec, EngineMode::kEvent), autod));
+}
+
+TEST(PdesDispatch, AutoFallsBackToPdes) {
+  // Legacy ingest blocks the fast path (region mode included); with
+  // pdes_workers >= 2 kAuto shards, and the refusal reason is recorded
+  // instead of evaporating (the ISSUE 8 silent-fallback fix).
+  RunSpec spec = cliques_spec(24, 7);
+  spec.fault = FaultKind::kSilent;
+  spec.fault_count = 2;
+  spec.ingest = proc::IngestMode::kLegacy;
+  const RunResult autod = run_engine(spec, EngineMode::kAuto, /*workers=*/4);
   EXPECT_FALSE(autod.fastpath_engaged);
+  EXPECT_EQ(autod.fastpath_refusal, "legacy arrival ingestion");
   EXPECT_GE(autod.pdes_epochs, 1);
   EXPECT_TRUE(results_identical(run_engine(spec, EngineMode::kEvent), autod));
 }
 
 TEST(PdesDispatch, AutoNeverShardsUninvited) {
   // pdes_workers = 0 (the default) keeps kAuto strictly serial even when
-  // the fast path cannot engage.
+  // the fast path cannot engage, and says why it didn't shard.
   RunSpec spec = cliques_spec(24, 7);
   spec.fault = FaultKind::kSilent;
   spec.fault_count = 2;
+  spec.ingest = proc::IngestMode::kLegacy;
   const RunResult autod = run_engine(spec, EngineMode::kAuto);
   EXPECT_FALSE(autod.fastpath_engaged);
+  EXPECT_EQ(autod.fastpath_refusal, "legacy arrival ingestion");
   EXPECT_EQ(autod.pdes_epochs, 0);
+  EXPECT_EQ(autod.pdes_refusal, "");
 }
 
 TEST(PdesDispatch, ForcedPdesRefusesIneligibleSpecs) {

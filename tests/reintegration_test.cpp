@@ -60,6 +60,36 @@ TEST(Reintegration, LargerSystemWithSevenProcesses) {
   EXPECT_LE(result.skew_after, result.gamma_bound * (1 + 1e-9));
 }
 
+TEST(Reintegration, StreamingObservationIsBitIdentical) {
+  // ReintegrationSpec::observe runs the simulation in chunks until the
+  // rejoin, attaches a StreamingObserver whose skew window opens at
+  // join + 2P (ObserveSpec::skew_t0), and takes skew_after from its
+  // accumulators.  Chunked run_until is the same event sequence as one
+  // call and the streaming grid matches the post-hoc skew_series walk, so
+  // every measured field must be bitwise equal.
+  for (const std::uint64_t seed : {1ull, 12ull, 1234ull}) {
+    ReintegrationSpec spec;
+    spec.params = standard(4, 1);
+    spec.crash_at = 25.0;
+    spec.wake_at = 95.0;
+    spec.rounds = 20;
+    spec.seed = seed;
+    const ReintegrationResult plain = run_reintegration(spec);
+    spec.observe = true;
+    const ReintegrationResult observed = run_reintegration(spec);
+
+    EXPECT_FALSE(plain.observe.enabled);
+    EXPECT_TRUE(observed.observe.enabled);
+    EXPECT_GT(observed.observe.samples, 0u);
+    ASSERT_EQ(plain.rejoined, observed.rejoined) << "seed " << seed;
+    EXPECT_EQ(plain.join_time, observed.join_time) << "seed " << seed;
+    EXPECT_EQ(plain.join_round, observed.join_round) << "seed " << seed;
+    EXPECT_EQ(plain.spread_with_joiner, observed.spread_with_joiner)
+        << "seed " << seed;
+    EXPECT_EQ(plain.skew_after, observed.skew_after) << "seed " << seed;
+  }
+}
+
 TEST(Reintegration, RejectsTooEarlyWake) {
   ReintegrationSpec spec;
   spec.params = standard(4, 1);

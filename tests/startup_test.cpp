@@ -80,6 +80,42 @@ TEST(Startup, HugeInitialSpreadStillConverges) {
   EXPECT_LE(result.final_b, 3.0 * result.limit + 2 * spec.params.eps);
 }
 
+TEST(Startup, StreamingObservationIsBitIdentical) {
+  // StartupSpec::observe used to be silently ignored; now it switches the
+  // b_series measurement to the streaming round-boundary accumulator.  The
+  // observer folds the same walkers in the same id order at the same
+  // instants as the post-hoc skew_at scans, so every measured double must
+  // be bitwise equal — across fault-free, faulty, and handoff runs.
+  for (const bool faults : {false, true}) {
+    StartupSpec spec;
+    spec.params = standard(7, 2);
+    spec.rounds = 12;
+    spec.initial_clock_spread = 2.0;
+    spec.handoff = true;
+    spec.seed = 8;
+    if (faults) {
+      spec.fault = FaultKind::kSilent;
+      spec.fault_count = 2;
+    }
+    const StartupResult plain = run_startup(spec);
+    spec.observe = true;
+    const StartupResult observed = run_startup(spec);
+
+    EXPECT_FALSE(plain.observe.enabled);
+    EXPECT_TRUE(observed.observe.enabled);
+    EXPECT_GT(observed.observe.round_marks, 0u);
+    ASSERT_EQ(plain.b_series.size(), observed.b_series.size())
+        << "faults " << faults;
+    for (std::size_t i = 0; i < plain.b_series.size(); ++i) {
+      EXPECT_EQ(plain.b_series[i], observed.b_series[i])
+          << "faults " << faults << ", round " << i;
+    }
+    EXPECT_EQ(plain.final_b, observed.final_b) << "faults " << faults;
+    EXPECT_EQ(plain.handoff_done, observed.handoff_done);
+    EXPECT_EQ(plain.post_handoff_skew, observed.post_handoff_skew);
+  }
+}
+
 TEST(Startup, HandoffToMaintenanceWorks) {
   StartupSpec spec;
   spec.params = standard(4, 1);
