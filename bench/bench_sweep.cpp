@@ -22,6 +22,17 @@
 //               (proc/placement.h; non-trailing switches the two-faced
 //               attack to its neighbor-scoped per-victim mode).  Echoed in
 //               the `placement` CSV column so rows are self-describing.
+//   --churn     process-churn axis (net/dynamics.h): comma list of churned
+//               process counts; 0 = the historical static membership.  A
+//               count c > 0 installs a deterministic churn wave — processes
+//               0 .. c-1 leave at 2P staggered by P/2 and rejoin 3P later
+//               through core/reintegration — so every cell's schedule is a
+//               pure function of (c, P), reproducible row for row.  Churn
+//               requires the Welch-Lynch round structure and the event
+//               engine (the fast path and PDES refuse dynamic schedules by
+//               name), so churn > 0 cells with --algo != wl or
+//               --engine=fastpath/pdes are skipped with a note.  Echoed in
+//               the `churn` CSV column.
 //   --f         explicit list, or auto = (n-1)/3 per cell
 //   --nic       Section 9.3 ingress-queue axis: off, inf (unbounded), or a
 //               capacity in datagrams (--nic-service seconds per datagram).
@@ -115,7 +126,8 @@ using bench::split_ints;
 using bench::split_list;
 
 void write_csv_header(std::ostream& out) {
-  out << "spec,n,f,algo,delay,drift,fault,faults,topology,placement,ingest,"
+  out << "spec,n,f,algo,delay,drift,fault,faults,topology,placement,churn,"
+         "ingest,"
          "engine,workers,"
          "nic,nic_drop,stagger,observe,rounds,seed,completed_rounds,messages,"
          "gamma_bound,"
@@ -248,6 +260,8 @@ int main(int argc, char** argv) {
       split_list(flags.get_string("topology", smoke ? "mesh,cliques" : "mesh"));
   const std::vector<std::string> placements =
       split_list(flags.get_string("placement", "trailing"));
+  const std::vector<std::int64_t> churns =
+      split_ints(flags.get_string("churn", "0"));
   const std::vector<std::string> nics =
       split_list(flags.get_string("nic", smoke ? "off,8" : "off"));
   const double nic_service = flags.get_double("nic-service", 50e-6);
@@ -289,6 +303,7 @@ int main(int argc, char** argv) {
             for (const std::string& fault : faults) {
               for (const std::string& topology : topologies) {
                 for (const std::string& placement : placements) {
+                 for (const std::int64_t churn : churns) {
                  for (const std::string& nic : nics) {
                   for (const std::string& nic_drop : nic_drops) {
                   for (const double stagger : staggers) {
@@ -331,6 +346,29 @@ int main(int argc, char** argv) {
                           : workers);
                   base.measure_gradient = gradient;
                   base.rounds = rounds;
+                  if (churn > 0) {
+                    // Deterministic wave: ids 0..c-1 leave at 2P staggered
+                    // by P/2, rejoin 3P later (>= the 2P reintegration
+                    // minimum).  Trailing fault placement keeps the
+                    // Byzantine roster disjoint from the churned ids.
+                    if (base.algo != analysis::Algo::kWelchLynch ||
+                        base.engine == analysis::EngineMode::kFastpath ||
+                        base.engine == analysis::EngineMode::kPdes ||
+                        base.placement != proc::PlacementKind::kTrailing ||
+                        !base.placement_ids.empty()) {
+                      std::cerr << "bench_sweep: skipping churn=" << churn
+                                << " cell (" << algo << "/" << engine << "/"
+                                << placement
+                                << "): churn needs wl + event-capable engine"
+                                   " + trailing placement\n";
+                      continue;
+                    }
+                    base.dynamics.churn_wave(2.0 * P,
+                                             /*first=*/0,
+                                             static_cast<std::int32_t>(churn),
+                                             /*downtime=*/3.0 * P,
+                                             /*stagger=*/0.5 * P);
+                  }
                   const std::vector<analysis::RunSpec> seeded =
                       analysis::seed_sweep(base, seed0, trials);
                   specs.insert(specs.end(), seeded.begin(), seeded.end());
@@ -340,6 +378,7 @@ int main(int argc, char** argv) {
                   }
                   }
                   }
+                 }
                  }
                 }
               }
@@ -376,6 +415,7 @@ int main(int argc, char** argv) {
         << bench::fault_name(s.fault) << ',' << s.fault_count << ','
         << net::topology_name(s.topology.kind) << ','
         << proc::placement_name(s.placement) << ','
+        << net::churn_intervals(s.dynamics).size() << ','
         << proc::ingest_name(s.ingest) << ','
         << bench::engine_name(s.engine) << ',' << s.pdes_workers << ','
         << bench::nic_name(s.nic) << ','

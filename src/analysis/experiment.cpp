@@ -61,18 +61,24 @@ std::unique_ptr<clk::DriftModel> build_drift(DriftKind kind,
   throw std::logic_error("unknown DriftKind");
 }
 
+/// The Welch-Lynch configuration a spec resolves to — shared between
+/// build_algorithm and the churn routing (ChurnProcess wraps the same
+/// algorithm the static processes run).
+core::WelchLynchConfig make_wl_config(const RunSpec& spec) {
+  core::WelchLynchConfig config;
+  config.params = spec.params;
+  config.averaging = spec.averaging;
+  config.k_exchanges = spec.k_exchanges;
+  config.stagger = spec.stagger;
+  config.amortize = spec.amortize;
+  config.ingest = spec.ingest;
+  return config;
+}
+
 proc::ProcessPtr build_algorithm(const RunSpec& spec) {
   switch (spec.algo) {
-    case Algo::kWelchLynch: {
-      core::WelchLynchConfig config;
-      config.params = spec.params;
-      config.averaging = spec.averaging;
-      config.k_exchanges = spec.k_exchanges;
-      config.stagger = spec.stagger;
-      config.amortize = spec.amortize;
-      config.ingest = spec.ingest;
-      return std::make_unique<core::WelchLynchProcess>(config);
-    }
+    case Algo::kWelchLynch:
+      return std::make_unique<core::WelchLynchProcess>(make_wl_config(spec));
     case Algo::kLM: {
       const double delta_max =
           spec.lm_delta_max > 0.0
@@ -105,6 +111,13 @@ proc::ProcessPtr build_algorithm(const RunSpec& spec) {
 /// level half, re-verified by RoundFastPath::ineligible_reason).  Returns
 /// nullptr when eligible.
 const char* fastpath_spec_block(const RunSpec& spec) {
+  if (!spec.dynamics.empty()) {
+    // The round loop batches whole exchanges against a FIXED neighbor
+    // structure; a schedule that rewires the graph (or churns membership)
+    // mid-run would silently execute on the stale one.  Refuse by name —
+    // never run a dynamic scenario on the static fast path.
+    return "dynamic-topology schedule present (net/dynamics.h)";
+  }
   if (spec.algo != Algo::kWelchLynch) return "algo is not Welch-Lynch";
   if (spec.ingest != proc::IngestMode::kArena) return "legacy arrival ingestion";
   const bool faults = !spec.fault_mix.empty() ||
@@ -134,6 +147,12 @@ const char* fastpath_spec_block(const RunSpec& spec) {
 /// engine::PdesEngine::ineligible_reason (delay floors, observer, partition
 /// shape).  Returns nullptr when eligible.
 const char* pdes_spec_block(const RunSpec& spec) {
+  if (!spec.dynamics.empty()) {
+    // The shard cut is computed once from the start topology; a schedule
+    // that rewires the graph would invalidate lane ownership and the
+    // lookahead floor mid-epoch.  Refuse by name, like the fast path.
+    return "dynamic-topology schedule present (net/dynamics.h)";
+  }
   if (spec.pdes_workers < 1) return "pdes_workers < 1";
   if (spec.observe) {
     // The streaming observer is a single-threaded accumulator wired to the
@@ -158,6 +177,22 @@ const net::Topology& Experiment::topology() {
 
 void Experiment::build() {
   const core::Params& p = spec_.params;
+  if (spec_.mode != RunMode::kMaintenance) {
+    throw std::invalid_argument(
+        "Experiment: only RunMode::kMaintenance builds a maintenance "
+        "system; dispatch kStartup / kReintegration through analysis::run");
+  }
+  const bool dynamic = !spec_.dynamics.empty();
+  if (dynamic) {
+    if (spec_.algo != Algo::kWelchLynch) {
+      throw std::invalid_argument(
+          "RunSpec: dynamics schedules require Algo::kWelchLynch (the only "
+          "algorithm with dynamic neighbor-view resync)");
+    }
+    // Churn needs a dead window of 2P so stale WL timers expire before the
+    // reintegration procedure wakes (same bound run_reintegration enforces).
+    spec_.dynamics.validate(p.n, 2.0 * p.P);
+  }
   util::Rng rng(spec_.seed);
 
   sim::SimConfig sim_config;
@@ -168,10 +203,13 @@ void Experiment::build() {
   sim_config.scheduler = spec_.scheduler;
   sim_config.batch_fanout = spec_.batch_fanout;
   if (spec_.max_events > 0) sim_config.max_events = spec_.max_events;
-  if (spec_.topology.kind != net::TopologyKind::kFullMesh) {
-    // Full mesh stays on the implicit fast path (no adjacency storage).
-    // Construction runs once, through topology(); the simulator gets its
-    // own copy (distance-cache state is not shared with topo_).
+  if (spec_.topology.kind != net::TopologyKind::kFullMesh ||
+      (dynamic && spec_.dynamics.topology_changing())) {
+    // Full mesh stays on the implicit fast path (no adjacency storage) —
+    // unless the schedule mutates the graph, which needs an explicit
+    // adjacency to edit.  Construction runs once, through topology(); the
+    // simulator gets its own copy (distance-cache state is not shared
+    // with topo_).
     sim_config.topology = topology();
   }
   util::Rng delay_rng = rng.fork(2);
@@ -199,7 +237,24 @@ void Experiment::build() {
   // exchange graph (proc/placement.h), seeded from the spec seed alone so
   // placement is as reproducible as the trial itself.
   std::vector<std::int32_t> fault_ordinal(static_cast<std::size_t>(p.n), -1);
-  if (spec_.placement == proc::PlacementKind::kTrailing) {
+  if (!spec_.placement_ids.empty()) {
+    // Explicit positions override the placement policy entirely (the
+    // adaptive adversary's re-placement path).
+    if (static_cast<std::int32_t>(spec_.placement_ids.size()) != fault_count) {
+      throw std::invalid_argument(
+          "RunSpec: placement_ids size must equal the resolved fault count");
+    }
+    for (std::int32_t k = 0; k < fault_count; ++k) {
+      const std::int32_t id = spec_.placement_ids[static_cast<std::size_t>(k)];
+      if (id < 0 || id >= p.n) {
+        throw std::invalid_argument("RunSpec: placement_ids id out of range");
+      }
+      if (fault_ordinal[static_cast<std::size_t>(id)] >= 0) {
+        throw std::invalid_argument("RunSpec: placement_ids has duplicates");
+      }
+      fault_ordinal[static_cast<std::size_t>(id)] = k;
+    }
+  } else if (spec_.placement == proc::PlacementKind::kTrailing) {
     for (std::int32_t k = 0; k < fault_count; ++k) {
       fault_ordinal[static_cast<std::size_t>(honest_count + k)] = k;
     }
@@ -208,6 +263,23 @@ void Experiment::build() {
         proc::place_faults(topology(), spec_.placement, fault_count, spec_.seed);
     for (std::int32_t k = 0; k < fault_count; ++k) {
       fault_ordinal[static_cast<std::size_t>(placed[static_cast<std::size_t>(k)])] = k;
+    }
+  }
+  // Positional adversary mode engages for explicit ids exactly as for the
+  // positional placement kinds (neighbor-scoped two-faced attacks).
+  const bool positional = !spec_.placement_ids.empty() ||
+                          spec_.placement != proc::PlacementKind::kTrailing;
+
+  // Churn roster (net/dynamics.h leave/rejoin events): churned processes
+  // must be honest algorithm instances — a Byzantine process has no state
+  // worth crashing — and are routed through a ChurnProcess below.
+  const auto churn = net::churn_intervals(spec_.dynamics);
+  for (const auto& [pid, windows] : churn) {
+    (void)windows;
+    if (fault_ordinal[static_cast<std::size_t>(pid)] >= 0) {
+      throw std::invalid_argument(
+          "RunSpec: dynamics churn ids must be disjoint from the Byzantine "
+          "roster");
     }
   }
 
@@ -224,6 +296,13 @@ void Experiment::build() {
   if (starts.size() > 1) starts[1] = spread;
 
   util::Rng clock_rng = rng.fork(4);
+  // Self-stabilization workload (Khanchandani–Lenzen overlay): honest
+  // processes start from ARBITRARY logical-clock state — CORR offset
+  // uniform in [0, spread) on top of the aligned value.  The fork is taken
+  // only when engaged, so every spread = 0 run draws exactly the
+  // historical stream (bit-identity preserved).
+  std::optional<util::Rng> arb_rng;
+  if (spec_.initial_clock_spread > 0.0) arb_rng.emplace(rng.fork(5));
   tmin0_ = 1e300;
   tmax0_ = -1e300;
   honest_.clear();
@@ -238,7 +317,30 @@ void Experiment::build() {
       const double s = starts[static_cast<std::size_t>(honest_ordinal++)];
       // Choose CORR so the initial logical clock reads T0 exactly at the
       // START time: c0_p(T0) = s, i.e. the A4 wake-up condition.
-      const double corr0 = p.T0 - clock->now(s);
+      double corr0 = p.T0 - clock->now(s);
+      if (arb_rng) {
+        corr0 += arb_rng->uniform(0.0, spec_.initial_clock_spread);
+      }
+      const auto windows = churn.find(id);
+      if (windows != churn.end()) {
+        // Churned: an honest algorithm instance that crashes and rejoins
+        // per the schedule.  Registered faulty (it is one of the f faults
+        // while down, and the real-time routing needs AdversaryContext)
+        // and excluded from honest_ — measurements quantify the processes
+        // that never left.  Start draws are consumed identically either
+        // way, so the un-churned remainder's physics only change through
+        // the schedule itself.
+        std::vector<core::ChurnProcess::Downtime> downs;
+        downs.reserve(windows->second.size());
+        for (const net::ChurnInterval& w : windows->second) {
+          downs.push_back({w.leave, w.rejoin});
+        }
+        sim_->add_process(std::make_unique<core::ChurnProcess>(
+                              make_wl_config(spec_), std::move(downs)),
+                          std::move(clock), corr0, /*faulty=*/true,
+                          /*start=*/s);
+        continue;
+      }
       honest_.push_back(id);
       tmin0_ = std::min(tmin0_, s);
       tmax0_ = std::max(tmax0_, s);
@@ -279,7 +381,7 @@ void Experiment::build() {
         // cannot clip them all from one end.
         config.early_frac = 0.08 + 0.10 * static_cast<double>(ordinal);
         config.late_frac = 0.92 - 0.10 * static_cast<double>(ordinal);
-        if (spec_.placement != proc::PlacementKind::kTrailing) {
+        if (positional) {
           // Positional mode: lie only to the honest closed neighborhood,
           // one forged face per neighbor (proc/adversaries.h).  The id
           // ranges above assume the trailing layout and are ignored once
@@ -323,6 +425,17 @@ void Experiment::build() {
       }
       case FaultKind::kNone:
         break;
+    }
+  }
+  if (dynamic) {
+    // Install the schedule (tier-2 scenario events) and wake every churned
+    // process at its rejoin instants — the second START routes it into the
+    // Section 9.1 reintegration procedure (ChurnProcess).
+    sim_->set_dynamics(spec_.dynamics);
+    for (const auto& [pid, windows] : churn) {
+      for (const net::ChurnInterval& w : windows) {
+        if (w.rejoin < net::kNeverRejoins) sim_->schedule_start(pid, w.rejoin);
+      }
     }
   }
   // Pre-size the CORR logs for the configured run length (one adjustment
@@ -479,6 +592,7 @@ RunResult Experiment::run() {
   sim_->run_until(horizon);
   result.t_end = sim_->current_time();
   result.messages = sim_->messages_sent();
+  result.dynamics_applied = sim_->dynamics_applied();
   result.nic_dropped = sim_->nic_dropped();
   result.nic = summarize_nic(*sim_);
   for (std::int32_t id = 0; id < sim_->process_count(); ++id) {
@@ -520,6 +634,35 @@ RunResult Experiment::run() {
     }
   }
   result.max_abs_adj = trace_.max_abs_adjustment(honest_, 0);
+
+  // Stabilization time (the Khanchandani–Lenzen workload's headline
+  // number, computed for every maintenance run): the first round whose
+  // ENTIRE skew_at_round suffix stays within the threshold — a suffix
+  // condition, not a first-crossing, so a transient dip below the bound
+  // does not count as stabilized.  The clock starts at tmax0 (the last
+  // honest START), matching the B-series convention.
+  {
+    const double thresh = spec_.stabilize_threshold > 0.0
+                              ? spec_.stabilize_threshold
+                              : 2.0 * d.gamma;
+    std::int32_t stab = -1;
+    for (auto r = static_cast<std::int32_t>(result.skew_at_round.size()) - 1;
+         r >= 0; --r) {
+      if (result.skew_at_round[static_cast<std::size_t>(r)] <= thresh) {
+        stab = r;
+      } else {
+        break;
+      }
+    }
+    if (stab >= 0) {
+      result.stabilized_round = stab;
+      const auto times = trace_.begin_times(stab, honest_);
+      if (!times.empty()) {
+        result.stabilization_time =
+            *std::max_element(times.begin(), times.end()) - tmax0_;
+      }
+    }
+  }
 
   if (observer) {
     // Streaming measurement: the observer drained the same sample grids
@@ -570,19 +713,11 @@ RunResult Experiment::run() {
   return result;
 }
 
-RunResult run_experiment(const RunSpec& spec) {
-  const auto start = std::chrono::steady_clock::now();
-  Experiment experiment(spec);
-  RunResult result = experiment.run();
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  return result;
-}
-
 // ------------------------------------------------------------- start-up ---
 
-StartupResult run_startup(const StartupSpec& spec) {
+namespace {
+
+StartupResult run_startup_impl(const StartupSpec& spec) {
   const core::Params& p = spec.params;
   util::Rng rng(spec.seed);
 
@@ -720,6 +855,8 @@ StartupResult run_startup(const StartupSpec& spec) {
   return result;
 }
 
+}  // namespace
+
 // -------------------------------------------------------- reintegration ---
 
 namespace {
@@ -774,9 +911,7 @@ class CrashRejoinProcess final : public proc::Process {
   core::ReintegrationProcess rejoin_;
 };
 
-}  // namespace
-
-ReintegrationResult run_reintegration(const ReintegrationSpec& spec) {
+ReintegrationResult run_reintegration_impl(const ReintegrationSpec& spec) {
   const core::Params& p = spec.params;
   const core::Derived d = core::derive(p);
   if (spec.wake_at < spec.crash_at + 2.0 * p.P) {
@@ -919,6 +1054,92 @@ ReintegrationResult run_reintegration(const ReintegrationSpec& spec) {
     result.skew_after = skew_at(sim, everyone, sim.current_time());
   }
   return result;
+}
+
+}  // namespace
+
+// ---------------------------------------------------- unified entry point ---
+
+RunResult run(const RunSpec& spec) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  RunResult result;
+  switch (spec.mode) {
+    case RunMode::kMaintenance: {
+      Experiment experiment(spec);
+      result = experiment.run();
+      break;
+    }
+    case RunMode::kStartup: {
+      // The flat RunSpec fields map verbatim onto the historical
+      // StartupSpec — including initial_clock_spread, whose RunSpec
+      // default (0, aligned) differs from StartupSpec's (1.0); the
+      // run_startup wrapper below copies the caller's value through
+      // unchanged, so the round trip is bit-identical.
+      StartupSpec s;
+      s.params = spec.params;
+      s.rounds = spec.rounds;
+      s.handoff = spec.startup_handoff;
+      s.initial_clock_spread = spec.initial_clock_spread;
+      s.fault = spec.fault;
+      s.fault_count = spec.fault_count;
+      s.delay = spec.delay;
+      s.drift = spec.drift;
+      s.seed = spec.seed;
+      s.observe = spec.observe;
+      result.startup = run_startup_impl(s);
+      break;
+    }
+    case RunMode::kReintegration: {
+      ReintegrationSpec s;
+      s.params = spec.params;
+      s.crash_at = spec.crash_at;
+      s.wake_at = spec.wake_at;
+      s.rounds = spec.rounds;
+      s.delay = spec.delay;
+      s.drift = spec.drift;
+      s.seed = spec.seed;
+      s.observe = spec.observe;
+      result.reintegration = run_reintegration_impl(s);
+      break;
+    }
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return result;
+}
+
+RunResult run_experiment(const RunSpec& spec) { return run(spec); }
+
+StartupResult run_startup(const StartupSpec& spec) {
+  RunSpec rs;
+  rs.mode = RunMode::kStartup;
+  rs.params = spec.params;
+  rs.rounds = spec.rounds;
+  rs.startup_handoff = spec.handoff;
+  rs.initial_clock_spread = spec.initial_clock_spread;
+  rs.fault = spec.fault;
+  rs.fault_count = spec.fault_count;
+  rs.delay = spec.delay;
+  rs.drift = spec.drift;
+  rs.seed = spec.seed;
+  rs.observe = spec.observe;
+  return *run(rs).startup;
+}
+
+ReintegrationResult run_reintegration(const ReintegrationSpec& spec) {
+  RunSpec rs;
+  rs.mode = RunMode::kReintegration;
+  rs.params = spec.params;
+  rs.crash_at = spec.crash_at;
+  rs.wake_at = spec.wake_at;
+  rs.rounds = spec.rounds;
+  rs.delay = spec.delay;
+  rs.drift = spec.drift;
+  rs.seed = spec.seed;
+  rs.observe = spec.observe;
+  return *run(rs).reintegration;
 }
 
 }  // namespace wlsync::analysis

@@ -23,6 +23,7 @@
 #include "analysis/skew.h"
 #include "core/params.h"
 #include "core/welch_lynch.h"
+#include "net/dynamics.h"
 #include "net/topology.h"
 #include "proc/placement.h"
 #include "sim/simulator.h"
@@ -85,21 +86,22 @@ enum class EngineMode : std::uint8_t {
   kPdes = 3,
 };
 
-struct RunSpec {
-  core::Params params;
-  Algo algo = Algo::kWelchLynch;
-  core::Averaging averaging = core::Averaging::kMidpoint;
-  std::int32_t k_exchanges = 1;
-  double stagger = 0.0;
-  double amortize = 0.0;
-  /// Arrival-ingestion engine for the averaging algorithms (WL, LM, MS,
-  /// plain mean, ST): the dense neighbor-slot arena (default) or the
-  /// seed's sparse id-indexed path.  Executions are bit-identical either
-  /// way (tests/ingest_pin_test.cpp); kLegacy is the measured reference,
-  /// like batch_fanout = false.  HSSD keeps no per-sender state at all,
-  /// so the knob is a no-op there — don't sweep the ingest axis for it.
-  proc::IngestMode ingest = proc::IngestMode::kArena;
+/// Which experiment family run() executes for a RunSpec.
+enum class RunMode : std::uint8_t {
+  kMaintenance = 0,    ///< Section 4.2 steady state (Experiment::run)
+  kStartup = 1,        ///< Section 9.2 start-up; fills RunResult::startup
+  kReintegration = 2,  ///< Section 9.1 rejoin; fills RunResult::reintegration
+};
 
+/// The scenario-facing slice of a RunSpec: WHO misbehaves, WHERE they sit,
+/// WHAT graph the run executes on, and HOW that graph changes over time.
+/// Extracted from the flat RunSpec monolith so scenario generators (the
+/// adversary env, the churn sweeps) can compose these knobs as one value.
+/// RunSpec inherits this struct, so every historical flat access
+/// (`spec.fault`, `spec.topology`, ...) compiles unchanged and is the SAME
+/// object the nested view exposes — inheritance is the forwarding layer,
+/// with zero overhead and no field duplication.
+struct ScenarioSpec {
   FaultKind fault = FaultKind::kNone;
   std::int32_t fault_count = 0;  ///< how many processes misbehave
   /// Heterogeneous failure mix: when non-empty this overrides fault /
@@ -121,15 +123,78 @@ struct RunSpec {
   /// mode (victims = the adversary's honest neighborhood, per-neighbor
   /// faces) instead of the full-mesh id-range attack.
   proc::PlacementKind placement = proc::PlacementKind::kTrailing;
-
-  DelayKind delay = DelayKind::kUniform;
-  DriftKind drift = DriftKind::kExtremal;
-  double drift_period = 2.0;
+  /// Explicit fault positions (sorted or not; ids into [0, n)).  When
+  /// non-empty this overrides `placement` entirely — the roster is exactly
+  /// these ids (size must equal the resolved fault count) and the
+  /// adversaries run in neighbor-scoped mode.  This is how the adaptive
+  /// adversary re-places faces between episodes without inventing a new
+  /// PlacementKind per candidate set.
+  std::vector<std::int32_t> placement_ids;
 
   /// Exchange graph (net layer).  kFullMesh is the paper's model and runs
   /// the implicit-mesh fast path; sparse kinds open the large-n workload
   /// family (bench_topology).
   net::TopologySpec topology;
+  /// Time-varying topology / churn schedule (net/dynamics.h).  Empty = the
+  /// historical static graph.  Non-empty requires Algo::kWelchLynch, makes
+  /// the fast path and the PDES engine refuse the run by name (never a
+  /// silent static-graph execution), and — for topology-changing events on
+  /// kFullMesh — materializes the mesh explicitly so it can be mutated.
+  /// Leave/rejoin churn routes through core/reintegration's ChurnProcess;
+  /// churned ids must be disjoint from the Byzantine roster.
+  net::DynamicsSpec dynamics;
+};
+
+struct RunSpec : ScenarioSpec {
+  core::Params params;
+  Algo algo = Algo::kWelchLynch;
+  core::Averaging averaging = core::Averaging::kMidpoint;
+  std::int32_t k_exchanges = 1;
+  double stagger = 0.0;
+  double amortize = 0.0;
+  /// Arrival-ingestion engine for the averaging algorithms (WL, LM, MS,
+  /// plain mean, ST): the dense neighbor-slot arena (default) or the
+  /// seed's sparse id-indexed path.  Executions are bit-identical either
+  /// way (tests/ingest_pin_test.cpp); kLegacy is the measured reference,
+  /// like batch_fanout = false.  HSSD keeps no per-sender state at all,
+  /// so the knob is a no-op there — don't sweep the ingest axis for it.
+  proc::IngestMode ingest = proc::IngestMode::kArena;
+
+  /// The nested scenario view of this spec — the ScenarioSpec base
+  /// subobject itself, not a copy (mutations through either view are the
+  /// same bytes).
+  [[nodiscard]] ScenarioSpec& scenario() noexcept { return *this; }
+  [[nodiscard]] const ScenarioSpec& scenario() const noexcept { return *this; }
+
+  /// Which experiment family run() executes.  kStartup reads
+  /// startup_handoff / initial_clock_spread and fills RunResult::startup;
+  /// kReintegration reads crash_at / wake_at and fills
+  /// RunResult::reintegration.  Experiment itself accepts only
+  /// kMaintenance.
+  RunMode mode = RunMode::kMaintenance;
+  /// kStartup: switch to maintenance after `rounds` (StartupSpec::handoff).
+  bool startup_handoff = false;
+  /// kStartup: initial local-time disagreement, read verbatim into
+  /// StartupSpec::initial_clock_spread.  kMaintenance: > 0 engages the
+  /// Khanchandani–Lenzen-style self-stabilization workload — every honest
+  /// process additionally starts with CORR offset uniform in [0, spread),
+  /// i.e. from arbitrary logical-clock state — and run() measures
+  /// RunResult::stabilized_round / stabilization_time.  0 (default) is the
+  /// historical aligned start.
+  double initial_clock_spread = 0.0;
+  /// kReintegration: real time the victim stops / is repaired
+  /// (ReintegrationSpec::crash_at / wake_at).
+  double crash_at = 0.0;
+  double wake_at = 0.0;
+  /// Stabilization threshold for the arbitrary-initial-state workload:
+  /// the run counts as stabilized from the first round whose entire skew
+  /// suffix stays <= this.  0 = 2 * gamma_bound.
+  double stabilize_threshold = 0.0;
+
+  DelayKind delay = DelayKind::kUniform;
+  DriftKind drift = DriftKind::kExtremal;
+  double drift_period = 2.0;
+
   /// Batched fan-out delivery: one scheduler entry per in-flight broadcast.
   /// Results are bit-identical either way (tests/topology_test.cpp); false
   /// keeps the seed's per-recipient scheduling as the measured baseline.
@@ -197,6 +262,80 @@ struct RunSpec {
   std::uint64_t max_events = 0;
 };
 
+// ------------------------------------------------------------------------
+// Start-up synchronization (Section 9.2).  Declared before RunResult so
+// the unified run() can embed the result (std::optional needs the
+// complete type).
+
+struct StartupSpec {
+  core::Params params;
+  std::int32_t rounds = 12;
+  bool handoff = false;  ///< switch to maintenance after `rounds`
+  /// Initial local-time disagreement (clock values are "arbitrary").
+  double initial_clock_spread = 1.0;
+  FaultKind fault = FaultKind::kNone;
+  std::int32_t fault_count = 0;
+  DelayKind delay = DelayKind::kUniform;
+  DriftKind drift = DriftKind::kExtremal;
+  std::uint64_t seed = 1;
+  /// Streaming in-run observation (analysis/observe.h): measure b_series
+  /// through a StreamingObserver's round-boundary stream instead of the
+  /// post-hoc per-round skew_at scans.  Bit-identical either way
+  /// (tests/startup_test.cpp) — this flag used to be silently ignored by
+  /// run_startup; now it switches the measurement engine like
+  /// RunSpec::observe does for Experiment::run.
+  bool observe = false;
+};
+
+struct StartupResult {
+  /// B^i: max difference between nonfaulty clock values at the latest real
+  /// time a nonfaulty process begins round i (Lemma 20's quantity).
+  std::vector<double> b_series;
+  double round_slack = 0.0;  ///< 2 eps + 2 rho (11 delta + 39 eps)
+  double limit = 0.0;        ///< 2 * round_slack
+  double final_b = 0.0;
+  bool handoff_done = false;
+  double post_handoff_skew = 0.0;  ///< steady skew under maintenance
+  /// Observation telemetry (defaults when StartupSpec::observe is off).
+  /// Like RunResult::observe, NOT part of any identity comparison.
+  ObserveStats observe;
+};
+
+// ------------------------------------------------------------------------
+// Reintegration (Section 9.1)
+
+struct ReintegrationSpec {
+  core::Params params;
+  double crash_at = 0.0;  ///< real time the victim stops
+  double wake_at = 0.0;   ///< real time it is repaired (>= crash_at + 2P)
+  std::int32_t rounds = 30;
+  DelayKind delay = DelayKind::kUniform;
+  DriftKind drift = DriftKind::kExtremal;
+  std::uint64_t seed = 1;
+  /// Streaming in-run observation: run in P-sized chunks until the victim
+  /// rejoins, then attach a StreamingObserver whose skew window opens at
+  /// join_time + 2P (ObserveSpec::skew_t0) and measure skew_after from its
+  /// accumulators instead of the post-hoc skew_series walk.  Bit-identical
+  /// either way (tests/reintegration_test.cpp); previously this knob did
+  /// not exist and observation requests were silently impossible here.
+  bool observe = false;
+};
+
+struct ReintegrationResult {
+  bool rejoined = false;
+  double join_time = 0.0;
+  std::int32_t join_round = 0;
+  /// Begin spread of the first round that includes the rejoined process;
+  /// Section 9.1 claims it is within beta.
+  double spread_with_joiner = 0.0;
+  double beta = 0.0;
+  double skew_after = 0.0;  ///< steady skew including the joiner
+  double gamma_bound = 0.0;
+  /// Observation telemetry (defaults when ReintegrationSpec::observe is
+  /// off).  NOT part of any identity comparison.
+  ObserveStats observe;
+};
+
 struct RunResult {
   std::vector<std::int32_t> honest;
   double gamma_bound = 0.0;
@@ -223,6 +362,25 @@ struct RunResult {
   double tmax0 = 0.0;
   double t_end = 0.0;
   std::int32_t completed_rounds = 0;
+  /// Self-stabilization measurement (RunSpec::initial_clock_spread > 0 in
+  /// kMaintenance mode, but computed for every maintenance run): the first
+  /// round index whose ENTIRE skew_at_round suffix stays within the
+  /// stabilization threshold (RunSpec::stabilize_threshold; default
+  /// 2 * gamma_bound), and the real time of that round's last honest begin
+  /// minus tmax0.  -1 when the run never stabilizes (or completed no
+  /// rounds).  Deterministic physics — part of results_identical.
+  std::int32_t stabilized_round = -1;
+  double stabilization_time = -1.0;
+  /// Scenario events the simulator applied (sim::Simulator::
+  /// dynamics_applied); 0 on static runs.  Deterministic — part of
+  /// results_identical, pinning that every engine saw the same schedule.
+  std::int64_t dynamics_applied = 0;
+  /// Mode-specific payloads of the unified run(): engaged exactly when
+  /// RunSpec::mode is kStartup / kReintegration.  NOT part of
+  /// results_identical (the flat fields above stay the comparison surface;
+  /// the legacy entry points are pinned bit-identical through these).
+  std::optional<StartupResult> startup;
+  std::optional<ReintegrationResult> reintegration;
   /// Wall-clock seconds this trial took (run_experiment measures it; the
   /// ParallelRunner streams it to sweep CSVs).  Telemetry only — it is NOT
   /// part of results_identical, which compares measured physics.
@@ -304,83 +462,30 @@ class Experiment {
   double tmax0_ = 0.0;
 };
 
-/// One-shot convenience wrapper.
+/// THE experiment entry point: dispatches on RunSpec::mode.
+///   kMaintenance   — Experiment::run (plus the stabilization measurement
+///                    when initial_clock_spread > 0);
+///   kStartup       — the Section 9.2 start-up experiment; the flat fields
+///                    map verbatim into a StartupSpec and the full result
+///                    lands in RunResult::startup;
+///   kReintegration — the Section 9.1 rejoin experiment, likewise into
+///                    RunResult::reintegration.
+/// wall_seconds is measured here for every mode.  The three historical
+/// entry points below are thin wrappers over this function and stay
+/// bit-identical to their pre-unification behaviour (pinned in
+/// tests/scenario_test.cpp).
+[[nodiscard]] RunResult run(const RunSpec& spec);
+
+/// Deprecated: use run().  Kept as a one-line wrapper (same result,
+/// bit-identical) so two PR-generations of callers keep compiling.
 [[nodiscard]] RunResult run_experiment(const RunSpec& spec);
 
-// ------------------------------------------------------------------------
-// Start-up synchronization (Section 9.2)
-
-struct StartupSpec {
-  core::Params params;
-  std::int32_t rounds = 12;
-  bool handoff = false;  ///< switch to maintenance after `rounds`
-  /// Initial local-time disagreement (clock values are "arbitrary").
-  double initial_clock_spread = 1.0;
-  FaultKind fault = FaultKind::kNone;
-  std::int32_t fault_count = 0;
-  DelayKind delay = DelayKind::kUniform;
-  DriftKind drift = DriftKind::kExtremal;
-  std::uint64_t seed = 1;
-  /// Streaming in-run observation (analysis/observe.h): measure b_series
-  /// through a StreamingObserver's round-boundary stream instead of the
-  /// post-hoc per-round skew_at scans.  Bit-identical either way
-  /// (tests/startup_test.cpp) — this flag used to be silently ignored by
-  /// run_startup; now it switches the measurement engine like
-  /// RunSpec::observe does for Experiment::run.
-  bool observe = false;
-};
-
-struct StartupResult {
-  /// B^i: max difference between nonfaulty clock values at the latest real
-  /// time a nonfaulty process begins round i (Lemma 20's quantity).
-  std::vector<double> b_series;
-  double round_slack = 0.0;  ///< 2 eps + 2 rho (11 delta + 39 eps)
-  double limit = 0.0;        ///< 2 * round_slack
-  double final_b = 0.0;
-  bool handoff_done = false;
-  double post_handoff_skew = 0.0;  ///< steady skew under maintenance
-  /// Observation telemetry (defaults when StartupSpec::observe is off).
-  /// Like RunResult::observe, NOT part of any identity comparison.
-  ObserveStats observe;
-};
-
+/// Deprecated: use run() with mode = kStartup.  Wrapper over run();
+/// returns the embedded RunResult::startup payload.
 [[nodiscard]] StartupResult run_startup(const StartupSpec& spec);
 
-// ------------------------------------------------------------------------
-// Reintegration (Section 9.1)
-
-struct ReintegrationSpec {
-  core::Params params;
-  double crash_at = 0.0;  ///< real time the victim stops
-  double wake_at = 0.0;   ///< real time it is repaired (>= crash_at + 2P)
-  std::int32_t rounds = 30;
-  DelayKind delay = DelayKind::kUniform;
-  DriftKind drift = DriftKind::kExtremal;
-  std::uint64_t seed = 1;
-  /// Streaming in-run observation: run in P-sized chunks until the victim
-  /// rejoins, then attach a StreamingObserver whose skew window opens at
-  /// join_time + 2P (ObserveSpec::skew_t0) and measure skew_after from its
-  /// accumulators instead of the post-hoc skew_series walk.  Bit-identical
-  /// either way (tests/reintegration_test.cpp); previously this knob did
-  /// not exist and observation requests were silently impossible here.
-  bool observe = false;
-};
-
-struct ReintegrationResult {
-  bool rejoined = false;
-  double join_time = 0.0;
-  std::int32_t join_round = 0;
-  /// Begin spread of the first round that includes the rejoined process;
-  /// Section 9.1 claims it is within beta.
-  double spread_with_joiner = 0.0;
-  double beta = 0.0;
-  double skew_after = 0.0;  ///< steady skew including the joiner
-  double gamma_bound = 0.0;
-  /// Observation telemetry (defaults when ReintegrationSpec::observe is
-  /// off).  NOT part of any identity comparison.
-  ObserveStats observe;
-};
-
+/// Deprecated: use run() with mode = kReintegration.  Wrapper over run();
+/// returns the embedded RunResult::reintegration payload.
 [[nodiscard]] ReintegrationResult run_reintegration(const ReintegrationSpec& spec);
 
 }  // namespace wlsync::analysis

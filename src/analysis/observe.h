@@ -150,6 +150,14 @@ class StreamingObserver final : public sim::Observer {
 
   [[nodiscard]] const ObserveStats& stats() const noexcept { return stats_; }
 
+  /// Live view of the round-boundary skew stream (NaN = round not observed
+  /// yet).  Round r's entry flushes when the first begin of round r+1
+  /// arrives — the scenario::AdversaryEnv step loop reads this mid-run to
+  /// hand per-round observations to a policy without finalizing.
+  [[nodiscard]] const std::vector<double>& round_skews() const noexcept {
+    return round_skew_;
+  }
+
  private:
   /// Evaluates all measured local times at `t` into locals_ via the grid
   /// walkers (non-decreasing t across calls).

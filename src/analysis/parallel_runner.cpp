@@ -313,6 +313,9 @@ bool results_identical(const RunResult& a, const RunResult& b) {
          nic_summaries_identical(a.nic, b.nic) &&
          a.tmin0 == b.tmin0 && a.tmax0 == b.tmax0 && a.t_end == b.t_end &&
          a.completed_rounds == b.completed_rounds &&
+         a.stabilized_round == b.stabilized_round &&
+         a.stabilization_time == b.stabilization_time &&
+         a.dynamics_applied == b.dynamics_applied &&
          gradient_summaries_identical(a.gradient, b.gradient);
   // wall_seconds, the ObserveStats telemetry, the fast-path telemetry
   // (fastpath_engaged / fastpath_exchanges / fastpath_rearms), and the PDES

@@ -91,6 +91,7 @@ RoundFastPath::~RoundFastPath() = default;
 
 const char* RoundFastPath::ineligible_reason(sim::Simulator& sim) {
   if (sim.process_count() == 0) return "no processes registered";
+  if (sim.has_dynamics()) return "dynamic-topology schedule installed";
   if (sim.nic_enabled()) return "Section 9.3 NIC ingress model engaged";
   const std::int32_t n = sim.process_count();
   std::vector<std::int32_t> faulty;

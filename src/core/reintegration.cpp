@@ -1,6 +1,7 @@
 #include "core/reintegration.h"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "multiset/multiset_ops.h"
 
@@ -92,6 +93,90 @@ void ReintegrationProcess::close_window(proc::Context& ctx) {
       static_cast<std::int32_t>(std::llround((next_label - p.T0) / p.P));
   ctx.annotate({proc::Annotation::Type::kJoined, next_round, next_label, adj});
   wl_.resume(ctx, next_label, next_round);
+}
+
+// ----------------------------------------------------------------- churn ---
+
+ChurnProcess::ChurnProcess(WelchLynchConfig config,
+                           std::vector<Downtime> downtimes)
+    : config_(config), wl_(config), down_(std::move(downtimes)) {
+  for (std::size_t i = 0; i < down_.size(); ++i) {
+    if (down_[i].rejoin < down_[i].leave) {
+      throw std::invalid_argument("ChurnProcess: rejoin precedes leave");
+    }
+    if (i > 0 && down_[i].leave < down_[i - 1].rejoin) {
+      throw std::invalid_argument(
+          "ChurnProcess: downtime intervals must be sorted and disjoint");
+    }
+  }
+}
+
+ChurnProcess::Route ChurnProcess::route(proc::Context& ctx) {
+  const double now = proc::AdversaryContext::from(ctx).real_time();
+  // k = number of leaves at or before now.
+  std::size_t k = 0;
+  while (k < down_.size() && down_[k].leave <= now) ++k;
+  if (k == 0) return Route::kWl;
+  if (now < down_[k - 1].rejoin) return Route::kDead;
+  if (rejoin_segment_ != k) {
+    // First event at or past this segment's rejoin instant: start a fresh
+    // Section 9.1 procedure.  The previous one (if any) is discarded with
+    // all its state — its pending timers route here and die as stale.
+    rejoin_ = std::make_unique<ReintegrationProcess>(config_);
+    rejoin_segment_ = k;
+  }
+  return Route::kRejoin;
+}
+
+bool ChurnProcess::participating(proc::Context& ctx) {
+  switch (route(ctx)) {
+    case Route::kWl:
+      return true;
+    case Route::kDead:
+      return false;
+    case Route::kRejoin:
+      return rejoin_->joined();
+  }
+  return false;
+}
+
+void ChurnProcess::on_start(proc::Context& ctx) {
+  switch (route(ctx)) {
+    case Route::kWl:
+      wl_.on_start(ctx);
+      break;
+    case Route::kDead:
+      break;
+    case Route::kRejoin:
+      rejoin_->on_start(ctx);
+      break;
+  }
+}
+
+void ChurnProcess::on_timer(proc::Context& ctx, std::int32_t tag) {
+  switch (route(ctx)) {
+    case Route::kWl:
+      wl_.on_timer(ctx, tag);
+      break;
+    case Route::kDead:
+      break;
+    case Route::kRejoin:
+      rejoin_->on_timer(ctx, tag);
+      break;
+  }
+}
+
+void ChurnProcess::on_message(proc::Context& ctx, const sim::Message& m) {
+  switch (route(ctx)) {
+    case Route::kWl:
+      wl_.on_message(ctx, m);
+      break;
+    case Route::kDead:
+      break;
+    case Route::kRejoin:
+      rejoin_->on_message(ctx, m);
+      break;
+  }
 }
 
 }  // namespace wlsync::core

@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -73,6 +74,56 @@ class ReintegrationProcess final : public proc::Process {
   std::vector<double> arr_;
   std::set<std::int32_t> target_senders_;
   bool window_armed_ = false;
+};
+
+/// Churn lifecycle (net/dynamics.h kLeave/kRejoin schedules): an honest
+/// Welch-Lynch participant that leaves and rejoins the system repeatedly.
+/// Each downtime interval [leave, rejoin) silences the process completely
+/// (stale timers and deliveries are dropped, exactly like a crash); at the
+/// rejoin instant a FRESH Section 9.1 reintegration procedure starts from
+/// scratch — the previous incarnation's round state is deliberately lost,
+/// since an arbitrarily long absence makes it worthless (the paper's
+/// "repaired process wakes with arbitrary clock" premise).  The driver
+/// (analysis::Experiment) schedules one START per rejoin; intervals must be
+/// sorted, non-overlapping, and >= 2P apart from their rejoin to the next
+/// leave so the fresh procedure's timers cannot collide with stale ones
+/// (the same margin run_reintegration has always required).
+class ChurnProcess final : public proc::Process {
+ public:
+  struct Downtime {
+    double leave = 0.0;
+    double rejoin = 1e300;  ///< net::kNeverRejoins when the leave is final
+  };
+
+  /// Throws std::invalid_argument unless the intervals are sorted by leave
+  /// time and non-overlapping (each rejoin precedes the next leave).
+  ChurnProcess(WelchLynchConfig config, std::vector<Downtime> downtimes);
+
+  void on_start(proc::Context& ctx) override;
+  void on_timer(proc::Context& ctx, std::int32_t tag) override;
+  void on_message(proc::Context& ctx, const sim::Message& m) override;
+
+  /// The reintegration procedure of the most recent rejoin; nullptr before
+  /// the first rejoin fires.
+  [[nodiscard]] const ReintegrationProcess* rejoin() const noexcept {
+    return rejoin_.get();
+  }
+  /// True while the process is participating (initial tenure, or rejoined
+  /// and past the Section 9.1 join).
+  [[nodiscard]] bool participating(proc::Context& ctx);
+
+ private:
+  enum class Route : std::uint8_t { kWl, kDead, kRejoin };
+  /// Routing by real time: before the first leave the original maintenance
+  /// instance runs; inside [leave, rejoin) everything is dropped; from the
+  /// k-th rejoin on, the k-th reintegration procedure owns the process.
+  [[nodiscard]] Route route(proc::Context& ctx);
+
+  WelchLynchConfig config_;
+  WelchLynchProcess wl_;  ///< the initial tenure's maintenance instance
+  std::vector<Downtime> down_;
+  std::unique_ptr<ReintegrationProcess> rejoin_;
+  std::size_t rejoin_segment_ = 0;  ///< 1 + index of the segment rejoin_ serves
 };
 
 }  // namespace wlsync::core

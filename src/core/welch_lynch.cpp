@@ -32,6 +32,22 @@ WelchLynchProcess::WelchLynchProcess(WelchLynchConfig config)
 void WelchLynchProcess::ensure_arena(const proc::Context& ctx) {
   if (!arena_.bound()) {
     arena_.bind(ctx.neighbors(), ctx.process_count(), kNeverArrived);
+    topo_seen_ = ctx.topology_version();
+  }
+}
+
+void WelchLynchProcess::sync_topology(const proc::Context& ctx) {
+  const std::uint32_t version = ctx.topology_version();
+  if (version == topo_seen_) return;
+  topo_seen_ = version;
+  // The exchange graph moved under us: arrivals recorded against the old
+  // neighbor view are no longer comparable (a vanished neighbor's slot
+  // would masquerade as a live arrival).  Discard the window in both
+  // ingestion modes — identically, so arena and legacy stay bit-identical.
+  if (config_.ingest == proc::IngestMode::kLegacy) {
+    std::fill(arr_.begin(), arr_.end(), kNeverArrived);
+  } else if (arena_.bound()) {
+    arena_.bind(ctx.neighbors(), ctx.process_count(), kNeverArrived);
   }
 }
 
@@ -116,6 +132,7 @@ void WelchLynchProcess::on_message(proc::Context& ctx, const sim::Message& m) {
   // updates the slot; contents are never inspected by the basic algorithm.
   // In staggered mode a time message from q was sent q*sigma later than the
   // shared base, so subtract the known offset to make arrivals comparable.
+  sync_topology(ctx);
   double arrival = ctx.local_time();
   if (config_.stagger > 0.0 && m.tag == kTimeTag) {
     arrival -= static_cast<double>(m.from) * config_.stagger;
@@ -205,6 +222,7 @@ void WelchLynchProcess::do_update(proc::Context& ctx) {
   if (config_.ingest != proc::IngestMode::kLegacy) {
     ensure_arena(ctx);  // a process that heard nobody still has a view
   }
+  sync_topology(ctx);  // a change since the last arrival still resyncs
   if (window_starved(ctx)) {
     ++starved_updates_;
   } else {

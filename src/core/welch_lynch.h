@@ -123,6 +123,15 @@ class WelchLynchProcess final : public proc::Process {
   void do_update(proc::Context& ctx);
   /// Binds the arena to the neighbor view on the first Context-bearing step.
   void ensure_arena(const proc::Context& ctx);
+  /// Dynamic-topology resync (net/dynamics.h): when the context reports a
+  /// newer graph version than the one this process last built its view
+  /// for, discard the current collection window — legacy ARR refills with
+  /// sentinels, the arena rebinds to the new neighbor list.  The local-f
+  /// clamps then read the LIVE degree at the next update.  A change that
+  /// lands mid-window may starve that update (too few arrivals survive)
+  /// — that is a missed round, exactly the Section 9.3 guard's semantics.
+  /// Free on static graphs: the version stays 0 and this early-returns.
+  void sync_topology(const proc::Context& ctx);
   /// Section 9.3 starvation guard: true when so many slots of the current
   /// neighbor view still hold kNeverArrived that reduce() cannot clip them
   /// all — the f-th order statistic itself would be the sentinel and the
@@ -144,6 +153,7 @@ class WelchLynchProcess final : public proc::Process {
   double last_adj_ = 0.0;
   double last_av_ = 0.0;
   std::uint64_t starved_updates_ = 0;
+  std::uint32_t topo_seen_ = 0;  ///< graph version the view was built for
   bool started_ = false;
 };
 

@@ -150,6 +150,7 @@ double PdesEngine::lookahead_for(const sim::Simulator& sim,
 const char* PdesEngine::ineligible_reason(const sim::Simulator& sim,
                                           const net::Partition& partition) {
   if (sim.process_count() == 0) return "no processes registered";
+  if (sim.has_dynamics()) return "dynamic-topology schedule installed";
   if (partition.n() != sim.process_count()) {
     return "partition node count does not match process count";
   }

@@ -1,0 +1,201 @@
+#include "net/dynamics.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace wlsync::net {
+
+const char* dynamics_name(DynamicsKind kind) noexcept {
+  switch (kind) {
+    case DynamicsKind::kLinkFail: return "link_fail";
+    case DynamicsKind::kLinkHeal: return "link_heal";
+    case DynamicsKind::kSplit: return "split";
+    case DynamicsKind::kMerge: return "merge";
+    case DynamicsKind::kLeave: return "leave";
+    case DynamicsKind::kRejoin: return "rejoin";
+  }
+  return "?";
+}
+
+DynamicsSpec& DynamicsSpec::fail_link(double at, std::int32_t a,
+                                      std::int32_t b) {
+  events.push_back({at, DynamicsKind::kLinkFail, a, b, {}});
+  return *this;
+}
+
+DynamicsSpec& DynamicsSpec::heal_link(double at, std::int32_t a,
+                                      std::int32_t b) {
+  events.push_back({at, DynamicsKind::kLinkHeal, a, b, {}});
+  return *this;
+}
+
+DynamicsSpec& DynamicsSpec::split(double at, std::vector<std::int32_t> group) {
+  events.push_back({at, DynamicsKind::kSplit, -1, -1, std::move(group)});
+  return *this;
+}
+
+DynamicsSpec& DynamicsSpec::merge(double at, std::vector<std::int32_t> group) {
+  events.push_back({at, DynamicsKind::kMerge, -1, -1, std::move(group)});
+  return *this;
+}
+
+DynamicsSpec& DynamicsSpec::leave(double at, std::int32_t pid) {
+  events.push_back({at, DynamicsKind::kLeave, pid, -1, {}});
+  return *this;
+}
+
+DynamicsSpec& DynamicsSpec::rejoin(double at, std::int32_t pid) {
+  events.push_back({at, DynamicsKind::kRejoin, pid, -1, {}});
+  return *this;
+}
+
+DynamicsSpec& DynamicsSpec::churn_wave(double t0, std::int32_t first,
+                                       std::int32_t count, double downtime,
+                                       double stagger) {
+  for (std::int32_t i = 0; i < count; ++i) {
+    const double off = t0 + static_cast<double>(i) * stagger;
+    leave(off, first + i);
+    rejoin(off + downtime, first + i);
+  }
+  return *this;
+}
+
+bool DynamicsSpec::topology_changing() const noexcept {
+  for (const DynamicsEvent& e : events) {
+    switch (e.kind) {
+      case DynamicsKind::kLinkFail:
+      case DynamicsKind::kLinkHeal:
+      case DynamicsKind::kSplit:
+      case DynamicsKind::kMerge:
+        return true;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+bool DynamicsSpec::has_churn() const noexcept {
+  for (const DynamicsEvent& e : events) {
+    if (e.kind == DynamicsKind::kLeave || e.kind == DynamicsKind::kRejoin) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DynamicsSpec::validate(std::int32_t n, double min_down) const {
+  const auto check_id = [n](std::int32_t id, const char* what) {
+    if (id < 0 || id >= n) {
+      throw std::invalid_argument(std::string("DynamicsSpec: ") + what +
+                                  " id out of range");
+    }
+  };
+  for (const DynamicsEvent& e : events) {
+    if (!(e.at >= 0.0)) {
+      throw std::invalid_argument("DynamicsSpec: event time must be >= 0");
+    }
+    switch (e.kind) {
+      case DynamicsKind::kLinkFail:
+      case DynamicsKind::kLinkHeal:
+        check_id(e.a, "link");
+        check_id(e.b, "link");
+        if (e.a == e.b) {
+          throw std::invalid_argument(
+              "DynamicsSpec: link event needs two distinct endpoints");
+        }
+        break;
+      case DynamicsKind::kSplit:
+      case DynamicsKind::kMerge: {
+        if (e.group.empty() ||
+            e.group.size() >= static_cast<std::size_t>(n)) {
+          throw std::invalid_argument(
+              "DynamicsSpec: split/merge group must be a nonempty proper "
+              "subset");
+        }
+        std::unordered_set<std::int32_t> seen;
+        for (const std::int32_t id : e.group) {
+          check_id(id, "group");
+          if (!seen.insert(id).second) {
+            throw std::invalid_argument(
+                "DynamicsSpec: split/merge group has duplicate ids");
+          }
+        }
+        break;
+      }
+      case DynamicsKind::kLeave:
+      case DynamicsKind::kRejoin:
+        check_id(e.a, "churn");
+        break;
+    }
+  }
+  // Churn alternation: in time order every process's events must read
+  // leave, rejoin, leave, ... with rejoin >= leave + min_down.
+  std::map<std::int32_t, std::vector<std::pair<double, DynamicsKind>>> per;
+  for (const DynamicsEvent& e : events) {
+    if (e.kind == DynamicsKind::kLeave || e.kind == DynamicsKind::kRejoin) {
+      per[e.a].push_back({e.at, e.kind});
+    }
+  }
+  for (auto& [pid, seq] : per) {
+    std::stable_sort(seq.begin(), seq.end(),
+                     [](const auto& x, const auto& y) {
+                       return x.first < y.first;
+                     });
+    double last_leave = 0.0;
+    bool down = false;
+    for (const auto& [at, kind] : seq) {
+      if (kind == DynamicsKind::kLeave) {
+        if (down) {
+          throw std::invalid_argument(
+              "DynamicsSpec: process " + std::to_string(pid) +
+              " leaves twice without rejoining");
+        }
+        down = true;
+        last_leave = at;
+      } else {
+        if (!down) {
+          throw std::invalid_argument(
+              "DynamicsSpec: process " + std::to_string(pid) +
+              " rejoins without having left");
+        }
+        if (at < last_leave + min_down) {
+          throw std::invalid_argument(
+              "DynamicsSpec: process " + std::to_string(pid) +
+              " rejoins before its dead window elapsed (need >= " +
+              std::to_string(min_down) + " down)");
+        }
+        down = false;
+      }
+    }
+  }
+}
+
+std::map<std::int32_t, std::vector<ChurnInterval>> churn_intervals(
+    const DynamicsSpec& spec) {
+  std::map<std::int32_t, std::vector<std::pair<double, DynamicsKind>>> per;
+  for (const DynamicsEvent& e : spec.events) {
+    if (e.kind == DynamicsKind::kLeave || e.kind == DynamicsKind::kRejoin) {
+      per[e.a].push_back({e.at, e.kind});
+    }
+  }
+  std::map<std::int32_t, std::vector<ChurnInterval>> out;
+  for (auto& [pid, seq] : per) {
+    std::stable_sort(seq.begin(), seq.end(),
+                     [](const auto& x, const auto& y) {
+                       return x.first < y.first;
+                     });
+    std::vector<ChurnInterval>& windows = out[pid];
+    for (const auto& [at, kind] : seq) {
+      if (kind == DynamicsKind::kLeave) {
+        windows.push_back({at, kNeverRejoins});
+      } else if (!windows.empty()) {
+        windows.back().rejoin = at;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wlsync::net

@@ -120,6 +120,11 @@ void TwoFacedAdversary::fire_due_faces(Context& ctx) {
   }
 }
 
+void TwoFacedAdversary::retune(double early_frac, double late_frac) {
+  config_.early_frac = std::clamp(early_frac, 0.0, 1.0);
+  config_.late_frac = std::clamp(late_frac, 0.0, 1.0);
+}
+
 void TwoFacedAdversary::on_start(Context& ctx) {
   if (config_.first_tmin >= 0.0) {
     // Strike the very first round off the known A4 schedule.

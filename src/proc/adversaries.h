@@ -145,6 +145,17 @@ class TwoFacedAdversary final : public Process {
   void on_timer(Context& ctx, std::int32_t tag) override;
   void on_message(Context& ctx, const sim::Message& m) override;
 
+  /// Adaptive re-targeting (scenario/adversary_env.h): move the two faces
+  /// within the legal in-span window.  Takes effect at the NEXT
+  /// schedule_attack — faces already in pending_ keep their committed fire
+  /// times, so a retune between rounds deterministically shapes the next
+  /// strike and nothing else.  Values are clamped to [0, 1]: the adversary
+  /// cannot leave the in-span window (an out-of-span arrival is clipped by
+  /// reduce() and wasted — see the class comment).
+  void retune(double early_frac, double late_frac);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
  private:
   struct Face {
     double value;  ///< label to forge

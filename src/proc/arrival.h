@@ -88,9 +88,12 @@ class ArrivalArena {
  public:
   /// Binds the arena to a closed neighborhood (sorted ids, self included)
   /// over processes 0..n-1 and fills every slot with `initial`.  Binding
-  /// always resets the slots — callers guard with bound() and bind exactly
-  /// once, from their first Context-bearing step (the neighborhood is not
-  /// known at construction time; the exchange graph never changes mid-run).
+  /// always resets the slots — callers guard with bound() and bind from
+  /// their first Context-bearing step (the neighborhood is not known at
+  /// construction time).  On a static exchange graph that is the only
+  /// bind; under a net/dynamics.h schedule the algorithm re-binds when
+  /// Context::topology_version moves, discarding the collection window
+  /// (rebinds() counts these — bench_micro gates steady state at one).
   void bind(std::span<const std::int32_t> neighbors, std::int32_t n,
             double initial);
 

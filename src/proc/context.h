@@ -50,6 +50,17 @@ class Context {
     return static_cast<std::int32_t>(neighbors().size());
   }
 
+  /// Version counter of the exchange graph behind neighbors().  0 forever
+  /// on a static graph; under a net/dynamics.h schedule the simulator
+  /// bumps it whenever the live graph changes, and algorithms holding
+  /// neighbor-derived state (arrival windows, local-f clamps) compare it
+  /// against the version they last built that state for.  Non-virtual:
+  /// contexts that track dynamics stamp the protected member at
+  /// construction; everyone else leaves the static default.
+  [[nodiscard]] std::uint32_t topology_version() const noexcept {
+    return topology_version_;
+  }
+
   /// Current physical clock reading Ph_p (read-only, Section 2.1).
   [[nodiscard]] virtual double physical_time() const = 0;
 
@@ -84,6 +95,9 @@ class Context {
 
   /// Emits an annotation to any attached trace sinks.
   virtual void annotate(const Annotation& annotation) = 0;
+
+ protected:
+  std::uint32_t topology_version_ = 0;  ///< see topology_version()
 };
 
 /// Extra powers for Byzantine processes.  The simulator hands this subclass

@@ -28,11 +28,20 @@ enum class EngineKind : std::uint8_t {
   kNicArrive = 1,   ///< message reaches the recipient's bounded NIC buffer
   kNicService = 2,  ///< NIC hands the next buffered message to the process
   kFanout = 3,      ///< batched broadcast: next delivery of a FanoutRecord
+  /// Apply a net::DynamicsEvent to the live graph.  `to` is the index into
+  /// the installed DynamicsSpec, NOT a process id; the message is empty.
+  /// Scheduled at tier 2, so at its exact instant it fires after every
+  /// ordinary message and TIMER — a message sent at time t still travels
+  /// the graph as it was when it was sent.
+  kScenario = 4,
 };
 
 struct Event {
   double time = 0.0;
-  std::int32_t tier = 0;  ///< 0 = ordinary, 1 = TIMER (execution property 4)
+  /// 0 = ordinary, 1 = TIMER (execution property 4), 2 = scenario
+  /// (net/dynamics.h graph changes — last at their instant, so same-time
+  /// deliveries see the pre-change graph).
+  std::int32_t tier = 0;
   /// Final deterministic tiebreak: (origin id << 40) | origin-local program
   /// order (Simulator::alloc_seq).  Intrinsic to the originating process'
   /// execution, NOT a global insertion count — the property that lets a

@@ -23,7 +23,9 @@ class SimContext final : public proc::AdversaryContext {
  public:
   SimContext(Simulator& sim, Simulator::Lane& lane, std::int32_t pid,
              bool faulty)
-      : sim_(sim), lane_(lane), pid_(pid), faulty_(faulty) {}
+      : sim_(sim), lane_(lane), pid_(pid), faulty_(faulty) {
+    topology_version_ = sim.topology_version_;
+  }
 
   [[nodiscard]] std::int32_t id() const override { return pid_; }
   [[nodiscard]] std::int32_t process_count() const override {
@@ -191,6 +193,135 @@ std::int32_t Simulator::add_process(proc::ProcessPtr process,
 void Simulator::schedule_start(std::int32_t id, double real_time) {
   schedule_event(owner_lane(id), real_time, /*tier=*/0, /*origin=*/id, id,
                  EngineKind::kDeliver, make_start());
+}
+
+void Simulator::set_dynamics(const net::DynamicsSpec& dynamics) {
+  if (dynamics.empty()) return;
+  if (has_dynamics_) {
+    throw std::logic_error("Simulator: dynamics schedule already installed");
+  }
+  if (nodes_.empty()) {
+    throw std::logic_error(
+        "Simulator: register processes before installing dynamics");
+  }
+  dynamics.validate(process_count(), /*min_down=*/0.0);
+  if (dynamics.topology_changing()) {
+    if (!config_.topology.has_value()) {
+      throw std::logic_error(
+          "Simulator: topology-changing dynamics require an explicit "
+          "topology (materialize the full mesh to mutate it)");
+    }
+    if (config_.topology->n() != process_count()) {
+      throw std::logic_error(
+          "Simulator: topology node count does not match process count");
+    }
+    // Open-neighborhood working copy; from_adjacency restores self-loops
+    // on every rebuild.
+    const std::size_t n = nodes_.size();
+    base_adjacency_.assign(n, {});
+    for (std::size_t p = 0; p < n; ++p) {
+      for (const std::int32_t q :
+           config_.topology->neighbors(static_cast<std::int32_t>(p))) {
+        if (q != static_cast<std::int32_t>(p)) {
+          base_adjacency_[p].push_back(q);
+        }
+      }
+    }
+    adjacency_ = base_adjacency_;
+  }
+  dynamics_ = dynamics;
+  has_dynamics_ = true;
+  // Install in (time, append index) order so same-instant scenario events
+  // fire in append order (seqs are allocated here, in sorted order).
+  std::vector<std::size_t> order(dynamics_.events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return dynamics_.events[a].at < dynamics_.events[b].at;
+                   });
+  for (const std::size_t i : order) {
+    schedule_event(main_, dynamics_.events[i].at, /*tier=*/2, /*origin=*/0,
+                   static_cast<std::int32_t>(i), EngineKind::kScenario,
+                   Message{});
+  }
+}
+
+void Simulator::apply_dynamics(std::int32_t which) {
+  const net::DynamicsEvent& e =
+      dynamics_.events[static_cast<std::size_t>(which)];
+  ++dynamics_applied_;
+
+  const auto erase_dir = [this](std::int32_t a, std::int32_t b) {
+    auto& list = adjacency_[static_cast<std::size_t>(a)];
+    const auto it = std::find(list.begin(), list.end(), b);
+    if (it == list.end()) return false;
+    list.erase(it);
+    return true;
+  };
+  const auto add_dir = [this](std::int32_t a, std::int32_t b) {
+    auto& list = adjacency_[static_cast<std::size_t>(a)];
+    if (std::find(list.begin(), list.end(), b) != list.end()) return false;
+    list.push_back(b);  // from_adjacency re-sorts
+    return true;
+  };
+
+  bool changed = false;
+  switch (e.kind) {
+    case net::DynamicsKind::kLinkFail:
+      changed = erase_dir(e.a, e.b);
+      changed = erase_dir(e.b, e.a) || changed;
+      break;
+    case net::DynamicsKind::kLinkHeal:
+      changed = add_dir(e.a, e.b);
+      changed = add_dir(e.b, e.a) || changed;
+      break;
+    case net::DynamicsKind::kSplit: {
+      std::vector<char> in_group(nodes_.size(), 0);
+      for (const std::int32_t id : e.group) {
+        in_group[static_cast<std::size_t>(id)] = 1;
+      }
+      for (std::size_t p = 0; p < adjacency_.size(); ++p) {
+        auto& list = adjacency_[p];
+        const std::size_t before = list.size();
+        const char side = in_group[p];
+        list.erase(std::remove_if(list.begin(), list.end(),
+                                  [&](std::int32_t q) {
+                                    return in_group[static_cast<std::size_t>(
+                                               q)] != side;
+                                  }),
+                   list.end());
+        changed = changed || list.size() != before;
+      }
+      break;
+    }
+    case net::DynamicsKind::kMerge: {
+      std::vector<char> in_group(nodes_.size(), 0);
+      for (const std::int32_t id : e.group) {
+        in_group[static_cast<std::size_t>(id)] = 1;
+      }
+      // Restore the BASE graph's cut edges — the adjacency the run started
+      // with, not whatever fail/heal history accumulated since.
+      for (std::size_t p = 0; p < base_adjacency_.size(); ++p) {
+        const char side = in_group[p];
+        for (const std::int32_t q : base_adjacency_[p]) {
+          if (in_group[static_cast<std::size_t>(q)] != side) {
+            changed = add_dir(static_cast<std::int32_t>(p), q) || changed;
+          }
+        }
+      }
+      break;
+    }
+    case net::DynamicsKind::kLeave:
+    case net::DynamicsKind::kRejoin:
+      // Pure churn markers: the process routing (core/reintegration.h
+      // ChurnProcess) carries the physics; the schedule entry exists so
+      // dynamics_applied() counts it and the engines refuse the run.
+      break;
+  }
+  if (changed) {
+    ++topology_version_;
+    config_.topology = net::Topology::from_adjacency(adjacency_);
+  }
 }
 
 void Simulator::add_trace_sink(TraceSink* sink) {
@@ -539,6 +670,10 @@ void Simulator::dispatch(Lane& lane, EventHandle handle, double limit) {
       }
       break;
     }
+    case EngineKind::kScenario:
+      // event.to indexes the installed dynamics schedule, not a process.
+      apply_dynamics(event.to);
+      break;
     case EngineKind::kFanout:
       break;  // handled above
   }

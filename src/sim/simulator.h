@@ -31,6 +31,7 @@
 
 #include "clock/physical_clock.h"
 #include "engine/scheduler.h"
+#include "net/dynamics.h"
 #include "net/fanout.h"
 #include "net/topology.h"
 #include "proc/process.h"
@@ -109,6 +110,34 @@ class Simulator {
 
   /// Buffers a START for `id` at a later real time (reintegration wake-up).
   void schedule_start(std::int32_t id, double real_time);
+
+  /// Installs a dynamics schedule (net/dynamics.h): every event becomes a
+  /// tier-2 scenario entry in the queue, applied at its exact simulated
+  /// instant in deterministic (time, tier, seq) order.  Topology-changing
+  /// schedules require config.topology to be set (the analysis layer
+  /// materializes the full mesh when needed) and rebuild it live via
+  /// Topology::from_adjacency, so neighbor views, local-f clamps and
+  /// batched fan-out all track the change from the next broadcast on.
+  /// Messages already in flight still deliver (FanoutRecords snapshot
+  /// their delivery lists), and point-to-point send stays unrestricted.
+  /// Call after every process is registered and before running; an empty
+  /// spec is a no-op.  The fast path and PDES engine refuse simulators
+  /// with dynamics installed (see has_dynamics).
+  void set_dynamics(const net::DynamicsSpec& dynamics);
+
+  /// Whether a non-empty dynamics schedule is installed (engines that
+  /// assume a static graph refuse such simulators).
+  [[nodiscard]] bool has_dynamics() const noexcept { return has_dynamics_; }
+  /// Bumped each time a scenario event actually changed the live graph.
+  /// Processes compare against the version they last built neighbor state
+  /// for (proc::Context::topology_version) and resync when it moved.
+  [[nodiscard]] std::uint32_t topology_version() const noexcept {
+    return topology_version_;
+  }
+  /// Scenario events applied so far (graph-changing or churn markers).
+  [[nodiscard]] std::int64_t dynamics_applied() const noexcept {
+    return dynamics_applied_;
+  }
 
   /// Attaches a passive observer (non-owning; must outlive the run).
   void add_trace_sink(TraceSink* sink);
@@ -370,6 +399,10 @@ class Simulator {
   void arrive(Lane& lane, std::int32_t pid, const Message& msg);
   void nic_arrive(Lane& lane, std::int32_t pid, const Message& msg);
   void deliver(Lane& lane, std::int32_t pid, const Message& msg);
+  /// Applies dynamics_.events[which] to the live graph (EngineKind::
+  /// kScenario dispatch); bumps topology_version_ only when the adjacency
+  /// actually changed.
+  void apply_dynamics(std::int32_t which);
 
   /// Fires Observer::on_advance when simulated time reached the cached
   /// next-interest instant.  Called right after the lane clock moves and
@@ -400,6 +433,17 @@ class Simulator {
   std::vector<std::unique_ptr<Lane>> shard_lanes_;
   /// pid -> shard index while shard_lanes_ is live; empty otherwise.
   std::vector<std::int32_t> lane_of_;
+  /// Installed dynamics schedule (empty unless set_dynamics was called
+  /// with events).  Scenario events index into dynamics_.events.
+  net::DynamicsSpec dynamics_;
+  bool has_dynamics_ = false;
+  /// Live open adjacency (self-loops excluded) maintained by
+  /// apply_dynamics, plus the run-start baseline kMerge restores from.
+  /// Populated only for topology-changing schedules.
+  std::vector<std::vector<std::int32_t>> adjacency_;
+  std::vector<std::vector<std::int32_t>> base_adjacency_;
+  std::uint32_t topology_version_ = 0;
+  std::int64_t dynamics_applied_ = 0;
 };
 
 }  // namespace wlsync::sim

@@ -1,0 +1,303 @@
+// Pins for the composable scenario API:
+//   - ScenarioSpec is the RunSpec's base subobject (aliasing, not a copy);
+//   - the unified analysis::run() dispatches on RunSpec::mode and the three
+//     historical entry points are bit-identical wrappers over it;
+//   - the arbitrary-initial-state (self-stabilization) workload measures a
+//     deterministic stabilization round / time;
+//   - the adaptive-adversary env reproduces bit for bit under the same
+//     action sequence, and different actions change the physics.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "analysis/parallel_runner.h"
+#include "core/params.h"
+#include "scenario/adversary_env.h"
+
+namespace {
+
+using namespace wlsync;
+using analysis::RunResult;
+using analysis::RunSpec;
+
+RunSpec small_spec() {
+  RunSpec spec;
+  spec.params = core::make_params(8, 1, 1e-5, 0.01, 1e-3, 10.0);
+  spec.rounds = 10;
+  spec.fault = analysis::FaultKind::kTwoFaced;
+  spec.fault_count = 1;
+  spec.seed = 42;
+  return spec;
+}
+
+TEST(ScenarioSpec, IsTheRunSpecBaseSubobjectNotACopy) {
+  RunSpec spec = small_spec();
+  // The nested view IS the flat spec: same address, same bytes.
+  analysis::ScenarioSpec& nested = spec.scenario();
+  EXPECT_EQ(static_cast<analysis::ScenarioSpec*>(&spec), &nested);
+
+  // Historical flat access and the nested view read the same field...
+  EXPECT_EQ(spec.fault, nested.fault);
+  EXPECT_EQ(spec.fault_count, nested.fault_count);
+
+  // ...and a mutation through either side is visible through the other.
+  nested.fault_count = 2;
+  EXPECT_EQ(spec.fault_count, 2);
+  spec.placement = proc::PlacementKind::kMaxDegree;
+  EXPECT_EQ(nested.placement, proc::PlacementKind::kMaxDegree);
+
+  const RunSpec& cspec = spec;
+  EXPECT_EQ(&cspec.scenario(), static_cast<const analysis::ScenarioSpec*>(&cspec));
+}
+
+TEST(ScenarioSpec, ScenarioSliceIsCopyableAsOneValue) {
+  RunSpec a = small_spec();
+  a.topology.kind = net::TopologyKind::kRingOfCliques;
+  a.topology.clique_size = 4;
+  a.dynamics.fail_link(50.0, 0, 1).heal_link(80.0, 0, 1);
+
+  // A scenario generator composes the WHO/WHERE/WHAT/HOW slice wholesale.
+  RunSpec b;
+  b.params = a.params;
+  b.rounds = a.rounds;
+  b.seed = a.seed;
+  b.scenario() = a.scenario();
+  EXPECT_EQ(b.fault, analysis::FaultKind::kTwoFaced);
+  EXPECT_EQ(b.topology.kind, net::TopologyKind::kRingOfCliques);
+  ASSERT_EQ(b.dynamics.events.size(), 2u);
+
+  const RunResult ra = analysis::run(a);
+  const RunResult rb = analysis::run(b);
+  EXPECT_TRUE(analysis::results_identical(ra, rb));
+}
+
+TEST(UnifiedRun, RunExperimentWrapperIsBitIdentical) {
+  const RunSpec spec = small_spec();
+  const RunResult via_run = analysis::run(spec);
+  const RunResult via_wrapper = analysis::run_experiment(spec);
+  EXPECT_TRUE(analysis::results_identical(via_run, via_wrapper));
+  EXPECT_FALSE(via_run.startup.has_value());
+  EXPECT_FALSE(via_run.reintegration.has_value());
+  EXPECT_GT(via_run.wall_seconds, 0.0);
+}
+
+TEST(UnifiedRun, StartupModeEmbedsTheLegacyResultExactly) {
+  analysis::StartupSpec legacy;
+  legacy.params = core::make_params(8, 1, 1e-5, 0.01, 1e-3, 10.0);
+  legacy.rounds = 8;
+  legacy.handoff = true;
+  legacy.initial_clock_spread = 1.5;
+  legacy.fault = analysis::FaultKind::kSilent;
+  legacy.fault_count = 1;
+  legacy.seed = 9;
+
+  RunSpec unified;
+  unified.mode = analysis::RunMode::kStartup;
+  unified.params = legacy.params;
+  unified.rounds = legacy.rounds;
+  unified.startup_handoff = legacy.handoff;
+  unified.initial_clock_spread = legacy.initial_clock_spread;
+  unified.fault = legacy.fault;
+  unified.fault_count = legacy.fault_count;
+  unified.delay = legacy.delay;
+  unified.drift = legacy.drift;
+  unified.seed = legacy.seed;
+
+  const analysis::StartupResult a = analysis::run_startup(legacy);
+  const RunResult r = analysis::run(unified);
+  ASSERT_TRUE(r.startup.has_value());
+  const analysis::StartupResult& b = *r.startup;
+
+  EXPECT_EQ(a.b_series, b.b_series);  // bitwise: same doubles, same order
+  EXPECT_EQ(a.round_slack, b.round_slack);
+  EXPECT_EQ(a.limit, b.limit);
+  EXPECT_EQ(a.final_b, b.final_b);
+  EXPECT_EQ(a.handoff_done, b.handoff_done);
+  EXPECT_EQ(a.post_handoff_skew, b.post_handoff_skew);
+  EXPECT_GT(r.wall_seconds, 0.0);
+}
+
+TEST(UnifiedRun, ReintegrationModeEmbedsTheLegacyResultExactly) {
+  analysis::ReintegrationSpec legacy;
+  legacy.params = core::make_params(8, 1, 1e-5, 0.01, 1e-3, 10.0);
+  legacy.crash_at = 15.0;
+  legacy.wake_at = 55.0;
+  legacy.rounds = 14;
+  legacy.seed = 3;
+
+  RunSpec unified;
+  unified.mode = analysis::RunMode::kReintegration;
+  unified.params = legacy.params;
+  unified.crash_at = legacy.crash_at;
+  unified.wake_at = legacy.wake_at;
+  unified.rounds = legacy.rounds;
+  unified.delay = legacy.delay;
+  unified.drift = legacy.drift;
+  unified.seed = legacy.seed;
+
+  const analysis::ReintegrationResult a = analysis::run_reintegration(legacy);
+  const RunResult r = analysis::run(unified);
+  ASSERT_TRUE(r.reintegration.has_value());
+  const analysis::ReintegrationResult& b = *r.reintegration;
+
+  EXPECT_EQ(a.rejoined, b.rejoined);
+  EXPECT_EQ(a.join_time, b.join_time);
+  EXPECT_EQ(a.join_round, b.join_round);
+  EXPECT_EQ(a.spread_with_joiner, b.spread_with_joiner);
+  EXPECT_EQ(a.beta, b.beta);
+  EXPECT_EQ(a.skew_after, b.skew_after);
+  EXPECT_EQ(a.gamma_bound, b.gamma_bound);
+  EXPECT_TRUE(a.rejoined);
+}
+
+TEST(Stabilization, AlignedStartIsStableFromTheFirstRound) {
+  const RunSpec spec = small_spec();
+  const RunResult r = analysis::run(spec);
+  // A healthy aligned run never exceeds 2 * gamma, so the suffix scan
+  // reports stabilization at round 0 with zero elapsed time.
+  EXPECT_EQ(r.stabilized_round, 0);
+  EXPECT_EQ(r.stabilization_time, 0.0);
+}
+
+// Arbitrary-initial-state workload: the collection window must be able to
+// CAPTURE the injected disagreement (arrivals outside ~beta are clipped and
+// the halves never re-join — the paper's algorithm is not self-stabilizing
+// at its tuned window), so the window is widened and the stabilization
+// story is measured against an explicit threshold.
+RunSpec arbitrary_state_spec() {
+  RunSpec spec = small_spec();
+  spec.fault = analysis::FaultKind::kNone;
+  spec.fault_count = 0;
+  spec.rounds = 16;
+  spec.params.beta = 0.5;           // widened window: capture range ~0.5
+  spec.initial_clock_spread = 0.2;  // CORR starts uniform in [0, 0.2); the
+                                    // A4 start spread (0.9 * beta) rides on
+                                    // top, so larger values escape capture
+  spec.stabilize_threshold = 0.05;
+  return spec;
+}
+
+TEST(Stabilization, ArbitraryInitialStateStabilizesDeterministically) {
+  const RunSpec spec = arbitrary_state_spec();
+  const RunResult r = analysis::run(spec);
+  ASSERT_FALSE(r.diverged);
+  // The arbitrary logical-clock state breaks agreement at round 0 and the
+  // averaging contracts it: stabilization happens, but not instantly.
+  EXPECT_GT(r.stabilized_round, 0);
+  EXPECT_LT(r.stabilized_round, r.completed_rounds);
+  EXPECT_GT(r.stabilization_time, 0.0);
+  // Round-0 skew reflects the injected spread; the suffix is tight.
+  EXPECT_GT(r.skew_at_round.front(), spec.stabilize_threshold);
+
+  // Same seed, same measurement — bit for bit.
+  const RunResult again = analysis::run(spec);
+  EXPECT_TRUE(analysis::results_identical(r, again));
+  EXPECT_EQ(r.stabilized_round, again.stabilized_round);
+  EXPECT_EQ(r.stabilization_time, again.stabilization_time);
+
+  // A different seed draws different arbitrary state.
+  RunSpec other = spec;
+  other.seed = spec.seed + 1;
+  const RunResult shifted = analysis::run(other);
+  EXPECT_FALSE(analysis::results_identical(r, shifted));
+}
+
+TEST(Stabilization, CustomThresholdShiftsTheMeasuredRound) {
+  const RunSpec spec = arbitrary_state_spec();
+  RunSpec loose = spec;
+  loose.stabilize_threshold = 1.0;  // wider than the injected spread
+  const RunResult tight = analysis::run(spec);
+  const RunResult relaxed = analysis::run(loose);
+  // The looser threshold can only stabilize earlier (same physics).
+  ASSERT_GT(tight.stabilized_round, 0);
+  EXPECT_LE(relaxed.stabilized_round, tight.stabilized_round);
+  EXPECT_EQ(relaxed.stabilized_round, 0);
+  EXPECT_EQ(relaxed.skew_at_round, tight.skew_at_round);
+}
+
+TEST(AdversaryEnv, SameActionSequenceReproducesBitForBit) {
+  scenario::AdversaryEnv::Config config;
+  config.spec = small_spec();
+  config.spec.rounds = 8;
+  config.warmup_rounds = 2;
+
+  const auto episode = [&] {
+    scenario::AdversaryEnv env(config);
+    scenario::AdversaryObservation obs = env.reset();
+    scenario::AdversaryAction action;
+    std::vector<double> skews;
+    while (!obs.done) {
+      action.early_frac += 0.05;  // a nontrivial, deterministic policy
+      obs = env.step(action);
+      skews.push_back(obs.round_skew);
+    }
+    skews.push_back(env.finish());
+    return skews;
+  };
+
+  const std::vector<double> a = episode();
+  const std::vector<double> b = episode();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);  // bitwise-equal doubles, step by step
+}
+
+TEST(AdversaryEnv, RetunedActionsChangeThePhysics) {
+  scenario::AdversaryEnv::Config config;
+  config.spec = small_spec();
+  config.spec.rounds = 8;
+
+  const auto final_skew = [&](double early, double late) {
+    scenario::AdversaryEnv env(config);
+    scenario::AdversaryObservation obs = env.reset();
+    scenario::AdversaryAction action;
+    action.early_frac = early;
+    action.late_frac = late;
+    while (!obs.done) obs = env.step(action);
+    return env.finish();
+  };
+
+  const double near_edges = final_skew(0.02, 0.98);
+  const double near_center = final_skew(0.45, 0.55);
+  EXPECT_GT(near_edges, 0.0);
+  EXPECT_GT(near_center, 0.0);
+  // Moving the forged faces is not a no-op: the retune reaches the
+  // adversary processes and alters the measured steady-state skew.
+  EXPECT_NE(near_edges, near_center);
+}
+
+TEST(AdversaryEnv, RejectsSpecsWithoutATwoFacedAdversary) {
+  scenario::AdversaryEnv::Config config;
+  config.spec = small_spec();
+  config.spec.fault = analysis::FaultKind::kSilent;
+  EXPECT_THROW(scenario::AdversaryEnv env(config), std::invalid_argument);
+
+  scenario::AdversaryEnv::Config startup;
+  startup.spec = small_spec();
+  startup.spec.mode = analysis::RunMode::kStartup;
+  EXPECT_THROW(scenario::AdversaryEnv env2(startup), std::invalid_argument);
+}
+
+TEST(AdversaryEnv, GreedyBaselineIsDeterministic) {
+  RunSpec spec = small_spec();
+  spec.params = core::make_params(16, 1, 1e-5, 0.01, 1e-3, 10.0);
+  spec.topology.kind = net::TopologyKind::kRingOfCliques;
+  spec.topology.clique_size = 4;
+  spec.rounds = 8;
+
+  const scenario::GreedyResult a = scenario::run_greedy_adversary(spec);
+  const scenario::GreedyResult b = scenario::run_greedy_adversary(spec);
+  EXPECT_EQ(a.best_placement, b.best_placement);
+  EXPECT_EQ(a.placement_ids, b.placement_ids);
+  EXPECT_EQ(a.static_skew, b.static_skew);
+  EXPECT_EQ(a.adaptive_skew, b.adaptive_skew);
+  EXPECT_EQ(a.env_steps, b.env_steps);
+  EXPECT_GT(a.static_skew, 0.0);
+  EXPECT_GT(a.adaptive_skew, 0.0);
+  EXPECT_GT(a.env_steps, 0);
+  EXPECT_EQ(a.placement_ids.size(), 1u);
+}
+
+}  // namespace
