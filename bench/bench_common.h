@@ -3,6 +3,7 @@
 // regenerates one of the paper's quantitative claims (see DESIGN.md's
 // experiment index and EXPERIMENTS.md for paper-vs-measured records).
 
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -310,6 +311,75 @@ inline proc::PlacementKind parse_placement(const std::string& name) {
        {"bridge", proc::PlacementKind::kBridge},
        {"antipodal", proc::PlacementKind::kAntipodal}},
       "placement");
+}
+
+/// Minimal extraction of the `"speedup": { "key": value, ... }` object from
+/// a prior perf-trajectory artifact (BENCH_fastpath.json / BENCH_pdes.json).
+/// Not a JSON parser — the artifacts are machine-written by the emit loops,
+/// so quoted keys followed by a colon and a number inside the one speedup
+/// object is the entire grammar.  Shared by bench_micro --fastpath-compare
+/// and bench_sweep --pdes-compare.
+inline bool parse_speedup_map(const std::string& path,
+                              std::vector<std::pair<std::string, double>>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const std::size_t at = text.find("\"speedup\"");
+  if (at == std::string::npos) return false;
+  const std::size_t open = text.find('{', at);
+  const std::size_t close = text.find('}', open);
+  if (open == std::string::npos || close == std::string::npos) return false;
+  std::size_t cursor = open + 1;
+  while (cursor < close) {
+    const std::size_t k0 = text.find('"', cursor);
+    if (k0 == std::string::npos || k0 > close) break;
+    const std::size_t k1 = text.find('"', k0 + 1);
+    const std::size_t colon = text.find(':', k1);
+    if (k1 == std::string::npos || colon == std::string::npos ||
+        colon > close) {
+      return false;
+    }
+    out->emplace_back(text.substr(k0 + 1, k1 - k0 - 1),
+                      std::stod(text.substr(colon + 1)));
+    cursor = text.find(',', colon);
+    if (cursor == std::string::npos || cursor > close) break;
+    ++cursor;
+  }
+  return true;
+}
+
+/// Gates a fresh speedup map against a baseline artifact's: every shared
+/// key must stay within `floor` of its baseline ratio.  Keys only one side
+/// knows are skipped; zero shared keys is an error (return -1), not a
+/// pass.  Returns 1 on pass, 0 on fail, printing one verdict row per
+/// shared key on std::cout under `label`.
+inline int gate_speedups(
+    const std::string& label,
+    const std::vector<std::pair<std::string, double>>& fresh,
+    const std::vector<std::pair<std::string, double>>& baseline,
+    double floor) {
+  bool all_pass = true;
+  int shared = 0;
+  for (const auto& [key, fresh_ratio] : fresh) {
+    for (const auto& [old_key, old_ratio] : baseline) {
+      if (old_key != key) continue;
+      ++shared;
+      const bool pass = fresh_ratio >= floor * old_ratio;
+      all_pass = all_pass && pass;
+      std::cout << "  " << (pass ? "ok  " : "FAIL") << " " << key
+                << " speedup " << fresh_ratio << " vs baseline " << old_ratio
+                << " (floor " << floor * old_ratio << ")\n";
+    }
+  }
+  if (shared == 0) {
+    std::cerr << label << ": no shared speedup keys with the baseline\n";
+    return -1;
+  }
+  std::cout << (all_pass ? label + ": PASS" : label + ": FAIL") << " ("
+            << shared << " shared keys, floor " << floor << "x baseline)\n";
+  return all_pass ? 1 : 0;
 }
 
 }  // namespace wlsync::bench

@@ -31,11 +31,14 @@
 #include "analysis/experiment.h"
 #include "analysis/observe.h"
 #include "analysis/parallel_runner.h"
+#include "bench_common.h"
 #include "clock/drift.h"
 #include "clock/physical_clock.h"
 #include "core/fastpath.h"
 #include "core/welch_lynch.h"
+#include "engine/pdes.h"
 #include "engine/scheduler.h"
+#include "net/partition.h"
 #include "multiset/multiset_ops.h"
 #include "proc/arrival.h"
 #include "proc/process.h"
@@ -882,19 +885,75 @@ void smoke_pdes_stalls(std::vector<SmokeRow>& rows) {
   spec.engine = analysis::EngineMode::kPdes;
   spec.pdes_workers = 8;
   const analysis::RunResult result = analysis::run_experiment(spec);
+  // Pinned EXACT (was report-only): the adaptive-window fold is a pure
+  // function of the partition and the delay floors, so the epoch count for
+  // this spec is a constant of the code — 17 as of the ISSUE 10 adaptive
+  // protocol (the static window needs 38).  Any drift, up OR down, means
+  // the window fold changed and BENCH_pdes.json needs regenerating.
+  constexpr double kPinnedEpochs = 17.0;
   rows.push_back({"pdes_epochs", static_cast<double>(result.pdes_epochs),
-                  -1.0, true});
+                  kPinnedEpochs,
+                  static_cast<double>(result.pdes_epochs) == kPinnedEpochs});
   const double stall_rate =
       result.pdes_epochs > 0 ? static_cast<double>(result.pdes_stalls) /
                                    static_cast<double>(result.pdes_epochs)
                              : 1.0;
-  // Measured 2026-08: 6 stalls over 18 epochs (0.33) at w=8 across every
-  // n in the BENCH_pdes.json grid; the ceiling carries headroom to 0.5 —
-  // beyond that, more than every other window is empty and the sharded
+  // Ratcheted 0.5 -> 0.25 with ISSUE 10: the adaptive lookahead widens the
+  // inter-round gap into one epoch, and this spec now measures ZERO stalls
+  // (the old static window measured 6/18 = 0.33).  Beyond 0.25 the sharded
   // engine is spinning on the epoch barrier instead of simulating.
-  constexpr double kStallRateCeiling = 0.5;
+  constexpr double kStallRateCeiling = 0.25;
   rows.push_back({"pdes_stall_rate", stall_rate, kStallRateCeiling,
                   result.pdes_epochs > 0 && stall_rate <= kStallRateCeiling});
+}
+
+/// Steady-state allocations the PDES epoch loop + overlapped drain add
+/// OVER the serial engine, pinned at ZERO by a double difference: for
+/// each engine, two fresh runs of the canonical expander spec (6 and 12
+/// rounds) — thread spawn, lane setup, channel-block seeding and
+/// scheduler warm-up allocate identically at both lengths, so each
+/// engine's delta is what its EXTRA steady-state rounds allocated; the
+/// per-process round bookkeeping (clock-correction history etc.) is the
+/// same work under either engine and cancels in pdes_delta -
+/// serial_delta.  What remains is the sharded engine's own per-epoch
+/// footprint.  The epoch barrier recycles spent SPSC channel blocks
+/// while the workers are quiescent (engine/pdes.h), so it must be zero —
+/// a positive difference means the drain path started allocating per
+/// epoch.
+void smoke_pdes_drain_allocs(std::vector<SmokeRow>& rows) {
+  constexpr std::int32_t kN = 256;
+  constexpr double kP = 10.0;
+  const auto run_counted = [&](std::int32_t rounds, bool pdes) {
+    analysis::RunSpec spec;
+    spec.params = core::make_params(kN, (kN - 1) / 3, 1e-5, 0.01, 1e-3, kP);
+    spec.rounds = rounds;
+    spec.seed = 9;
+    spec.topology.kind = net::TopologyKind::kKRegular;
+    spec.topology.degree = 16;
+    analysis::Experiment experiment(spec);
+    const double horizon = (static_cast<double>(rounds) + 0.5) * kP;
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    if (pdes) {
+      const net::Partition part =
+          net::partition_topology(experiment.topology(), 8, spec.seed);
+      engine::PdesEngine engine(experiment.simulator(), part);
+      engine.run_until(horizon);
+    } else {
+      experiment.simulator().run_until(horizon);
+    }
+    g_count_allocs.store(false);
+    return g_alloc_count.load();
+  };
+  const double pdes_delta =
+      static_cast<double>(run_counted(12, true)) -
+      static_cast<double>(run_counted(6, true));
+  const double serial_delta =
+      static_cast<double>(run_counted(12, false)) -
+      static_cast<double>(run_counted(6, false));
+  rows.push_back({"pdes_drain_allocs_over_serial_per_6_rounds",
+                  pdes_delta - serial_delta, 0.0,
+                  pdes_delta - serial_delta <= 0.0});
 }
 
 int run_smoke(const util::Flags& flags) {
@@ -907,6 +966,7 @@ int run_smoke(const util::Flags& flags) {
   smoke_simd_kernels(rows);
   smoke_fastpath_round(rows);
   smoke_pdes_stalls(rows);
+  smoke_pdes_drain_allocs(rows);
 
   const std::string out_path = flags.get_string("out", "micro-smoke.csv");
   std::ofstream csv(out_path);
@@ -1055,40 +1115,7 @@ std::vector<std::pair<std::string, double>> fastpath_speedups(
   return speedups;
 }
 
-/// Minimal extraction of the `"speedup": { "key": value, ... }` object from
-/// a prior --fastpath-json artifact.  Not a JSON parser — the artifact is
-/// machine-written by the loop above, so quoted keys followed by a colon
-/// and a number inside the one speedup object is the entire grammar.
-bool parse_speedup_map(const std::string& path,
-                       std::vector<std::pair<std::string, double>>* out) {
-  std::ifstream in(path);
-  if (!in) return false;
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  const std::string text = buffer.str();
-  const std::size_t at = text.find("\"speedup\"");
-  if (at == std::string::npos) return false;
-  const std::size_t open = text.find('{', at);
-  const std::size_t close = text.find('}', open);
-  if (open == std::string::npos || close == std::string::npos) return false;
-  std::size_t cursor = open + 1;
-  while (cursor < close) {
-    const std::size_t k0 = text.find('"', cursor);
-    if (k0 == std::string::npos || k0 > close) break;
-    const std::size_t k1 = text.find('"', k0 + 1);
-    const std::size_t colon = text.find(':', k1);
-    if (k1 == std::string::npos || colon == std::string::npos ||
-        colon > close) {
-      return false;
-    }
-    out->emplace_back(text.substr(k0 + 1, k1 - k0 - 1),
-                      std::stod(text.substr(colon + 1)));
-    cursor = text.find(',', colon);
-    if (cursor == std::string::npos || cursor > close) break;
-    ++cursor;
-  }
-  return true;
-}
+using bench::parse_speedup_map;
 
 int run_fastpath_json(const util::Flags& flags) {
   const std::string out_path =
@@ -1146,30 +1173,10 @@ int run_fastpath_json(const util::Flags& flags) {
     return 1;
   }
   constexpr double kRegressionFloor = 0.8;
-  bool all_pass = true;
-  int shared = 0;
-  for (const auto& [key, fresh_ratio] : fresh) {
-    for (const auto& [old_key, old_ratio] : baseline) {
-      if (old_key != key) continue;
-      ++shared;
-      const bool pass = fresh_ratio >= kRegressionFloor * old_ratio;
-      all_pass = all_pass && pass;
-      std::cout << "  " << (pass ? "ok  " : "FAIL") << " " << key
-                << " speedup " << fresh_ratio << " vs baseline " << old_ratio
-                << " (floor " << kRegressionFloor * old_ratio << ")\n";
-    }
-  }
-  if (shared == 0) {
-    std::cerr << "bench_micro --fastpath-compare: no shared speedup keys "
-                 "with "
-              << compare_path << "\n";
-    return 1;
-  }
-  std::cout << (all_pass ? "bench_micro --fastpath-compare: PASS"
-                         : "bench_micro --fastpath-compare: FAIL")
-            << " (" << shared << " shared keys, floor "
-            << kRegressionFloor << "x baseline)\n";
-  return all_pass ? 0 : 1;
+  return bench::gate_speedups("bench_micro --fastpath-compare", fresh,
+                              baseline, kRegressionFloor) == 1
+             ? 0
+             : 1;
 }
 
 }  // namespace

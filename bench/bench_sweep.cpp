@@ -61,10 +61,12 @@
 //               commas become ';' so reasons stay one field), and
 //               pdes_epochs / pdes_stalls record the conservative
 //               protocol's windows and empty windows per trial.
-//   --workers   PDES shard/worker-count axis (comma list; 0 = serial, the
-//               default).  Crossed with --engine=pdes it maps wall-clock
-//               vs shard count; under --engine=auto a nonzero value is the
-//               opt-in that lets cells the fast path refuses shard.
+//   --workers   PDES shard/worker-count axis (comma list).  0 (the
+//               default) hands the shard count to the stall-aware
+//               auto-tuner (engine::choose_pdes_workers; it may decline
+//               back to serial — the pdes_refusal column says why), 1
+//               forces serial, >= 2 pins the count.  Crossed with
+//               --engine=pdes it maps wall-clock vs shard count.
 //   --observe   measurement-engine axis: off (post-hoc grids), on
 //               (streaming in-run observation), bounded (streaming +
 //               history truncation; analysis/observe.h).  on == bounded
@@ -83,17 +85,32 @@
 //
 // --pdes-json=PATH bypasses the grid entirely and emits the PDES
 // perf-trajectory artifact (BENCH_pdes.json, the engine/pdes.h acceptance
-// workload): the deg-16 k-regular expander per (n, workers) cell, serial
-// event engine as the measured reference, with per-cell epochs/stalls and
-// per-n speedups.  Each cell is timed --reps times (default 3) and the
-// BEST wall clock is reported: a single sample is at the mercy of the host
-// scheduler — the ISSUE 8 audit of an apparently nonmonotonic n=2048 cell
-// (w=4 slower than w=2) found it unreproducible across reruns (w=4 beat
-// w=2 in 4/4 repetitions; epochs/stalls, which ARE deterministic, were
-// unchanged), i.e. pure single-sample noise, not a partition or stall
-// pathology.  Timing rows are telemetry, not gates (bit-identity is gated
-// by ctest's pdes_test; the deterministic stall-rate ceiling by
-// bench_micro --smoke).
+// workload): per (topology, n, workers) cell, serial event engine as the
+// measured reference, with per-cell epochs/stalls and per-cell speedups
+// keyed "nN_wK" (the historical deg-16 expander keys stay unprefixed so
+// artifacts compare across revisions), "cliques_nN_wK" and "mesh_nN_wK".
+// --pdes-topos picks the topology axis (default expander,cliques,mesh;
+// mesh cells only materialize at --max-n >= 4096, the size where the
+// memory-bound serial baseline makes sharding pay off), and workers
+// rows include 16 (from n=1024, the lane-size floor) plus an `auto` row
+// (pdes_workers=0, the kAuto default) recording what the stall-aware
+// tuner picked.  Each cell is timed --reps times (default 3) and the
+// BEST engine span (RunResult::engine_seconds — setup and measurement
+// excluded, see analysis/experiment.h) feeds the speedup map: a single
+// sample is at the mercy of the host scheduler — the ISSUE 8 audit of an
+// apparently nonmonotonic n=2048 cell (w=4 slower than w=2) found it
+// unreproducible across reruns (w=4 beat w=2 in 4/4 repetitions;
+// epochs/stalls, which ARE deterministic, were unchanged), i.e. pure
+// single-sample noise, not a partition or stall pathology.  Timing rows
+// are telemetry, not gates (bit-identity is gated by ctest's pdes_test;
+// the deterministic stall-rate ceiling by bench_micro --smoke) — EXCEPT
+// under --pdes-compare=OLD.json, which re-parses a prior artifact's
+// speedup map and fails (exit 1) if any shared key regressed below 0.8x
+// its baseline, the same regression gate bench_micro --fastpath-compare
+// applies to the fast path.  Keys whose serial reference span is under
+// 100 ms are exempt from the gate (still reported): at that scale the
+// best-of-reps minimum itself swings +-30% with machine state between
+// runs, so their ratios measure the host, not the engine.
 //
 // Every row also carries wall_s, the trial's wall-clock seconds as measured
 // inside run_experiment (per-trial telemetry from the streaming runner),
@@ -141,57 +158,146 @@ void write_csv_header(std::ostream& out) {
 // --pdes-json: the PDES perf-trajectory artifact (BENCH_pdes.json).  The
 // sparse deg-16 expander is the workload the sharded engine targets (the
 // full mesh cuts O(n^2) edges; an expander cuts O(degree * n / k)); the
-// serial event engine is the measured reference at every n.  Wall-clock
-// numbers are informational on shared runners — the interesting trajectory
-// on a single-core host is the queue-depth win (k shallow heaps vs one
-// deep one), which multiplies with real cores.
+// serial event engine is the measured reference per (topology, n).  The
+// ring-of-cliques (clique=64) row maps the near-ideal cut and the mesh
+// row (n=4096 only, 2 rounds — every cell is ~n^2 messages per round)
+// maps the adversarial one.  Wall-clock numbers are informational on
+// shared runners — the interesting trajectory on a single-core host is
+// the queue-depth win (k shallow heaps vs one deep one), which
+// multiplies with real cores.
 int run_pdes_json(const util::Flags& flags) {
   const std::string out_path =
       flags.get_string("pdes-json", "BENCH_pdes.json");
   const auto max_n = static_cast<std::int32_t>(flags.get_int("max-n", 2048));
   const auto reps =
       static_cast<std::int32_t>(std::max<std::int64_t>(flags.get_int("reps", 3), 1));
+  const std::vector<std::string> topos =
+      split_list(flags.get_string("pdes-topos", "expander,cliques,mesh"));
+  const std::string compare_path = flags.get_string("pdes-compare", "");
 
   struct Cell {
+    std::string key;       // speedup-map key ("" for serial reference rows)
+    std::string topo;      // expander | cliques | mesh
     std::int32_t n;
-    std::int32_t workers;  // 0 = serial event engine
+    std::int32_t workers;       // 0 = serial event engine, -1 = auto-tuned
+    std::int32_t workers_used;  // what actually ran (auto rows differ)
     std::int32_t rounds;
     std::int64_t epochs;
     std::int64_t stalls;
-    double wall_s;
+    double wall_s;    // full run_experiment (setup + engine + measurement)
+    double engine_s;  // engine span only — the speedup map uses this
   };
   std::vector<Cell> cells;
-  for (std::int32_t n = 512; n <= max_n; n *= 2) {
-    const std::int32_t rounds = n >= 2048 ? 6 : 10;
-    for (const std::int32_t workers : {0, 2, 4, 8}) {
-      analysis::RunSpec spec;
-      spec.params = core::make_params(n, (n - 1) / 3, 1e-5, 0.01, 1e-3, 10.0);
-      spec.rounds = rounds;
-      spec.seed = 9;
+
+  // One measured cell: best engine span (and best wall) over `cell_reps`
+  // repetitions.  The run itself is deterministic (epochs/stalls are
+  // identical every repetition), so the repetitions only filter host
+  // scheduler noise out of the clock.
+  const auto measure = [&](const std::string& topo, std::int32_t n,
+                           std::int32_t workers, std::int32_t rounds,
+                           std::int32_t cell_reps, std::uint64_t max_events,
+                           const std::string& key) {
+    analysis::RunSpec spec;
+    spec.params = core::make_params(n, (n - 1) / 3, 1e-5, 0.01, 1e-3, 10.0);
+    spec.rounds = rounds;
+    spec.seed = 9;
+    if (topo == "expander") {
       spec.topology.kind = net::TopologyKind::kKRegular;
       spec.topology.degree = 16;
-      spec.engine = workers == 0 ? analysis::EngineMode::kEvent
-                                 : analysis::EngineMode::kPdes;
-      spec.pdes_workers = workers;
-      // Best of --reps: the run itself is deterministic (epochs/stalls are
-      // identical every repetition), so the repetitions only filter host
-      // scheduler noise out of the wall clock.
-      analysis::RunResult result;
-      double wall = 0.0;
-      for (std::int32_t rep = 0; rep < reps; ++rep) {
-        const auto start = std::chrono::steady_clock::now();
+    } else if (topo == "cliques") {
+      spec.topology.kind = net::TopologyKind::kRingOfCliques;
+      spec.topology.clique_size = 64;
+    } else {
+      spec.topology.kind = net::TopologyKind::kFullMesh;
+    }
+    if (max_events > 0) spec.max_events = max_events;
+    // workers = -1 is the auto row: kPdes with pdes_workers=0 hands the
+    // shard count to the stall-aware tuner (engine::choose_pdes_workers)
+    // and the cell records what it picked in workers_used.
+    spec.engine = workers == 0 ? analysis::EngineMode::kEvent
+                               : analysis::EngineMode::kPdes;
+    spec.pdes_workers = workers < 0 ? 0 : workers;
+    analysis::RunResult result;
+    double wall = 0.0;
+    double engine = 0.0;
+    for (std::int32_t rep = 0; rep < cell_reps; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      try {
         result = analysis::run_experiment(spec);
-        const double sample =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          start)
-                .count();
-        if (rep == 0 || sample < wall) wall = sample;
+      } catch (const std::exception& e) {
+        // An auto row the tuner declines (or a partition collapse) is a
+        // skipped cell, not a dead artifact.
+        std::cerr << "  " << topo << " n=" << n << " workers=" << workers
+                  << ": skipped (" << e.what() << ")\n";
+        return;
       }
-      cells.push_back({n, workers, result.completed_rounds, result.pdes_epochs,
-                       result.pdes_stalls, wall});
-      std::cerr << "  n=" << n << " workers=" << workers << " "
-                << result.completed_rounds << " rounds in " << wall
-                << " s (best of " << reps << ")\n";
+      const double sample =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (rep == 0 || sample < wall) wall = sample;
+      if (rep == 0 || result.engine_seconds < engine) {
+        engine = result.engine_seconds;
+      }
+    }
+    cells.push_back({key, topo, n, workers, result.pdes_workers_used,
+                     result.completed_rounds, result.pdes_epochs,
+                     result.pdes_stalls, wall, engine});
+    std::cerr << "  " << topo << " n=" << n << " workers="
+              << (workers < 0 ? std::string("auto(") +
+                                    std::to_string(result.pdes_workers_used) +
+                                    ")"
+                              : std::to_string(workers))
+              << " " << result.completed_rounds << " rounds in " << engine
+              << " s engine / " << wall << " s total (best of " << cell_reps
+              << ")\n";
+  };
+
+  for (const std::string& topo : topos) {
+    if (topo != "expander" && topo != "cliques" && topo != "mesh") {
+      std::cerr << "bench_sweep: unknown --pdes-topos entry '" << topo
+                << "' (want expander, cliques, mesh)\n";
+      return 1;
+    }
+    // The historical expander keys stay unprefixed so --pdes-compare finds
+    // shared keys in artifacts written before the topology axis existed.
+    const std::string prefix = topo == "expander" ? "" : topo + "_";
+    if (topo == "mesh") {
+      // Mesh is nominally the adversarial cut, but at n=4096 the serial
+      // engine is memory-bound (~2 GB arena + queue working set) and
+      // sharding it is the artifact's biggest win (12.9x at w=8) —
+      // measured only there: below that the serial engine wins outright,
+      // above it the serial reference alone runs for hours.  2 rounds
+      // keeps the ~n^2-messages-per-round cell in budget, and the event
+      // budget needs lifting past the 50M default.
+      if (max_n < 4096) continue;
+      const std::int32_t n = 4096;
+      for (const std::int32_t workers : {0, 8}) {
+        const std::string key =
+            workers == 0 ? "" : prefix + "n" + std::to_string(n) + "_w" +
+                                    std::to_string(workers);
+        measure(topo, n, workers, /*rounds=*/2, std::min(reps, 2),
+                /*max_events=*/400'000'000, key);
+      }
+      continue;
+    }
+    for (std::int32_t n = 512; n <= max_n; n *= 2) {
+      const std::int32_t rounds = n >= 2048 ? 6 : 10;
+      // Small cells are tens of milliseconds — the noisiest relative to
+      // their size, and the ones the --pdes-compare gate trips on first
+      // when a best-of-3 minimum fails to converge.  Double the
+      // repetitions there so both the baseline artifact and the fresh CI
+      // measurement carry converged minima.
+      const std::int32_t cell_reps = n <= 1024 ? reps * 2 : reps;
+      for (const std::int32_t workers : {0, 2, 4, 8, 16, -1}) {
+        if (workers == 16 && n < 1024) continue;  // 64-process lane floor
+        const std::string key =
+            workers == 0
+                ? ""
+                : prefix + "n" + std::to_string(n) + "_w" +
+                      (workers < 0 ? "auto" : std::to_string(workers));
+        measure(topo, n, workers, rounds, cell_reps, /*max_events=*/0, key);
+      }
     }
   }
 
@@ -201,36 +307,93 @@ int run_pdes_json(const util::Flags& flags) {
     return 1;
   }
   const auto rate = [](const Cell& c) {
-    return c.wall_s > 0.0 ? static_cast<double>(c.rounds) / c.wall_s : 0.0;
+    return c.engine_s > 0.0 ? static_cast<double>(c.rounds) / c.engine_s : 0.0;
   };
-  json << "{\n  \"workload\": \"k-regular/16 expander, P=10, seed 9, best of "
-       << reps << " reps\",\n"
+  json << "{\n  \"workload\": \"expander=k-regular/16, cliques=ring of "
+          "64-cliques, mesh=full; P=10, seed 9, best of "
+       << reps << " reps (engine span)\",\n"
        << "  \"cells\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
-    json << "    {\"n\": " << c.n << ", \"engine\": \""
-         << (c.workers == 0 ? "event" : "pdes")
-         << "\", \"workers\": " << c.workers << ", \"rounds\": " << c.rounds
-         << ", \"pdes_epochs\": " << c.epochs
+    json << "    {\"topology\": \"" << c.topo << "\", \"n\": " << c.n
+         << ", \"engine\": \"" << (c.workers == 0 ? "event" : "pdes")
+         << "\", \"workers\": " << c.workers
+         << ", \"workers_used\": " << c.workers_used
+         << ", \"rounds\": " << c.rounds << ", \"pdes_epochs\": " << c.epochs
          << ", \"pdes_stalls\": " << c.stalls << ", \"wall_s\": " << c.wall_s
+         << ", \"engine_s\": " << c.engine_s
          << ", \"rounds_per_sec\": " << rate(c)
          << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
   }
-  json << "  ],\n  \"speedup\": {";
-  bool first = true;
-  double event_rate = 0.0;
-  for (const Cell& c : cells) {
-    if (c.workers == 0) {
-      event_rate = rate(c);
-      continue;
+  // Speedup per cell vs the serial reference of the SAME (topology, n) —
+  // the reference rows precede their pdes rows in `cells` by construction.
+  // ref_seconds records each key's serial reference span: keys whose
+  // reference runs under kGateMinRefSeconds are too noisy to ratio-gate
+  // (a ~50 ms cell's best-of-reps minimum swings +-30% with machine state
+  // across runs) and are excluded from --pdes-compare below — they still
+  // land in the JSON for information.
+  std::vector<std::pair<std::string, double>> speedups;
+  std::vector<double> ref_seconds;
+  {
+    std::string ref_topo;
+    std::int32_t ref_n = -1;
+    double event_rate = 0.0;
+    double event_s = 0.0;
+    for (const Cell& c : cells) {
+      if (c.workers == 0) {
+        ref_topo = c.topo;
+        ref_n = c.n;
+        event_rate = rate(c);
+        event_s = c.engine_s;
+        continue;
+      }
+      if (c.topo != ref_topo || c.n != ref_n || event_rate <= 0.0) continue;
+      speedups.emplace_back(c.key, rate(c) / event_rate);
+      ref_seconds.push_back(event_s);
     }
-    if (event_rate <= 0.0) continue;
-    json << (first ? "" : ", ") << "\"n" << c.n << "_w" << c.workers
-         << "\": " << rate(c) / event_rate;
-    first = false;
+  }
+  json << "  ],\n  \"speedup\": {";
+  for (std::size_t i = 0; i < speedups.size(); ++i) {
+    json << (i == 0 ? "" : ", ") << "\"" << speedups[i].first
+         << "\": " << speedups[i].second;
   }
   json << "}\n}\n";
+  json.flush();
   std::cout << "bench_sweep --pdes-json: wrote " << out_path << "\n";
+
+  // --pdes-compare=OLD.json: the regression gate.  Every gated key shared
+  // with the prior artifact must hold >= 0.8x its baseline speedup (the
+  // same floor bench_micro --fastpath-compare applies); new keys inform,
+  // absent keys are ignored, zero shared keys is an error (a renamed key
+  // scheme would otherwise pass vacuously).  Keys whose serial reference
+  // span is under kGateMinRefSeconds are skipped (see ref_seconds above):
+  // their ratios are not reproducible across runs on the same machine, so
+  // gating them means flaky CI, not regression coverage.
+  if (!compare_path.empty()) {
+    constexpr double kRegressionFloor = 0.8;
+    constexpr double kGateMinRefSeconds = 0.1;
+    std::vector<std::pair<std::string, double>> baseline;
+    if (!bench::parse_speedup_map(compare_path, &baseline)) {
+      std::cerr << "bench_sweep: cannot parse --pdes-compare=" << compare_path
+                << "\n";
+      return 1;
+    }
+    std::vector<std::pair<std::string, double>> gated;
+    for (std::size_t i = 0; i < speedups.size(); ++i) {
+      if (ref_seconds[i] < kGateMinRefSeconds) {
+        std::cout << "  skip " << speedups[i].first
+                  << " (serial reference " << ref_seconds[i] * 1e3
+                  << " ms below the " << kGateMinRefSeconds * 1e3
+                  << " ms gate floor)\n";
+        continue;
+      }
+      gated.push_back(speedups[i]);
+    }
+    const int verdict = bench::gate_speedups("bench_sweep --pdes-compare",
+                                             gated, baseline,
+                                             kRegressionFloor);
+    if (verdict != 1) return 1;
+  }
   return 0;
 }
 
@@ -340,10 +503,11 @@ int main(int argc, char** argv) {
                   base.retain_history = omode.retain;
                   base.ingest = bench::parse_ingest(ingest);
                   base.engine = bench::parse_engine(engine);
-                  base.pdes_workers = static_cast<std::int32_t>(
-                      base.engine == analysis::EngineMode::kPdes
-                          ? std::max<std::int64_t>(workers, 1)
-                          : workers);
+                  // 0 under --engine=pdes is the auto-tuner (the kAuto
+                  // default): engine::choose_pdes_workers picks the shard
+                  // count and the row's pdes_workers column echoes the
+                  // request, not the pick.
+                  base.pdes_workers = static_cast<std::int32_t>(workers);
                   base.measure_gradient = gradient;
                   base.rounds = rounds;
                   if (churn > 0) {

@@ -153,7 +153,6 @@ const char* pdes_spec_block(const RunSpec& spec) {
     // lookahead floor mid-epoch.  Refuse by name, like the fast path.
     return "dynamic-topology schedule present (net/dynamics.h)";
   }
-  if (spec.pdes_workers < 1) return "pdes_workers < 1";
   if (spec.observe) {
     // The streaming observer is a single-threaded accumulator wired to the
     // one global event order; lanes advance time independently.
@@ -515,6 +514,8 @@ RunResult Experiment::run() {
     observer_guard.sim = sim_.get();
   }
 
+  const auto engine_start = std::chrono::steady_clock::now();
+
   // Round-synchronous fast path: advance fault-free Welch-Lynch exchanges
   // past the event queue, then let run_until finish whatever the fast path
   // handed back (everything, when it never engaged).  Bit-identical either
@@ -550,20 +551,40 @@ RunResult Experiment::run() {
 
   // Conservative PDES (engine/pdes.h): shard the topology, run the epoch
   // loop with one worker per shard, then let run_until below finish the
-  // (empty past the horizon) remainder serially.  kAuto only reaches here
-  // when the fast path didn't engage and the spec opted in with
-  // pdes_workers >= 2; kPdes asserts eligibility.  Per-lane RoundTraces
-  // catch each shard's annotations and fold back into trace_ so every
-  // measurement below reads the same trace a serial run would have built.
+  // (empty past the horizon) remainder serially.  kAuto reaches here when
+  // the fast path didn't engage; pdes_workers >= 2 pins the shard count,
+  // <= 0 (the default) asks the auto-tuner, and exactly 1 opts kAuto out
+  // (single-shard PDES is pure overhead).  kPdes asserts eligibility,
+  // including auto-tune declining.  Per-lane RoundTraces catch each
+  // shard's annotations and fold back into trace_ so every measurement
+  // below reads the same trace a serial run would have built.
+  const bool pdes_auto_tune = spec_.pdes_workers <= 0;
   if (spec_.engine == EngineMode::kPdes ||
-      (spec_.engine == EngineMode::kAuto && spec_.pdes_workers >= 2 &&
-       !result.fastpath_engaged)) {
+      (spec_.engine == EngineMode::kAuto && !result.fastpath_engaged &&
+       (spec_.pdes_workers >= 2 || pdes_auto_tune))) {
     const char* blocked = pdes_spec_block(spec_);
+    std::string blocked_buf;
+    std::int32_t workers = spec_.pdes_workers;
+    if (blocked == nullptr && pdes_auto_tune) {
+      const engine::PdesAutoChoice choice =
+          engine::choose_pdes_workers(topology(), spec_.seed);
+      if (choice.workers >= 2) {
+        workers = choice.workers;
+      } else {
+        blocked_buf = "auto-tune declined: " + choice.reason;
+        blocked = blocked_buf.c_str();
+      }
+    }
     net::Partition part;
     if (blocked == nullptr) {
-      part = net::partition_topology(topology(), spec_.pdes_workers,
-                                     spec_.seed);
-      blocked = engine::PdesEngine::ineligible_reason(*sim_, part);
+      part = net::partition_topology(topology(), workers, spec_.seed);
+      if (workers >= 2 && part.k < 2) {
+        // A collapsed partition silently serialized (and under-reported)
+        // before: surface it like any other refusal.
+        blocked = "partition collapsed to 1 shard";
+      } else {
+        blocked = engine::PdesEngine::ineligible_reason(*sim_, part);
+      }
     }
     if (blocked == nullptr) {
       std::vector<RoundTrace> lane_traces(static_cast<std::size_t>(part.k));
@@ -572,13 +593,14 @@ RunResult Experiment::run() {
       for (RoundTrace& lane_trace : lane_traces) {
         lane_sinks.push_back(&lane_trace);
       }
-      engine::PdesEngine pdes(*sim_, part, lane_sinks);
+      engine::PdesOptions options;
+      options.adaptive = spec_.pdes_adaptive;
+      engine::PdesEngine pdes(*sim_, part, lane_sinks, options);
       pdes.run_until(horizon);
-      for (const RoundTrace& lane_trace : lane_traces) {
-        trace_.absorb(lane_trace);
-      }
+      trace_.absorb_all(lane_traces);
       result.pdes_epochs = pdes.stats().epochs;
       result.pdes_stalls = pdes.stats().stalls;
+      result.pdes_workers_used = pdes.stats().shards;
     } else if (spec_.engine == EngineMode::kPdes) {
       throw std::invalid_argument(
           std::string("RunSpec: engine = kPdes but the spec is "
@@ -590,6 +612,10 @@ RunResult Experiment::run() {
   }
 
   sim_->run_until(horizon);
+  result.engine_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    engine_start)
+          .count();
   result.t_end = sim_->current_time();
   result.messages = sim_->messages_sent();
   result.dynamics_applied = sim_->dynamics_applied();

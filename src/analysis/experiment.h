@@ -76,10 +76,12 @@ enum class EngineMode : std::uint8_t {
   /// staggered (Section 9.3) broadcasts both batch — or (b) faults on a
   /// sparse unstaggered topology whose adversary closed neighborhood
   /// leaves a nonempty honest remainder (the fault-isolating region mode;
-  /// core/fastpath.h).  Otherwise the PDES engine when pdes_workers >= 2
-  /// and the spec qualifies (no streaming observer, positive lookahead
-  /// floor); event engine last.  RunResult::fastpath_refusal /
-  /// pdes_refusal record why a declined engine was declined.
+  /// core/fastpath.h).  Otherwise the PDES engine when the spec qualifies
+  /// (no streaming observer, positive lookahead floor) and either
+  /// pdes_workers >= 2 pins the shard count or pdes_workers <= 0 lets the
+  /// auto-tuner pick one (engine::choose_pdes_workers); event engine last.
+  /// RunResult::fastpath_refusal / pdes_refusal record why a declined
+  /// engine was declined.
   kAuto = 2,
   /// Require the conservative PDES engine (engine/pdes.h); throws if the
   /// spec is ineligible.  Bit-identical to kEvent like the other engines.
@@ -216,12 +218,21 @@ struct RunSpec : ScenarioSpec {
   EngineMode engine = EngineMode::kAuto;
   /// Shard/worker count for the PDES engine (engine/pdes.h): the topology
   /// is cut into this many shards (net/partition.h), one thread each.
-  /// 0 (the default) keeps kAuto off the PDES path entirely; engine =
-  /// kPdes accepts any value >= 1 (1 = single-shard, one epoch — useful
-  /// for pinning the protocol without concurrency).  Performance only:
-  /// executions are bit-identical at results_identical strictness for any
-  /// worker count (tests/pdes_test.cpp).
+  /// <= 0 (the default) auto-tunes: engine::choose_pdes_workers scores
+  /// candidate shard counts from partition cut statistics and live stall
+  /// telemetry, and the run stays serial (pdes_refusal says why) when no
+  /// candidate scores.  engine = kPdes accepts any explicit value >= 1
+  /// (1 = single-shard, one epoch — useful for pinning the protocol
+  /// without concurrency) and throws when auto-tune declines.  Performance
+  /// only: executions are bit-identical at results_identical strictness
+  /// for any worker count (tests/pdes_test.cpp).
   std::int32_t pdes_workers = 0;
+  /// PDES lookahead mode (engine/pdes.h): true (default) folds per-epoch
+  /// adaptive windows from the lanes' actual next-send horizons; false
+  /// keeps the static global-cut-floor window.  Performance only — both
+  /// are bit-identical to the serial engine; adaptive never takes more
+  /// epochs than static (tests/pdes_property_test.cpp).
+  bool pdes_adaptive = true;
 
   double lm_delta_max = 0.0;  ///< 0 = auto
   double ms_tau = 0.0;        ///< 0 = auto
@@ -385,6 +396,13 @@ struct RunResult {
   /// ParallelRunner streams it to sweep CSVs).  Telemetry only — it is NOT
   /// part of results_identical, which compares measured physics.
   double wall_seconds = 0.0;
+  /// Wall-clock seconds of the engine span alone: the fastpath / PDES /
+  /// event-loop execution between setup (topology, simulator, partition)
+  /// and measurement (trace scans, skew series).  This is the number
+  /// engine-vs-engine comparisons should use — wall_seconds folds in
+  /// per-spec costs every engine pays identically, which dilutes any
+  /// speedup toward 1.  Telemetry, NOT part of results_identical.
+  double engine_seconds = 0.0;
   /// Streaming-observation telemetry (all defaults when RunSpec::observe
   /// is off).  Like wall_seconds, NOT part of results_identical: the
   /// history footprint intentionally differs between retained and bounded
@@ -416,6 +434,10 @@ struct RunResult {
   /// run.  Like wall_seconds, NOT part of results_identical.
   std::int64_t pdes_epochs = 0;
   std::int64_t pdes_stalls = 0;
+  /// Shard/worker count the PDES engine actually ran with (the auto-tuner's
+  /// pick when pdes_workers <= 0).  Zero when the engine didn't run.
+  /// Telemetry, NOT part of results_identical.
+  std::int32_t pdes_workers_used = 0;
 };
 
 /// A constructed system ready to run; exposes the simulator for tests that

@@ -13,7 +13,7 @@ void RoundTrace::on_annotation(std::int32_t pid, double time,
   switch (annotation.type) {
     case proc::Annotation::Type::kRoundBegin:
       begins_.push_back(event);
-      begin_index_[{annotation.round, pid}] = time;
+      begin_index_[begin_key(annotation.round, pid)] = time;
       break;
     case proc::Annotation::Type::kUpdate:
       updates_.push_back(event);
@@ -31,7 +31,7 @@ std::vector<double> RoundTrace::begin_times(
   std::vector<double> times;
   times.reserve(ids.size());
   for (std::int32_t id : ids) {
-    const auto it = begin_index_.find({round, id});
+    const auto it = begin_index_.find(begin_key(round, id));
     if (it == begin_index_.end()) return {};
     times.push_back(it->second);
   }
@@ -81,8 +81,59 @@ void RoundTrace::absorb(const RoundTrace& other) {
   merge_into(begins_, other.begins_);
   merge_into(updates_, other.updates_);
   merge_into(joins_, other.joins_);
+  begin_index_.reserve(begin_index_.size() + other.begins_.size());
   for (const RoundEvent& begin : other.begins_) {
-    begin_index_[{begin.round, begin.pid}] = begin.real_time;
+    begin_index_[begin_key(begin.round, begin.pid)] = begin.real_time;
+  }
+}
+
+void RoundTrace::absorb_all(const std::vector<RoundTrace>& others) {
+  const auto before = [](const RoundEvent& a, const RoundEvent& b) {
+    if (a.real_time != b.real_time) return a.real_time < b.real_time;
+    return a.pid < b.pid;
+  };
+  // Linear k-way merge: each step scans the (small) source set for the
+  // minimal head.  k is the shard count, so the scan is cheaper than the
+  // buffer churn of repeated inplace_merge calls.
+  const auto merge_all = [&](std::vector<RoundEvent> RoundTrace::*member) {
+    std::vector<const std::vector<RoundEvent>*> sources;
+    sources.push_back(&(this->*member));
+    std::size_t total = (this->*member).size();
+    for (const RoundTrace& other : others) {
+      const std::vector<RoundEvent>& src = other.*member;
+      if (src.empty()) continue;
+      sources.push_back(&src);
+      total += src.size();
+    }
+    if (sources.size() == 1) return;
+    std::vector<RoundEvent> merged;
+    merged.reserve(total);
+    std::vector<std::size_t> cursor(sources.size(), 0);
+    while (merged.size() < total) {
+      std::size_t best = sources.size();
+      for (std::size_t s = 0; s < sources.size(); ++s) {
+        if (cursor[s] >= sources[s]->size()) continue;
+        if (best == sources.size() ||
+            before((*sources[s])[cursor[s]], (*sources[best])[cursor[best]])) {
+          best = s;
+        }
+      }
+      merged.push_back((*sources[best])[cursor[best]]);
+      ++cursor[best];
+    }
+    this->*member = std::move(merged);
+  };
+  merge_all(&RoundTrace::begins_);
+  merge_all(&RoundTrace::updates_);
+  merge_all(&RoundTrace::joins_);
+
+  std::size_t new_begins = 0;
+  for (const RoundTrace& other : others) new_begins += other.begins_.size();
+  begin_index_.reserve(begin_index_.size() + new_begins);
+  for (const RoundTrace& other : others) {
+    for (const RoundEvent& begin : other.begins_) {
+      begin_index_[begin_key(begin.round, begin.pid)] = begin.real_time;
+    }
   }
 }
 

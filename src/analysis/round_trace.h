@@ -8,7 +8,7 @@
 // magnitudes (Theorem 4(a)), and the per-round convergence series B^i.
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/trace.h"
@@ -67,12 +67,31 @@ class RoundTrace final : public sim::TraceSink {
   /// order) fold back into the run's single trace.
   void absorb(const RoundTrace& other);
 
+  /// absorb() for a whole lane set at once: one k-way merge into a single
+  /// preallocated buffer instead of k incremental inplace_merge passes
+  /// (each of which re-acquires a temporary buffer), and one reserved
+  /// re-index.  Equivalent to absorbing each trace in order; the PDES
+  /// engine folds its per-lane traces through this.
+  void absorb_all(const std::vector<RoundTrace>& others);
+
  private:
+  /// (round, pid) packed into one key: rounds and pids are non-negative
+  /// 31-bit values, so the pair fits a single 64-bit word and the index
+  /// can be a flat hash map — round-begin insertion happens once per
+  /// process per round inside the measured engine span, and absorb()
+  /// re-indexes whole lane traces, so it matters that this is not a
+  /// node-allocating ordered map.
+  [[nodiscard]] static std::uint64_t begin_key(std::int32_t round,
+                                               std::int32_t pid) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(round))
+            << 32) |
+           static_cast<std::uint32_t>(pid);
+  }
+
   std::vector<RoundEvent> begins_;
   std::vector<RoundEvent> updates_;
   std::vector<RoundEvent> joins_;
-  // (round, pid) -> begin real time
-  std::map<std::pair<std::int32_t, std::int32_t>, double> begin_index_;
+  std::unordered_map<std::uint64_t, double> begin_index_;
 };
 
 }  // namespace wlsync::analysis

@@ -277,6 +277,9 @@ Partition partition_topology(const Topology& topo, std::int32_t k,
   part.shard_of.assign(static_cast<std::size_t>(n), kUnassigned);
   part.shard_sizes.assign(static_cast<std::size_t>(part.k), 0);
 
+  part.boundary.assign(static_cast<std::size_t>(n), 0);
+  part.shard_cuts.assign(static_cast<std::size_t>(part.k), {});
+
   if (part.k == 1) {
     std::fill(part.shard_of.begin(), part.shard_of.end(), 0);
     part.shard_sizes[0] = n;
@@ -298,11 +301,19 @@ Partition partition_topology(const Topology& topo, std::int32_t k,
   }
 
   for (std::int32_t u = 0; u < n; ++u) {
+    const std::int32_t su = part.shard_of[static_cast<std::size_t>(u)];
     for (const std::int32_t v : topo.neighbors(u)) {
       if (v <= u) continue;  // one direction per undirected edge, no loops
-      if (part.shard_of[static_cast<std::size_t>(u)] !=
-          part.shard_of[static_cast<std::size_t>(v)]) {
+      const std::int32_t sv = part.shard_of[static_cast<std::size_t>(v)];
+      if (su != sv) {
+        const auto e = static_cast<std::int32_t>(part.cut_edges.size());
         part.cut_edges.emplace_back(u, v);
+        part.shard_cuts[static_cast<std::size_t>(su)].push_back(e);
+        part.shard_cuts[static_cast<std::size_t>(sv)].push_back(e);
+        part.boundary[static_cast<std::size_t>(u)] = 1;
+        part.boundary[static_cast<std::size_t>(v)] = 1;
+      } else {
+        ++part.internal_edges;
       }
     }
   }

@@ -45,6 +45,19 @@ struct Partition {
   /// Undirected cut edges (u < v, self-loops excluded): topology edges
   /// whose endpoints landed in different shards.  Ascending lexicographic.
   std::vector<std::pair<std::int32_t, std::int32_t>> cut_edges;
+  /// Per-shard incident cut edges, as indices into cut_edges (ascending).
+  /// An edge appears under BOTH endpoint shards; the PDES engine folds each
+  /// shard's outgoing delay floor from its list without rescanning the
+  /// graph.  Size k; every list empty when the cut is (k == 1).
+  std::vector<std::vector<std::int32_t>> shard_cuts;
+  /// boundary[v] != 0 iff v is an endpoint of some cut edge — the only
+  /// honest processes whose events can produce cross-shard traffic in one
+  /// hop (honest sends follow the topology).  Size n, all zero when k == 1.
+  std::vector<char> boundary;
+  /// Undirected non-cut edges (both endpoints in one shard).  Together with
+  /// cut_edges.size() this is the cut fraction the worker auto-tuner scores
+  /// candidate shard counts by.  0 when k == 1 (no edge scan happens).
+  std::int64_t internal_edges = 0;
 
   [[nodiscard]] std::int32_t n() const noexcept {
     return static_cast<std::int32_t>(shard_of.size());

@@ -134,6 +134,15 @@ void Simulator::schedule_event(Lane& lane, double time, std::int32_t tier,
 void Simulator::schedule_raw(Lane& lane, double time, std::int32_t tier,
                              std::uint64_t seq, std::int32_t to,
                              EngineKind engine_kind, const Message& msg) {
+  // Adaptive-lookahead bookkeeping (PDES lanes only): an event delivered to
+  // a boundary process is the earliest thing that could cross the cut.
+  // kScenario events never reach shard lanes (the engine refuses dynamics),
+  // so `to` is always a process id when the flag vector is installed.
+  if (lane.boundary != nullptr && (*lane.boundary)[idx(to)] != 0) {
+    lane.boundary_heap.push_back(time);
+    std::push_heap(lane.boundary_heap.begin(), lane.boundary_heap.end(),
+                   std::greater<>{});
+  }
   const EventHandle handle = lane.pool.acquire();
   Event& event = lane.pool[handle];
   event.time = time;
@@ -389,8 +398,10 @@ void Simulator::do_send(Lane& lane, std::int32_t from, std::int32_t to,
   if (!lane_of_.empty() && dest != lane.shard) {
     // Cross-cut: the delay and seq are already drawn/allocated from the
     // sender's streams, so the receiving lane schedules exactly the event
-    // the serial engine would have.
-    lane.outbox[static_cast<std::size_t>(dest)].push_back(
+    // the serial engine would have.  The push is immediately visible to the
+    // receiver's mid-epoch polls (conservative lookahead keeps it beyond
+    // the receiver's current window).
+    lane.channels_out[static_cast<std::size_t>(dest)]->push(
         {deliver_time, alloc_seq(from), to, kind, msg});
   } else {
     schedule_event(lane, deliver_time, /*tier=*/0, /*origin=*/from, to, kind,
@@ -436,10 +447,18 @@ void Simulator::do_broadcast(Lane& lane, std::int32_t from, std::int32_t tag,
     }
     const std::int32_t dest = sharded ? lane_of_[idx(to)] : -1;
     if (sharded && dest != lane.shard) {
-      lane.outbox[static_cast<std::size_t>(dest)].push_back(
+      lane.channels_out[static_cast<std::size_t>(dest)]->push(
           {deliver_time, alloc_seq(from), to, remote_kind, msg});
     } else {
       record.deliveries.push_back({deliver_time, alloc_seq(from), to});
+      // In-lane boundary recipients enter the adaptive-lookahead horizon
+      // here: the batched kFanout entry only exposes its first delivery to
+      // the scheduler, so each recipient's time is tracked individually.
+      if (lane.boundary != nullptr && (*lane.boundary)[idx(to)] != 0) {
+        lane.boundary_heap.push_back(deliver_time);
+        std::push_heap(lane.boundary_heap.begin(), lane.boundary_heap.end(),
+                       std::greater<>{});
+      }
     }
   }
   if (record.deliveries.empty()) {  // every recipient was remote
@@ -686,6 +705,12 @@ void Simulator::run_lane(Lane& lane, double limit) {
     if (handle == EventPool::kInvalidHandle) break;
     ++lane.queue_pops;
     dispatch(lane, handle, limit);
+    // Overlapped channel drain (PDES lanes only): ingest cross-shard
+    // arrivals every 64 dispatches.  Everything drained lands strictly
+    // beyond `limit`, so the current window's pop order is unaffected.
+    if (lane.poller != nullptr && (++lane.poll_tick & 63u) == 0) {
+      lane.poller->poll();
+    }
   }
 }
 

@@ -42,6 +42,7 @@
 #include "sim/observer.h"
 #include "sim/trace.h"
 #include "util/rng.h"
+#include "util/spsc_queue.h"
 
 namespace wlsync::core {
 class RoundFastPath;
@@ -65,6 +66,18 @@ struct RemoteEvent {
   std::int32_t to = -1;
   EngineKind engine_kind = EngineKind::kDeliver;
   Message msg;
+};
+
+/// Mid-execution hook the PDES engine installs on each shard lane: run_lane
+/// invokes poll() every few dispatches, so the lane ingests cross-shard
+/// arrivals WHILE it executes its window instead of only at the epoch
+/// barrier.  Safe because the conservative lookahead guarantees every
+/// arrival lands strictly beyond the current window.  Null on the serial
+/// path (one predictable branch per dispatch).
+class LanePoller {
+ public:
+  virtual ~LanePoller() = default;
+  virtual void poll() = 0;
 };
 
 struct SimConfig {
@@ -285,7 +298,7 @@ class Simulator {
   /// exactly one lane (main_); the PDES engine adds one lane per topology
   /// shard, each driven by its own worker thread.  Everything a dispatch
   /// touches that is not per-process Node state lives here, so two lanes
-  /// never share mutable state — cross-lane traffic rides the outbox.
+  /// never share mutable state — cross-lane traffic rides SPSC channels.
   struct Lane {
     EventPool pool;
     std::unique_ptr<engine::SchedulerPolicy> scheduler;
@@ -303,10 +316,27 @@ class Simulator {
     std::uint64_t queue_pops = 0;
     std::uint64_t fanout_direct = 0;
     std::size_t peak_pending = 0;
-    /// PDES only: cross-cut events produced this epoch, bucketed by
-    /// destination shard.  Published to the engine's channels at the epoch
-    /// barrier; always empty on the serial path.
-    std::vector<std::vector<RemoteEvent>> outbox;
+    /// PDES only (engine/pdes.h): direct SPSC channels to every other lane,
+    /// indexed by destination shard (own slot null).  A cross-cut send is
+    /// pushed the moment it is drawn — visible to the receiving lane's
+    /// mid-epoch polls — replacing the old publish-phase outbox.  Empty on
+    /// the serial path.
+    std::vector<util::SpscQueue<RemoteEvent>*> channels_out;
+    /// PDES only: per-node flags for "an event delivered here can produce
+    /// cross-cut traffic in one hop" (cut-edge endpoints plus every faulty
+    /// process — Byzantine sends ignore the topology).  The engine's
+    /// adaptive lookahead folds each lane's next boundary event into the
+    /// epoch window.  Null serially.
+    const std::vector<char>* boundary = nullptr;
+    /// PDES only: min-heap (std::greater order) of pending boundary-event
+    /// times in this lane.  A conservative superset — entries whose events
+    /// already executed are lazily pruned against the scheduler head at
+    /// each epoch fold, which can never drop a live boundary event because
+    /// the scheduler head is a lower bound on everything still pending.
+    std::vector<double> boundary_heap;
+    /// PDES only: overlapped-drain hook, called every 64 dispatches.
+    LanePoller* poller = nullptr;
+    std::uint32_t poll_tick = 0;
   };
 
   template <typename T>

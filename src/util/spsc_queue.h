@@ -1,0 +1,157 @@
+#pragma once
+// Chunked single-producer / single-consumer queue for the PDES overlapped
+// channel drain (engine/pdes.h).
+//
+// Each (src, dest) lane pair owns one queue: the producer is the sending
+// lane's worker thread (pushing mid-epoch, while it executes its window),
+// the consumer is the receiving lane's worker (polling mid-epoch and at
+// epoch boundaries).  The conservative lookahead guarantees every pushed
+// item is scheduled strictly beyond the consumer's current window, so the
+// consumer may drain at ANY point of its execution — that is what lets the
+// engine run send, drain and execute as one overlapped phase with a single
+// barrier per epoch.
+//
+// Layout: a singly-linked list of fixed-size blocks.
+//   * The producer appends into the tail block and publishes each item by a
+//     release store of the block's count; a full block links a successor
+//     (recycled from a producer-local freelist when possible) with a
+//     release store of `next`.
+//   * The consumer reads `count` with acquire, consumes items below it, and
+//     follows `next` once a block is exhausted, stashing spent blocks on a
+//     consumer-local list.
+//   * recycle() moves spent blocks back to the freelist.  It is QUIESCENT:
+//     legal only while neither side is active — the engine calls it from
+//     the epoch barrier's completion, which runs single-threaded while all
+//     workers block, so steady-state epochs allocate nothing
+//     (bench_micro --smoke gates this).
+//   * scan_pending() visits items pushed but not yet consumed, also
+//     quiescent-only; the barrier fold uses it to account in-flight events
+//     in the termination time and the adaptive window.
+//
+// No CAS, no shared indices: the only cross-thread traffic is the
+// release/acquire pair on `count`/`next`, one cache line per active block.
+
+#include <atomic>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wlsync::util {
+
+template <typename T, std::size_t kBlockItems = 128>
+class SpscQueue {
+ public:
+  SpscQueue() : head_(new Block()), tail_(head_) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  ~SpscQueue() {
+    Block* b = head_;
+    while (b != nullptr) {
+      Block* next = b->next.load(std::memory_order_relaxed);
+      delete b;
+      b = next;
+    }
+    for (Block* s : spent_) delete s;
+    for (Block* f : free_) delete f;
+  }
+
+  /// Producer only.  Publishes `item` with one release store; links a fresh
+  /// (or recycled) block first when the tail block is full.
+  void push(const T& item) {
+    Block* b = tail_;
+    std::uint32_t count = b->count.load(std::memory_order_relaxed);
+    if (count == kBlockItems) {
+      Block* next = take_free();
+      // `next` is fully reset before this release store, so the consumer's
+      // acquire load of `next` observes count = 0 / next = nullptr.
+      b->next.store(next, std::memory_order_release);
+      tail_ = next;
+      b = next;
+      count = 0;
+    }
+    b->items[count] = item;
+    b->count.store(count + 1, std::memory_order_release);
+  }
+
+  /// Consumer only: true when nothing is currently available.  (The
+  /// producer may be mid-push; this is a snapshot, which is all the
+  /// periodic poll needs.)
+  [[nodiscard]] bool empty() const {
+    if (head_pos_ < head_->count.load(std::memory_order_acquire)) return false;
+    return head_pos_ < kBlockItems ||
+           head_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+  /// Consumer only.  Invokes `f(item)` on everything available at call
+  /// time, in push order.  Returns the number consumed.
+  template <typename F>
+  std::size_t drain(F&& f) {
+    std::size_t consumed = 0;
+    for (;;) {
+      const std::uint32_t count = head_->count.load(std::memory_order_acquire);
+      while (head_pos_ < count) {
+        f(head_->items[head_pos_++]);
+        ++consumed;
+      }
+      if (count < kBlockItems) return consumed;
+      Block* next = head_->next.load(std::memory_order_acquire);
+      if (next == nullptr) return consumed;
+      spent_.push_back(head_);
+      head_ = next;
+      head_pos_ = 0;
+    }
+  }
+
+  /// QUIESCENT (no concurrent producer/consumer; the engine calls it from
+  /// the barrier completion).  Visits every pushed-but-unconsumed item in
+  /// push order without consuming.
+  template <typename F>
+  void scan_pending(F&& f) const {
+    const Block* b = head_;
+    std::uint32_t pos = head_pos_;
+    while (b != nullptr) {
+      const std::uint32_t count = b->count.load(std::memory_order_relaxed);
+      for (std::uint32_t i = pos; i < count; ++i) f(b->items[i]);
+      b = b->next.load(std::memory_order_relaxed);
+      pos = 0;
+    }
+  }
+
+  /// QUIESCENT.  Returns consumer-spent blocks to the producer freelist,
+  /// reset for reuse — the steady state allocates nothing.
+  void recycle() {
+    for (Block* b : spent_) {
+      b->count.store(0, std::memory_order_relaxed);
+      b->next.store(nullptr, std::memory_order_relaxed);
+      free_.push_back(b);
+    }
+    spent_.clear();
+  }
+
+ private:
+  struct Block {
+    std::atomic<std::uint32_t> count{0};
+    std::atomic<Block*> next{nullptr};
+    std::array<T, kBlockItems> items;
+  };
+
+  Block* take_free() {
+    if (free_.empty()) return new Block();
+    Block* b = free_.back();
+    free_.pop_back();
+    return b;
+  }
+
+  // Consumer-owned cursor vs producer-owned tail on separate cache lines so
+  // the two sides never false-share the queue header.
+  alignas(64) Block* head_;
+  std::uint32_t head_pos_ = 0;
+  std::vector<Block*> spent_;  ///< consumer-exhausted, awaiting recycle()
+  alignas(64) Block* tail_;
+  std::vector<Block*> free_;  ///< reset blocks the producer may relink
+};
+
+}  // namespace wlsync::util

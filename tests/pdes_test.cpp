@@ -9,14 +9,16 @@
 // topologies, delay models (each with a different lookahead floor), fault
 // mixes with adversaries placed ON the cut joints, NIC ingress, and
 // worker counts 1 / 2 / 8.  The second half pins the dispatcher: kAuto
-// prefers the fast path, falls back to PDES only when the spec opted in
-// with pdes_workers >= 2, and kPdes refuses ineligible specs loudly.
+// prefers the fast path, falls back to PDES with an explicit worker count
+// (pdes_workers >= 2) or the auto-tuner's pick (pdes_workers <= 0, the
+// default), and kPdes refuses ineligible specs loudly.
 
 #include <gtest/gtest.h>
 
 #include <stdexcept>
 
 #include "analysis/parallel_runner.h"
+#include "engine/pdes.h"
 
 namespace wlsync::analysis {
 namespace {
@@ -207,9 +209,11 @@ TEST(PdesDispatch, AutoFallsBackToPdes) {
   EXPECT_TRUE(results_identical(run_engine(spec, EngineMode::kEvent), autod));
 }
 
-TEST(PdesDispatch, AutoNeverShardsUninvited) {
-  // pdes_workers = 0 (the default) keeps kAuto strictly serial even when
-  // the fast path cannot engage, and says why it didn't shard.
+TEST(PdesDispatch, AutoTuneDeclinesAndSaysWhy) {
+  // pdes_workers = 0 (the default) consults the auto-tuner when the fast
+  // path cannot engage.  At n = 24 every candidate shard count leaves
+  // lanes far below the 64-process floor, so the run stays serial — and
+  // pdes_refusal records the auto-tune verdict instead of evaporating.
   RunSpec spec = cliques_spec(24, 7);
   spec.fault = FaultKind::kSilent;
   spec.fault_count = 2;
@@ -218,11 +222,52 @@ TEST(PdesDispatch, AutoNeverShardsUninvited) {
   EXPECT_FALSE(autod.fastpath_engaged);
   EXPECT_EQ(autod.fastpath_refusal, "legacy arrival ingestion");
   EXPECT_EQ(autod.pdes_epochs, 0);
-  EXPECT_EQ(autod.pdes_refusal, "");
+  EXPECT_EQ(autod.pdes_workers_used, 0);
+  EXPECT_TRUE(autod.pdes_refusal.rfind("auto-tune declined:", 0) == 0)
+      << autod.pdes_refusal;
+
+  // pdes_workers = 1 opts kAuto out of the PDES path entirely: serial was
+  // requested by name, so there is nothing to refuse.
+  const RunResult serial = run_engine(spec, EngineMode::kAuto, /*workers=*/1);
+  EXPECT_EQ(serial.pdes_epochs, 0);
+  EXPECT_EQ(serial.pdes_refusal, "");
+}
+
+TEST(PdesDispatch, AutoTuneEngagesWhereLanesAreThickEnough) {
+  // 512 processes in a ring of 6-cliques: candidate k = 8 keeps exactly 64
+  // per lane and the cut is a few dozen bridge edges — the auto-tuner's
+  // easiest yes.  Identical physics to the serial reference, workers_used
+  // reported.
+  engine::PdesTuner::instance().reset();
+  RunSpec spec = cliques_spec(512, 64);
+  spec.ingest = proc::IngestMode::kLegacy;  // keep the fast path out
+  const RunResult serial = run_engine(spec, EngineMode::kEvent);
+  const RunResult autod = run_engine(spec, EngineMode::kAuto);
+  EXPECT_FALSE(autod.fastpath_engaged);
+  EXPECT_EQ(autod.pdes_refusal, "") << autod.pdes_refusal;
+  EXPECT_GE(autod.pdes_epochs, 1);
+  EXPECT_EQ(autod.pdes_workers_used, 8);
+  EXPECT_TRUE(results_identical(serial, autod));
+}
+
+TEST(PdesDispatch, StallTelemetryDemotesAWorkerCount) {
+  // A recorded stall rate above the demotion ceiling steers the next
+  // auto-tuned run at that (n, k) to the next candidate down.
+  engine::PdesTuner::instance().reset();
+  engine::PdesTuner::instance().record(512, 8, 0.9);
+  RunSpec spec = cliques_spec(512, 64);
+  spec.ingest = proc::IngestMode::kLegacy;
+  const RunResult demoted = run_engine(spec, EngineMode::kAuto);
+  EXPECT_EQ(demoted.pdes_refusal, "") << demoted.pdes_refusal;
+  EXPECT_EQ(demoted.pdes_workers_used, 4);
+  EXPECT_EQ(engine::PdesTuner::instance().stall_rate(512, 8), 0.9);
+  engine::PdesTuner::instance().reset();
+  EXPECT_LT(engine::PdesTuner::instance().stall_rate(512, 8), 0.0);
 }
 
 TEST(PdesDispatch, ForcedPdesRefusesIneligibleSpecs) {
-  // No worker count requested.
+  // Default worker count = auto-tune, which declines at n = 24 (lanes
+  // thinner than the floor) — and kPdes turns that refusal into a throw.
   EXPECT_THROW((void)run_engine(cliques_spec(24, 7), EngineMode::kPdes),
                std::invalid_argument);
 
